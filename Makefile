@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench examples experiments all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+# Regenerate every paper table/figure through the CLI.
+experiments:
+	@for id in table1 table2 table3 table4 table5 table6 table7 \
+	           fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10; do \
+	    python -m repro experiment $$id; echo; done
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,36 @@
+"""Ablation: range-filter scale sweep (paper fixes the size ratio at 4096)."""
+
+from conftest import record, run_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.harness import ExperimentResult
+from repro.graph.datasets import load_dataset
+from repro.simarch import simulate
+
+SCALES = (2, 8, 16, 64, 512)
+
+
+def _run() -> ExperimentResult:
+    rows = []
+    for ds in ("tw", "fr"):
+        g = load_dataset(ds, reordered=True)
+        base = simulate(g, get_algorithm("BMP"), "cpu").seconds
+        for s in SCALES:
+            algo = get_algorithm("BMP-RF", range_scale=s)
+            secs = simulate(g, algo, "cpu").seconds
+            rows.append([ds, s, secs, round(base / secs, 2)])
+    return ExperimentResult(
+        "ablation_range_scale",
+        "Range-filter scale sweep (CPU, 56 threads, modeled seconds)",
+        ["dataset", "range_scale", "seconds", "speedup_vs_plain_BMP"],
+        rows,
+        notes=["small ranges filter more precisely but cost more filter bits"],
+    )
+
+
+def test_ablation_range_scale(benchmark):
+    result = record(run_once(benchmark, _run))
+    for ds in ("tw", "fr"):
+        speedups = [r[3] for r in result.rows if r[0] == ds]
+        # Some scale in the sweep must beat plain BMP.
+        assert max(speedups) > 1.0, ds

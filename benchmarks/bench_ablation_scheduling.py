@@ -1,0 +1,41 @@
+"""Ablation: dynamic vs static scheduling and the task-size |T| trade-off.
+
+The paper's §4 discusses the load-balance vs queue-overhead trade-off but
+dedicates no figure to it; this bench makes it measurable.
+"""
+
+from conftest import record, run_once
+
+from repro.bench.harness import ExperimentResult
+from repro.graph.datasets import load_dataset
+from repro.simarch import simulate
+
+TASK_SIZES = (1, 8, 32, 256, 4096)
+
+
+def _run() -> ExperimentResult:
+    g = load_dataset("tw", reordered=True)
+    rows = []
+    for ts in TASK_SIZES:
+        dyn = simulate(g, "MPS", "cpu", task_size=ts).seconds
+        stat = simulate(g, "MPS", "cpu", task_size=ts, static_schedule=True).seconds
+        rows.append([ts, dyn, stat, round(stat / dyn, 2)])
+    return ExperimentResult(
+        "ablation_scheduling",
+        "Dynamic vs static scheduling across task sizes |T| (TW, CPU, 56 threads)",
+        ["task_size", "dynamic_s", "static_s", "static/dynamic"],
+        rows,
+        notes=["paper §4: small |T| balances load, large |T| cuts queue overhead"],
+    )
+
+
+def test_ablation_scheduling(benchmark):
+    result = record(run_once(benchmark, _run))
+    dyn = {row[0]: row[1] for row in result.rows}
+    # Dynamic scheduling is never worse than static at matched |T|.
+    for row in result.rows:
+        assert row[3] >= 0.99
+    # Extremes lose: |T|=1 pays queue overhead, |T|=4096 loses balance.
+    best = min(dyn.values())
+    assert dyn[4096] > best
+    assert dyn[1] >= best

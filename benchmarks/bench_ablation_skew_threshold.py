@@ -1,0 +1,39 @@
+"""Ablation: MPS degree-skew threshold t (paper fixes t = 50 empirically)."""
+
+from conftest import record, run_once
+
+from repro.algorithms import get_algorithm
+from repro.bench.harness import ExperimentResult
+from repro.graph.datasets import load_dataset
+from repro.simarch import simulate
+
+THRESHOLDS = (2, 10, 50, 200, 1e9)
+
+
+def _run() -> ExperimentResult:
+    rows = []
+    for ds in ("tw", "fr"):
+        g = load_dataset(ds, reordered=True)
+        for t in THRESHOLDS:
+            algo = get_algorithm("MPS", skew_threshold=float(t))
+            secs = simulate(g, algo, "cpu", threads=1).seconds
+            rows.append([ds, t, secs])
+    return ExperimentResult(
+        "ablation_skew_threshold",
+        "MPS threshold t sweep (single-threaded CPU, modeled seconds)",
+        ["dataset", "threshold", "seconds"],
+        rows,
+        notes=["t=inf disables PS entirely; t=2 sends almost everything to PS"],
+    )
+
+
+def test_ablation_skew_threshold(benchmark):
+    result = record(run_once(benchmark, _run))
+    by_ds = {}
+    for ds, t, secs in result.rows:
+        by_ds.setdefault(ds, {})[t] = secs
+    # On the skewed TW, disabling PS (t=inf) is clearly worse than t=50.
+    assert by_ds["tw"][1e9] > by_ds["tw"][50]
+    # On uniform FR the threshold barely matters (few skewed edges).
+    fr = by_ds["fr"]
+    assert max(fr.values()) < 1.6 * min(fr.values())

@@ -1,0 +1,44 @@
+"""Real wall-clock comparison of the exact counting backends.
+
+Unlike the table/figure benches (which use the architecture simulator),
+this benchmark times the *actual* Python production paths on this machine
+— useful for regression tracking of the library itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.kernels.batch import (
+    count_all_edges_bitmap,
+    count_all_edges_matmul,
+)
+from repro.parallel.threadpool import count_all_edges_parallel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("lj", scale=0.5)
+
+
+def test_backend_matmul(benchmark, graph):
+    cnt = benchmark.pedantic(count_all_edges_matmul, args=(graph,), rounds=3, iterations=1)
+    assert cnt.sum() > 0
+
+
+def test_backend_bitmap(benchmark, graph):
+    cnt = benchmark.pedantic(count_all_edges_bitmap, args=(graph,), rounds=3, iterations=1)
+    assert cnt.sum() > 0
+
+
+def test_backend_parallel(benchmark, graph):
+    cnt = benchmark.pedantic(
+        count_all_edges_parallel, args=(graph, 2), rounds=3, iterations=1
+    )
+    assert cnt.sum() > 0
+
+
+def test_backends_agree(graph):
+    a = count_all_edges_matmul(graph)
+    b = count_all_edges_bitmap(graph)
+    assert np.array_equal(a, b)

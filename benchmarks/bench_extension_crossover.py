@@ -1,0 +1,58 @@
+"""Extension: where is the GPU-BMP vs KNL-MPS crossover?
+
+The paper's Figure 10 shows GPU-BMP winning on the skewed datasets and
+KNL-MPS on the uniform one, and §5.3 attributes the split to the skew
+profile.  This extension sweeps a family of generated graphs across the
+skew spectrum and locates the crossover — turning the paper's qualitative
+guidance (and our `recommend_processor`) into a measured curve.
+"""
+
+from conftest import record, run_once
+
+from repro.bench.harness import ExperimentResult
+from repro.graph.generators import chung_lu_graph, uniformish_graph
+from repro.graph.reorder import reorder_graph
+from repro.graph.stats import skew_percentage
+from repro.simarch import simulate
+
+SWEEP = [
+    ("uniform", lambda: uniformish_graph(24000, 170000, spread=0.5, seed=11)),
+    ("mild", lambda: chung_lu_graph(24000, 210000, exponent=3.0, seed=11)),
+    ("social", lambda: chung_lu_graph(24000, 210000, exponent=2.4, seed=11)),
+    ("heavy", lambda: chung_lu_graph(24000, 230000, exponent=2.1, seed=11)),
+    ("hub", lambda: chung_lu_graph(24000, 240000, exponent=1.9, seed=11)),
+]
+
+
+def _run() -> ExperimentResult:
+    rows = []
+    for label, gen in SWEEP:
+        g = gen()
+        skew = skew_percentage(g)
+        rg = reorder_graph(g).graph
+        knl = simulate(rg, "MPS-AVX512", "knl").seconds
+        gpu = simulate(rg, "BMP-RF", "gpu").seconds
+        rows.append(
+            [label, round(skew, 1), knl, gpu, "gpu" if gpu < knl else "knl"]
+        )
+    return ExperimentResult(
+        "extension_crossover",
+        "GPU-BMP vs KNL-MPS across the skew spectrum (modeled seconds)",
+        ["profile", "skew_%", "KNL-MPS", "GPU-BMP", "winner"],
+        rows,
+        notes=["paper §5.3: skewed graphs -> GPU-BMP; uniform -> KNL-MPS"],
+    )
+
+
+def test_extension_crossover(benchmark):
+    result = record(run_once(benchmark, _run))
+    rows = result.rows
+    # Low-skew end: KNL-MPS wins; high-skew end: GPU-BMP wins.
+    assert rows[0][4] == "knl"
+    assert rows[-1][4] == "gpu"
+    # The winner flips exactly once along the (sorted-by-skew) sweep.
+    skews = [r[1] for r in rows]
+    assert skews == sorted(skews)
+    winners = [r[4] for r in rows]
+    flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+    assert flips == 1, winners

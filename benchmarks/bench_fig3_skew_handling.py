@@ -1,0 +1,20 @@
+"""Figure 3: effect of degree-skew handling, single-threaded."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig3_skew_handling
+
+
+def test_fig3_skew_handling(benchmark):
+    result = record(run_once(benchmark, fig3_skew_handling))
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # TW (skewed): both MPS and BMP beat M clearly on both processors.
+    for proc in ("cpu", "knl"):
+        _, _, m, mps, bmp, mps_spd, bmp_spd = rows[("tw", proc)]
+        assert mps_spd > 1.5  # paper: 3.6x / 7.1x
+        assert bmp_spd > 6.0  # paper: 20.1x / 29.3x
+        assert bmp < mps < m
+    # FR (uniform): pivot-skip gives no real edge over plain merge.
+    for proc in ("cpu", "knl"):
+        _, _, m, mps, _, mps_spd, _ = rows[("fr", proc)]
+        assert 0.7 < mps_spd < 1.5  # paper: ~1.0x

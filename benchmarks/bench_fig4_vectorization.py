@@ -1,0 +1,20 @@
+"""Figure 4: effect of vectorization (AVX2 on CPU, AVX-512 on KNL)."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig4_vectorization
+
+
+def test_fig4_vectorization(benchmark):
+    result = record(run_once(benchmark, fig4_vectorization))
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # Vectorization always speeds MPS up (paper: 1.9-2.6x).
+    for key, row in rows.items():
+        assert row[5] > 1.2, key
+    # The KNL's 512-bit lanes gain more than the CPU's 256-bit lanes.
+    for ds in ("tw", "fr"):
+        assert rows[(ds, "knl")][5] >= rows[(ds, "cpu")][5]
+    # Paper: on TW, vectorized MPS still loses to BMP on the CPU...
+    assert rows[("tw", "cpu")][4] < rows[("tw", "cpu")][3]
+    # ...whereas on FR-KNL vectorized MPS beats BMP.
+    assert rows[("fr", "knl")][3] < rows[("fr", "knl")][4]

@@ -1,0 +1,32 @@
+"""Figure 5: thread scalability of MPS and BMP on the CPU and KNL."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig5_scalability
+
+
+def test_fig5_scalability(benchmark):
+    result = record(run_once(benchmark, fig5_scalability))
+    rows = {(r[0], r[1], r[2]): r for r in result.rows}
+
+    def final_speedup(ds, proc, alg):
+        return rows[(ds, proc, alg)][4][-1]
+
+    def peak_speedup(ds, proc, alg):
+        return max(rows[(ds, proc, alg)][4])
+
+    # MPS scales well on the CPU (paper: 41.1x / 36.1x at max threads).
+    assert final_speedup("tw", "cpu", "MPS") > 25
+    assert final_speedup("fr", "cpu", "MPS") > 25
+    # MPS out-scales BMP everywhere (paper summary §5.4).
+    for ds in ("tw", "fr"):
+        assert peak_speedup(ds, "cpu", "MPS") > peak_speedup(ds, "cpu", "BMP")
+    # KNL: MPS reaches high speedups (paper: up to 67-72x).
+    assert peak_speedup("tw", "knl", "MPS") > 40
+    # KNL-BMP slows down beyond 64 threads (paper's 128/256 dip).
+    for ds in ("tw", "fr"):
+        speedups = rows[(ds, "knl", "BMP")][4]
+        threads = rows[(ds, "knl", "BMP")][3]
+        at64 = speedups[threads.index(64)]
+        at256 = speedups[threads.index(256)]
+        assert at256 < at64

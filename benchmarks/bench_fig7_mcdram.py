@@ -1,0 +1,21 @@
+"""Figure 7: MCDRAM utilization (flat / cache modes) on the KNL."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig7_mcdram
+
+
+def test_fig7_mcdram(benchmark):
+    result = record(run_once(benchmark, fig7_mcdram))
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for key, row in rows.items():
+        ds, alg, ddr, flat, cache, gain = row
+        # Flat mode always beats plain DDR (paper: 1.2x-1.8x).
+        assert gain > 1.1, key
+        # Cache mode is competitive but never faster than flat
+        # (paper: "slightly slower ... due to data movement overhead").
+        assert flat <= cache <= ddr * 1.05, key
+    # MPS (bandwidth-bound) gains at least as much as BMP (latency-bound)
+    # from the high-bandwidth memory — the paper's headline contrast.
+    for ds in ("tw", "fr"):
+        assert rows[(ds, "MPS")][5] >= rows[(ds, "BMP")][5] * 0.85

@@ -1,0 +1,30 @@
+"""Figure 8: effect of the number of passes (GPU unified memory)."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig8_multipass
+
+
+def test_fig8_multipass(benchmark):
+    result = record(run_once(benchmark, fig8_multipass))
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # TW: fits in memory; adding passes only adds mild re-read overhead
+    # (paper: "elapsed time ... increases slightly").
+    for alg in ("MPS", "BMP"):
+        _, _, est, passes, times, thrash = rows[("tw", alg)]
+        clean = [t for t, th in zip(times, thrash) if not th]
+        assert clean == sorted(clean)
+        assert clean[-1] < clean[0] * 2.5
+
+    # FR/BMP: running below the estimated pass count thrashes the pager
+    # (paper: those runs blow the one-hour limit).
+    _, _, est, passes, times, thrash = rows[("fr", "BMP")]
+    assert est >= 3
+    below = passes.index(1)
+    at_est = min(
+        (i for i, p in enumerate(passes) if p >= est), default=len(passes) - 1
+    )
+    assert thrash[below]
+    assert not thrash[at_est]
+    assert times[below] > 3 * times[at_est]

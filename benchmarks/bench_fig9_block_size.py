@@ -1,0 +1,26 @@
+"""Figure 9: tuning the number of warps per thread block."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import fig9_block_size
+
+
+def test_fig9_block_size(benchmark):
+    result = record(run_once(benchmark, fig9_block_size))
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    for (ds, alg), row in rows.items():
+        warps, times = row[2], row[3]
+        at1 = times[warps.index(1)]
+        at4 = times[warps.index(4)]
+        at32 = times[warps.index(32)]
+        # Going from 1 to 4 warps never hurts (occupancy improves).
+        assert at4 <= at1 * 1.01, (ds, alg)
+        # Beyond 4 warps the curves flatten (paper: "BMP's performance
+        # flattens"); large blocks may gain again via fewer bitmaps.
+        assert at32 <= at4 * 1.15, (ds, alg)
+
+    # FR/BMP: bigger blocks -> fewer bitmaps -> fewer passes -> faster
+    # (paper: 2x at 32 warps over the default).
+    fr_bmp = rows[("fr", "BMP")]
+    assert fr_bmp[3][fr_bmp[2].index(32)] < fr_bmp[3][fr_bmp[2].index(2)]

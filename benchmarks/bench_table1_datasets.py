@@ -1,0 +1,18 @@
+"""Table 1: dataset statistics of the five stand-ins vs the paper."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark):
+    result = record(run_once(benchmark, table1_datasets))
+    rows = result.row_map()
+    # Five datasets, FR the largest by |V| (as in the paper).
+    assert set(rows) == {"lj", "or", "wi", "tw", "fr"}
+    assert rows["fr"][1] == max(r[1] for r in result.rows)
+    # Orkut is the densest (paper: avg d 76.3, ~2.5x the others).
+    assert rows["or"][3] == max(r[3] for r in result.rows)
+    # Stand-ins keep hub structure: WI/TW max degrees dwarf FR's.
+    assert rows["tw"][4] > 10 * rows["fr"][4]
+    assert rows["wi"][4] > 10 * rows["fr"][4]

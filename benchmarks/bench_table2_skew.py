@@ -1,0 +1,16 @@
+"""Table 2: percentage of highly skewed intersections per dataset."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import table2_skew
+
+
+def test_table2_skew(benchmark):
+    result = record(run_once(benchmark, table2_skew))
+    skew = {row[0]: row[1] for row in result.rows}
+    # Paper: WI and TW incur far more skewed intersections than LJ/OR/FR.
+    assert skew["wi"] > skew["tw"] > max(skew["lj"], skew["or"], skew["fr"])
+    # TW lands near the paper's stated 31%.
+    assert 20.0 <= skew["tw"] <= 45.0
+    # FR is near-uniform.
+    assert skew["fr"] < 5.0

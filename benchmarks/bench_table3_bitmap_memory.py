@@ -1,0 +1,18 @@
+"""Table 3: per-thread bitmap memory consumption."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import table3_bitmap_memory
+
+
+def test_table3_bitmap_memory(benchmark):
+    result = record(run_once(benchmark, table3_bitmap_memory))
+    rows = result.row_map()
+    # The bitmap costs exactly |V|/8 bytes (rounded up to words).
+    for ds, row in rows.items():
+        _, n, bitmap_bytes, filter_bytes, _, _ = row
+        assert abs(bitmap_bytes - n / 8) <= 8
+        assert filter_bytes < bitmap_bytes
+    # FR's bitmap is ~3x TW's (paper: 15.6MB vs 5.2MB) — the driver of
+    # the range-filtering and KNL-locality findings.
+    assert rows["fr"][2] > 1.5 * rows["tw"][2]

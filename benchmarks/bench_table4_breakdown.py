@@ -1,0 +1,30 @@
+"""Table 4: cumulative technique breakdown vs the baseline M."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import table4_breakdown
+
+
+def test_table4_breakdown(benchmark):
+    result = record(run_once(benchmark, table4_breakdown))
+    t = {(r[0], r[1], r[2]): r[3] for r in result.rows}
+
+    for ds in ("tw", "fr"):
+        for proc in ("cpu", "knl"):
+            # Each cumulative technique is monotone: V helps MPS, P helps
+            # both, never regressing.
+            assert t[(ds, proc, "MPS+V")] <= t[(ds, proc, "MPS")] * 1.01
+            assert t[(ds, proc, "MPS+V+P")] < t[(ds, proc, "MPS+V")]
+            assert t[(ds, proc, "BMP+P")] < t[(ds, proc, "BMP")]
+
+    # HBW rows exist on the KNL and improve on DDR.
+    for ds in ("tw", "fr"):
+        assert t[(ds, "knl", "MPS+V+P+HBW")] < t[(ds, "knl", "MPS+V+P")]
+
+    # Paper's end state: on TW the CPU's best is BMP-based and the KNL's
+    # best is MPS-based.
+    assert t[("tw", "cpu", "BMP+P+RF")] < t[("tw", "cpu", "MPS+V+P")]
+    assert t[("tw", "knl", "MPS+V+P+HBW")] < t[("tw", "knl", "BMP+P+RF+HBW")]
+    # On FR the KNL's MPS+HBW is the overall champion (paper: 33.9s).
+    fr_all = [v for (ds, p, c), v in t.items() if ds == "fr"]
+    assert t[("fr", "knl", "MPS+V+P+HBW")] == min(fr_all)

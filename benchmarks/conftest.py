@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure through
+:mod:`repro.bench.experiments`, asserts its expected *shape*, prints the
+rendered table, and archives it under ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be refreshed from a run.
+"""
+
+from pathlib import Path
+
+from repro.bench.harness import ExperimentResult, render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(result: ExperimentResult) -> ExperimentResult:
+    """Print and archive an experiment's table; return it for assertions."""
+    text = render_table(result)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    return result
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""A guided tour of the reproduction, section by paper section.
+
+Walks the paper's structure end to end — storage format, the two
+algorithms, the parallel skeleton, the three processor models, and the
+headline evaluation — printing what each stage produces.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import count_common_neighbors, load_dataset, reorder_graph, simulate
+from repro.algorithms import run_bmp_reference, run_mps_reference
+from repro.bench.figures import ascii_bars
+from repro.graph.stats import skew_percentage
+from repro.kernels import (
+    intersect_block_merge,
+    intersect_merge,
+    intersect_pivot_skip,
+)
+from repro.parallel import run_parallel_skeleton
+from repro.types import OpCounts
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 66}\n{title}\n{'=' * 66}")
+
+
+def main() -> None:
+    # ------------------------------------------------------------- §2.1
+    section("§2.1  Storage: CSR + degree-descending reorder")
+    graph = load_dataset("tw", scale=0.3)
+    print(f"twitter stand-in: {graph}")
+    print(f"skewed intersections (ratio > 50): {skew_percentage(graph):.1f}%")
+    rr = reorder_graph(graph)
+    d = rr.graph.degrees
+    print(f"after reorder: degrees non-increasing? {bool(np.all(np.diff(d) <= 0))}")
+
+    # ------------------------------------------------------------- §3.1
+    section("§3.1  MPS: merge, block-wise merge, pivot-skip")
+    hub = rr.graph.neighbors(0)  # the highest-degree vertex
+    leaf = rr.graph.neighbors(rr.graph.num_vertices // 2)
+    print(f"intersecting a hub (d={len(hub)}) with a light vertex (d={len(leaf)}):")
+    for name, fn in [("plain merge (M)", intersect_merge),
+                     ("block-wise (VB)", intersect_block_merge),
+                     ("pivot-skip (PS)", intersect_pivot_skip)]:
+        ops = OpCounts()
+        got = fn(hub, leaf, ops)
+        print(f"  {name:16s} -> count={got}  instructions={ops.total_instructions}")
+    print("PS does orders of magnitude less work on skewed pairs -> DSH.")
+
+    # ------------------------------------------------------------- §3.2
+    section("§3.2  BMP: dynamic bitmap index")
+    ops = OpCounts()
+    run_bmp_reference(rr.graph, counts=ops)
+    m = rr.graph.num_directed_edges
+    print(f"bitmap set ops  : {ops.bitmap_set} (= directed edges {m})")
+    print(f"bitmap flip ops : {ops.bitmap_clear} (amortized O(1) per edge, §3.2)")
+    print(f"bitmap probes   : {ops.bitmap_test} (= Σ min(d_u, d_v))")
+
+    # --------------------------------------------------------------- §4
+    section("§4    Parallel skeleton (Algorithm 3): decomposition invariance")
+    ref = count_common_neighbors(rr.graph).counts
+    for task_size, threads in [(8, 2), (64, 7), (1024, 16)]:
+        stats = run_parallel_skeleton(
+            rr.graph, "bmp", task_size=task_size, num_threads=threads
+        )
+        ok = np.array_equal(stats.counts, ref)
+        print(f"  |T|={task_size:5d} threads={threads:2d}: exact={ok} "
+              f"bitmap rebuilds={stats.bitmap_builds}")
+
+    # --------------------------------------------------------------- §5
+    section("§5    Evaluation: the three processors (modeled)")
+    results = {
+        "CPU-BMP": simulate(rr.graph, "BMP-RF", "cpu").seconds,
+        "KNL-MPS": simulate(rr.graph, "MPS-AVX512", "knl").seconds,
+        "GPU-BMP": simulate(rr.graph, "BMP-RF", "gpu").seconds,
+        "GPU-MPS": simulate(rr.graph, "MPS", "gpu").seconds,
+    }
+    print(ascii_bars(list(results), [v * 1e3 for v in results.values()], unit="ms"))
+    print("\npaper §5.4: on skewed graphs GPU-MPS is the loser (as above);")
+    print("at the full benchmark scale GPU-BMP takes the lead, while at this")
+    print("walkthrough's reduced scale fixed GPU overheads favor the CPU —")
+    print("run `pytest benchmarks/bench_fig10_comparison.py` for the real table.")
+
+    # sanity: MPS reference agrees with everything else
+    assert np.array_equal(run_mps_reference(rr.graph), ref)
+    print("\nwalkthrough complete — every path agrees bit-for-bit.")
+
+
+if __name__ == "__main__":
+    main()

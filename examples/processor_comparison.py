@@ -1,0 +1,51 @@
+"""Reproduce the paper's processor comparison on your own graph.
+
+Runs the modeled CPU / KNL / GPU executions of MPS and BMP (the paper's
+Figure 10 methodology) for every dataset stand-in, prints the league
+table, and shows the `recommend_processor` helper that encodes the
+paper's guidance.
+
+Run:  python examples/processor_comparison.py
+"""
+
+from repro import load_dataset, recommend_processor, simulate
+from repro.graph.datasets import dataset_names
+from repro.graph.stats import skew_percentage
+
+CONFIGS = [
+    ("CPU-MPS", "MPS-AVX2", "cpu", {}),
+    ("CPU-BMP", "BMP-RF", "cpu", {}),
+    ("KNL-MPS", "MPS-AVX512", "knl", {}),
+    ("KNL-BMP", "BMP-RF", "knl", {"threads": 64}),
+    ("GPU-MPS", "MPS", "gpu", {}),
+    ("GPU-BMP", "BMP-RF", "gpu", {}),
+]
+
+
+def main() -> None:
+    header = f"{'dataset':8s} {'skew%':>6s} " + " ".join(f"{n:>9s}" for n, *_ in CONFIGS)
+    print(header)
+    print("-" * len(header))
+
+    for name in dataset_names():
+        graph = load_dataset(name, reordered=True)
+        times = {}
+        for label, algo, proc, extra in CONFIGS:
+            times[label] = simulate(graph, algo, proc, **extra).seconds
+        best = min(times, key=times.get)
+        cells = " ".join(
+            f"{times[label]*1e3:8.2f}{'*' if label == best else ' '}"
+            for label, *_ in CONFIGS
+        )
+        skew = skew_percentage(load_dataset(name))
+        print(f"{name:8s} {skew:6.1f} {cells}   <- best: {best}")
+
+    print("\n(modeled milliseconds at reproduction scale; * marks the winner)")
+    print("\npaper's guidance, as code:")
+    for name in ("tw", "fr"):
+        graph = load_dataset(name)
+        print(f"  recommend_processor({name!r}) -> {recommend_processor(graph)!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""SCAN structural graph clustering on top of the counts.
+
+The SCAN family (SCAN, pSCAN, SCAN-XP — the systems the paper cites as
+its consumers) clusters a graph by edge structural similarity, whose
+bottleneck is exactly the all-edge common neighbor counting this library
+accelerates.
+
+Run:  python examples/structural_clustering.py
+"""
+
+import numpy as np
+
+from repro import count_common_neighbors, load_dataset
+from repro.apps import scan_clustering, structural_similarity
+from repro.graph.generators import planted_partition_graph
+
+
+def main() -> None:
+    size = 25
+    graph = planted_partition_graph(
+        num_communities=6, community_size=size, p_in=0.45, p_out=0.006, seed=3
+    )
+    counts = count_common_neighbors(graph)
+    sims = structural_similarity(counts)
+    print(f"planted-communities graph: {graph}")
+    print(f"edge similarity: min={sims.min():.2f} mean={sims.mean():.2f} max={sims.max():.2f}")
+
+    result = scan_clustering(counts, eps=0.35, mu=4)
+    print(f"\nSCAN(eps=0.35, mu=4): {result.num_clusters} clusters, "
+          f"{len(result.cores)} cores, {len(result.hubs)} hubs, "
+          f"{len(result.outliers)} outliers")
+
+    # How pure are the clusters vs the planted ground truth?
+    truth = np.arange(graph.num_vertices) // size
+    clustered = result.labels >= 0
+    agree = 0
+    for c in range(result.num_clusters):
+        members = np.flatnonzero(result.labels == c)
+        if len(members):
+            agree += np.bincount(truth[members]).max()
+    purity = agree / max(clustered.sum(), 1)
+    print(f"cluster purity vs planted communities: {purity:.1%}")
+
+    # The same pipeline on a realistic dataset stand-in.
+    lj = load_dataset("lj", scale=0.2)
+    lj_counts = count_common_neighbors(lj)
+    lj_result = scan_clustering(lj_counts, eps=0.5, mu=3)
+    print(f"\n{lj}")
+    print(f"SCAN finds {lj_result.num_clusters} clusters, "
+          f"{len(lj_result.hubs)} hubs, {len(lj_result.outliers)} outliers")
+
+
+if __name__ == "__main__":
+    main()

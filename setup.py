@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# setup.py kept for legacy editable installs in offline environments that
+# lack the 'wheel' package required by PEP 660 editable builds.
+setup()

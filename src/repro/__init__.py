@@ -1,0 +1,56 @@
+"""repro — reproduction of "Accelerating All-Edge Common Neighbor Counting
+on Three Processors" (Che, Lai, Sun, Luo, Wang; ICPP 2019).
+
+Quickstart::
+
+    from repro import count_common_neighbors, load_dataset
+
+    graph = load_dataset("tw")            # scaled twitter stand-in
+    counts = count_common_neighbors(graph)
+    print(counts[(0, graph.neighbors(0)[0])], counts.triangle_count())
+
+Package map:
+
+* :mod:`repro.graph` — CSR storage, generators, datasets, reordering;
+* :mod:`repro.kernels` — instrumented set-intersection kernels (merge,
+  pivot-skip, block-wise SIMD merge, bitmap, range filter) + fast paths;
+* :mod:`repro.algorithms` — the paper's M / MPS / BMP algorithms;
+* :mod:`repro.parallel` — tasks, FindSrc, scheduling, multiprocessing;
+* :mod:`repro.simarch` — CPU / KNL / GPU architecture simulator;
+* :mod:`repro.core` — public counting API and verification;
+* :mod:`repro.apps` — SCAN clustering, similarity, recommendation;
+* :mod:`repro.bench` — the per-table/figure experiment harness.
+"""
+
+from repro.version import __version__, PAPER
+from repro.core import (
+    CommonNeighborCounter,
+    EdgeCounts,
+    count_common_neighbors,
+    recommend_processor,
+    verify_counts,
+)
+from repro.graph import CSRGraph, edges_to_csr, csr_from_pairs, reorder_graph
+from repro.graph.datasets import load_dataset, dataset_names
+from repro.algorithms import get_algorithm, algorithm_names
+from repro.simarch import simulate, best_configuration
+
+__all__ = [
+    "__version__",
+    "PAPER",
+    "CommonNeighborCounter",
+    "EdgeCounts",
+    "count_common_neighbors",
+    "recommend_processor",
+    "verify_counts",
+    "CSRGraph",
+    "edges_to_csr",
+    "csr_from_pairs",
+    "reorder_graph",
+    "load_dataset",
+    "dataset_names",
+    "get_algorithm",
+    "algorithm_names",
+    "simulate",
+    "best_configuration",
+]

@@ -1,0 +1,41 @@
+"""Applications built on all-edge common neighbor counts.
+
+These are the downstream consumers the paper motivates: structural
+similarity (§1's similarity queries), SCAN structural clustering (the
+pSCAN / SCAN-XP family the paper cites), and co-purchase recommendation
+(§1's online-shopping example).
+"""
+
+from repro.apps.similarity import structural_similarity, jaccard_similarity
+from repro.apps.scan import scan_clustering, SCANResult
+from repro.apps.recommend import recommend_products
+from repro.apps.linkpred import (
+    adamic_adar_score,
+    common_neighbor_score,
+    common_neighbors_of,
+    predict_links,
+    resource_allocation_score,
+)
+from repro.apps.coefficients import (
+    average_clustering,
+    local_clustering_coefficient,
+    transitivity,
+    triangles_per_vertex,
+)
+
+__all__ = [
+    "structural_similarity",
+    "jaccard_similarity",
+    "scan_clustering",
+    "SCANResult",
+    "recommend_products",
+    "average_clustering",
+    "local_clustering_coefficient",
+    "transitivity",
+    "triangles_per_vertex",
+    "adamic_adar_score",
+    "common_neighbor_score",
+    "common_neighbors_of",
+    "predict_links",
+    "resource_allocation_score",
+]

@@ -1,0 +1,93 @@
+"""Link prediction scores built on neighbor-set intersections.
+
+Friend/product suggestion ranks *non-adjacent* pairs by how many (and
+which) neighbors they share — the same intersections the paper
+accelerates, applied beyond the edge set:
+
+* **common neighbors** — ``|N(u) ∩ N(v)|``;
+* **Adamic-Adar** — ``Σ_{w ∈ N(u) ∩ N(v)} 1 / log d_w`` (down-weights
+  shared hubs);
+* **resource allocation** — ``Σ 1 / d_w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "common_neighbors_of",
+    "common_neighbor_score",
+    "adamic_adar_score",
+    "resource_allocation_score",
+    "predict_links",
+]
+
+
+def common_neighbors_of(graph: CSRGraph, u: int, v: int) -> np.ndarray:
+    """The actual shared-neighbor vertex ids (sorted)."""
+    return np.intersect1d(
+        graph.neighbors(u), graph.neighbors(v), assume_unique=True
+    )
+
+
+def common_neighbor_score(graph: CSRGraph, u: int, v: int) -> float:
+    return float(len(common_neighbors_of(graph, u, v)))
+
+
+def adamic_adar_score(graph: CSRGraph, u: int, v: int) -> float:
+    shared = common_neighbors_of(graph, u, v)
+    if len(shared) == 0:
+        return 0.0
+    d = graph.degrees[shared].astype(np.float64)
+    d = d[d > 1]  # log(1) = 0 would blow up; degree-1 sharers carry no signal
+    if len(d) == 0:
+        return 0.0
+    return float((1.0 / np.log(d)).sum())
+
+
+def resource_allocation_score(graph: CSRGraph, u: int, v: int) -> float:
+    shared = common_neighbors_of(graph, u, v)
+    if len(shared) == 0:
+        return 0.0
+    d = graph.degrees[shared].astype(np.float64)
+    return float((1.0 / np.maximum(d, 1.0)).sum())
+
+
+_SCORES = {
+    "common": common_neighbor_score,
+    "adamic-adar": adamic_adar_score,
+    "resource-allocation": resource_allocation_score,
+}
+
+
+def predict_links(
+    graph: CSRGraph,
+    seed: int,
+    k: int = 10,
+    method: str = "adamic-adar",
+    max_candidates: int = 2000,
+) -> list[tuple[int, float]]:
+    """Top-``k`` non-adjacent two-hop candidates for ``seed``.
+
+    Candidates are vertices reachable in exactly two hops that are not
+    already neighbors; ties broken by vertex id for determinism.
+    """
+    if method not in _SCORES:
+        raise ValueError(f"unknown method {method!r}; choose from {sorted(_SCORES)}")
+    if not 0 <= seed < graph.num_vertices:
+        raise IndexError(f"seed {seed} out of range")
+    score = _SCORES[method]
+
+    existing = set(graph.neighbors(seed).tolist())
+    candidates: set[int] = set()
+    for v in graph.neighbors(seed):
+        candidates.update(graph.neighbors(int(v)).tolist())
+    candidates.discard(seed)
+    candidates -= existing
+    ordered = sorted(candidates)[:max_candidates]
+
+    scored = [(c, score(graph, seed, c)) for c in ordered]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored[:k]

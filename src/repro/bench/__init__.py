@@ -1,0 +1,7 @@
+"""Benchmark harness: experiment definitions and table rendering."""
+
+from repro.bench.harness import ExperimentResult, render_table
+from repro.bench.figures import ascii_bars, ascii_series
+from repro.bench import experiments
+
+__all__ = ["ExperimentResult", "render_table", "ascii_bars", "ascii_series", "experiments"]

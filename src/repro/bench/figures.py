@@ -1,0 +1,65 @@
+"""ASCII rendering of figure-style series (scalability curves, sweeps).
+
+The paper's figures are line/bar charts; for a terminal-first
+reproduction we render the same series as aligned ASCII charts so
+``python -m repro experiment fig5`` shows the curve shapes directly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_series", "ascii_bars"]
+
+
+def ascii_bars(
+    labels: list[str], values: list[float], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(empty)"
+    peak = max(values)
+    lw = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(f"{str(label).ljust(lw)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: list, series: dict[str, list[float]], width: int = 50, height: int = 12
+) -> str:
+    """Multi-series scatter chart over a shared x axis.
+
+    Each series gets a marker letter; points are placed on a
+    ``height × width`` grid scaled to the data range.  Crude, but curve
+    *shapes* (rising, saturating, dipping) read clearly.
+    """
+    if not series:
+        return "(empty)"
+    n = len(x)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length != x length")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGH"
+    for si, (name, ys) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for i, y in enumerate(ys):
+            col = int(round(i * (width - 1) / max(n - 1, 1)))
+            row = height - 1 - int(round((y - y_min) * (height - 1) / span))
+            grid[row][col] = mark
+
+    lines = [f"{y_max:10.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"x: {x[0]} .. {x[-1]}")
+    for si, name in enumerate(series):
+        lines.append(" " * 12 + f"{markers[si % len(markers)]} = {name}")
+    return "\n".join(lines)

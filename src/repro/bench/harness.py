@@ -1,0 +1,65 @@
+"""Experiment result records and plain-text rendering.
+
+Every experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult` whose rows regenerate one of the paper's tables
+or figures; the benchmark suite prints them through
+:func:`render_table` so ``pytest benchmarks/ --benchmark-only -s`` shows
+the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "render_table", "fmt"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment_id: str  # e.g. "table4", "fig10"
+    title: str
+    columns: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+    def row_map(self, key_column: int = 0) -> dict:
+        return {row[key_column]: row for row in self.rows}
+
+
+def fmt(value) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an experiment as an aligned plain-text table."""
+    header = [result.columns]
+    body = [[fmt(c) for c in row] for row in result.rows]
+    widths = [
+        max(len(str(r[i])) for r in header + body)
+        for i in range(len(result.columns))
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(result.columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``       Table 1/2 statistics for a dataset stand-in or edge-list file.
+``count``       Exact all-edge counting (optionally saving the counts).
+``simulate``    Modeled run on one of the paper's three processors.
+``experiment``  Regenerate one paper table/figure (table1..table7, fig3..fig10).
+``recommend``   The paper's processor guidance for a graph.
+``cluster``     SCAN structural clustering on the counts.
+``linkpred``    Link prediction (common neighbors / Adamic-Adar / RA).
+``datasets``    List the bundled dataset stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(spec: str, scale: float, reordered: bool):
+    """A graph argument is either a dataset name or an edge-list path."""
+    from repro.graph.datasets import DATASETS, load_dataset
+    from repro.graph.io import read_edge_list
+    from repro.graph.reorder import reorder_graph
+
+    if spec in DATASETS:
+        return load_dataset(spec, scale=scale, reordered=reordered)
+    graph = read_edge_list(spec)
+    if reordered:
+        graph = reorder_graph(graph).graph
+    return graph
+
+
+def _cmd_stats(args) -> int:
+    from repro.graph.stats import graph_statistics
+
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    s = graph_statistics(graph, args.graph, skew_threshold=args.skew_threshold)
+    print(f"graph            : {args.graph}")
+    print(f"|V|              : {s.num_vertices}")
+    print(f"|E| (undirected) : {s.num_edges}")
+    print(f"average degree   : {s.average_degree:.2f}")
+    print(f"max degree       : {s.max_degree}")
+    print(
+        f"skewed edges     : {s.skew_percentage:.1f}% "
+        f"(degree ratio > {args.skew_threshold:g})"
+    )
+    return 0
+
+
+def _cmd_count(args) -> int:
+    from repro.core import count_common_neighbors, verify_counts
+
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    result = count_common_neighbors(
+        graph, algorithm=args.algorithm, backend=args.backend
+    )
+    if args.verify:
+        verify_counts(result)
+        print("verification     : passed")
+    print(f"graph            : {graph}")
+    print(f"triangles        : {result.triangle_count()}")
+    print("top edges (u, v, common neighbors):")
+    for u, v, c in result.top_edges(args.top):
+        print(f"  ({u}, {v})  {c}")
+    if args.output:
+        np.savez_compressed(args.output, counts=result.counts)
+        print(f"counts saved     : {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.simarch import simulate
+    from repro.simarch.report import format_sim_result
+
+    graph = _load_graph(args.graph, args.scale, reordered=True)
+    result = simulate(
+        graph,
+        args.algorithm,
+        args.processor,
+        threads=args.threads,
+        mcdram_mode=args.mcdram,
+        warps_per_block=args.warps,
+        passes=args.passes,
+    )
+    print(format_sim_result(result))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.bench import experiments
+    from repro.bench.harness import render_table
+
+    registry = {
+        "table1": experiments.table1_datasets,
+        "table2": experiments.table2_skew,
+        "table3": experiments.table3_bitmap_memory,
+        "table4": experiments.table4_breakdown,
+        "table5": experiments.table5_coprocessing,
+        "table6": experiments.table6_memory_passes,
+        "table7": experiments.table7_gpu_rf,
+        "fig3": experiments.fig3_skew_handling,
+        "fig4": experiments.fig4_vectorization,
+        "fig5": experiments.fig5_scalability,
+        "fig6": experiments.fig6_range_filtering,
+        "fig7": experiments.fig7_mcdram,
+        "fig8": experiments.fig8_multipass,
+        "fig9": experiments.fig9_block_size,
+        "fig10": experiments.fig10_comparison,
+    }
+    if args.id == "list":
+        print("\n".join(sorted(registry)))
+        return 0
+    if args.id not in registry:
+        print(f"unknown experiment {args.id!r}; try 'experiment list'", file=sys.stderr)
+        return 2
+    result = registry[args.id](scale=args.scale)
+    print(render_table(result))
+    if args.chart:
+        _print_charts(result)
+    return 0
+
+
+def _print_charts(result) -> None:
+    """Render figure-style series as ASCII charts when the rows carry
+    (x-list, y-list) columns (fig5, fig8, fig9)."""
+    from repro.bench.figures import ascii_series
+
+    series_specs = {
+        "fig5": (3, 4, ("dataset", "proc", "algorithm")),   # threads, speedups
+        "fig8": (3, 4, ("dataset", "algorithm")),            # passes, seconds
+        "fig9": (2, 3, ("dataset", "algorithm")),            # warps, seconds
+    }
+    spec = series_specs.get(result.experiment_id)
+    if spec is None:
+        return
+    x_col, y_col, key_cols = spec
+    groups: dict[tuple, dict[str, list]] = {}
+    for row in result.rows:
+        x = tuple(row[x_col])
+        label = "-".join(str(row[result.columns.index(c)]) for c in key_cols[1:])
+        key = (row[0], x)
+        groups.setdefault(key, {})[label] = row[y_col]
+    for (ds, x), series in groups.items():
+        print(f"\n[{result.experiment_id}] {ds}")
+        print(ascii_series(list(x), series))
+
+
+def _cmd_cluster(args) -> int:
+    from repro.apps import scan_clustering
+    from repro.core import count_common_neighbors
+
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    counts = count_common_neighbors(graph)
+    result = scan_clustering(counts, eps=args.eps, mu=args.mu)
+    print(f"graph     : {graph}")
+    print(f"SCAN(eps={args.eps:g}, mu={args.mu})")
+    print(f"clusters  : {result.num_clusters}")
+    print(f"cores     : {len(result.cores)}")
+    print(f"hubs      : {len(result.hubs)}")
+    print(f"outliers  : {len(result.outliers)}")
+    import numpy as np
+
+    if result.num_clusters:
+        sizes = np.bincount(result.labels[result.labels >= 0])
+        shown = ", ".join(map(str, sorted(sizes.tolist(), reverse=True)[:10]))
+        print(f"sizes     : {shown}{' ...' if result.num_clusters > 10 else ''}")
+    return 0
+
+
+def _cmd_linkpred(args) -> int:
+    from repro.apps import predict_links
+
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    seed = args.vertex if args.vertex is not None else int(graph.degrees.argmax())
+    preds = predict_links(graph, seed, k=args.top, method=args.method)
+    print(f"graph     : {graph}")
+    print(f"candidate links for vertex {seed} ({args.method}):")
+    if not preds:
+        print("  (no two-hop candidates)")
+    for cand, score in preds:
+        print(f"  {cand:8d}  score={score:.4f}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.core import recommend_processor
+    from repro.graph.stats import skew_percentage
+
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    proc = recommend_processor(graph)
+    algo = "BMP" if proc == "gpu" else "MPS"
+    print(
+        f"{args.graph}: {skew_percentage(graph):.1f}% skewed intersections "
+        f"-> run {algo} on the {proc.upper()} (paper §5.3)"
+    )
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.graph.datasets import DATASETS
+
+    for name, spec in DATASETS.items():
+        p = spec.paper_stats()
+        print(
+            f"{name:4s} {spec.full_name:28s} paper: |V|={p['V']:>12,} "
+            f"|E|={p['E']:>14,}  {spec.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="All-edge common neighbor counting (ICPP 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument("graph", help="dataset name (lj/or/wi/tw/fr) or edge-list path")
+        p.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+
+    p = sub.add_parser("stats", help="graph statistics (Tables 1-2)")
+    add_graph_args(p)
+    p.add_argument("--skew-threshold", type=float, default=50.0)
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("count", help="exact all-edge counting")
+    add_graph_args(p)
+    p.add_argument("--algorithm", default="auto")
+    p.add_argument("--backend", default="auto", choices=["auto", "matmul", "bitmap", "merge", "parallel"])
+    p.add_argument("--top", type=int, default=5, help="print the k hottest edges")
+    p.add_argument("--verify", action="store_true", help="verify against a reference")
+    p.add_argument("--output", help="save counts to a .npz file")
+    p.set_defaults(fn=_cmd_count)
+
+    p = sub.add_parser("simulate", help="modeled run on cpu/knl/gpu")
+    add_graph_args(p)
+    p.add_argument("--algorithm", default="BMP-RF")
+    p.add_argument("--processor", default="cpu", choices=["cpu", "knl", "gpu"])
+    p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--mcdram", default="flat", choices=["ddr", "flat", "cache"])
+    p.add_argument("--warps", type=int, default=4, help="warps per GPU thread block")
+    p.add_argument("--passes", type=int, default=None, help="GPU multi-pass count")
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="table1..table7, fig3..fig10, or 'list'")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--chart", action="store_true", help="also render ASCII charts (fig5/fig8/fig9)")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("recommend", help="processor guidance for a graph")
+    add_graph_args(p)
+    p.set_defaults(fn=_cmd_recommend)
+
+    p = sub.add_parser("cluster", help="SCAN structural clustering")
+    add_graph_args(p)
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--mu", type=int, default=3)
+    p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser("linkpred", help="link prediction for one vertex")
+    add_graph_args(p)
+    p.add_argument("--vertex", type=int, default=None, help="default: highest degree")
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--method", default="adamic-adar",
+                   choices=["common", "adamic-adar", "resource-allocation"])
+    p.set_defaults(fn=_cmd_linkpred)
+
+    p = sub.add_parser("datasets", help="list bundled dataset stand-ins")
+    p.set_defaults(fn=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

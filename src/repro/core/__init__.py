@@ -1,0 +1,20 @@
+"""Core public API: counting, results, verification."""
+
+from repro.core.api import (
+    CommonNeighborCounter,
+    count_common_neighbors,
+    count_pairs,
+    recommend_processor,
+)
+from repro.core.result import EdgeCounts
+from repro.core.verify import verify_counts, brute_force_counts
+
+__all__ = [
+    "CommonNeighborCounter",
+    "count_common_neighbors",
+    "count_pairs",
+    "recommend_processor",
+    "EdgeCounts",
+    "verify_counts",
+    "brute_force_counts",
+]

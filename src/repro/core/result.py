@@ -1,0 +1,100 @@
+"""Result wrapper: per-edge common neighbor counts with convenient lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["EdgeCounts"]
+
+
+class EdgeCounts:
+    """All-edge common neighbor counts, aligned with ``graph.dst``.
+
+    ``counts[i]`` is ``cnt[e(u, v)]`` for edge offset ``i``; both
+    directions of every edge carry the same value (symmetric assignment).
+    """
+
+    __slots__ = ("graph", "counts")
+
+    def __init__(self, graph: CSRGraph, counts: np.ndarray):
+        counts = np.asarray(counts)
+        if counts.shape != (graph.num_directed_edges,):
+            raise ValueError(
+                f"counts must align with dst: {counts.shape} != "
+                f"({graph.num_directed_edges},)"
+            )
+        self.graph = graph
+        self.counts = counts
+
+    def __getitem__(self, edge: tuple[int, int]) -> int:
+        """``counts[u, v]`` — count for the edge ``(u, v)``."""
+        u, v = edge
+        return int(self.counts[self.graph.edge_offset(u, v)])
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def triangle_count(self) -> int:
+        """Total triangles: the sum over all directed edges divided by 6."""
+        return int(self.counts.sum()) // 6
+
+    def per_vertex_sum(self) -> np.ndarray:
+        """Sum of counts over each vertex's incident edges."""
+        src = self.graph.edge_sources()
+        return np.bincount(
+            src, weights=self.counts, minlength=self.graph.num_vertices
+        ).astype(np.int64)
+
+    def top_edges(self, k: int = 10) -> list[tuple[int, int, int]]:
+        """The ``k`` edges with the highest counts, as ``(u, v, cnt)``.
+
+        Only ``u < v`` orientations are reported (each edge once).
+        """
+        src = self.graph.edge_sources()
+        upper = np.flatnonzero(src < self.graph.dst)
+        order = upper[np.argsort(self.counts[upper], kind="stable")[::-1][:k]]
+        return [
+            (int(src[i]), int(self.graph.dst[i]), int(self.counts[i]))
+            for i in order
+        ]
+
+    def is_symmetric(self) -> bool:
+        """Check ``cnt[e(u,v)] == cnt[e(v,u)]`` for all edges."""
+        from repro.kernels.batch import reverse_edge_offsets
+
+        rev = reverse_edge_offsets(self.graph)
+        return bool(np.array_equal(self.counts, self.counts[rev]))
+
+    def histogram(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(count_values, edge_frequencies)`` over undirected edges."""
+        src = self.graph.edge_sources()
+        upper = self.counts[src < self.graph.dst]
+        values, freq = np.unique(upper, return_counts=True)
+        return values.astype(np.int64), freq.astype(np.int64)
+
+    def save(self, path) -> None:
+        """Persist counts plus a graph fingerprint to ``.npz``."""
+        np.savez_compressed(
+            path,
+            counts=self.counts,
+            num_vertices=self.graph.num_vertices,
+            num_directed_edges=self.graph.num_directed_edges,
+        )
+
+    @classmethod
+    def load(cls, graph: CSRGraph, path) -> "EdgeCounts":
+        """Load counts saved by :meth:`save`, checking the fingerprint."""
+        with np.load(path) as data:
+            if int(data["num_vertices"]) != graph.num_vertices or int(
+                data["num_directed_edges"]
+            ) != graph.num_directed_edges:
+                raise ValueError(f"{path} was saved for a different graph")
+            return cls(graph, data["counts"])
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeCounts(|E|={self.graph.num_edges}, "
+            f"triangles={self.triangle_count()})"
+        )

@@ -1,0 +1,60 @@
+"""Verification of computed counts against independent references."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import EdgeCounts
+from repro.errors import VerificationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["brute_force_counts", "verify_counts"]
+
+
+def brute_force_counts(graph: CSRGraph) -> np.ndarray:
+    """O(|E| · d_max) reference: Python-set intersection per edge."""
+    neighbor_sets = [set(graph.neighbors(u).tolist()) for u in range(graph.num_vertices)]
+    src = graph.edge_sources()
+    counts = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    for eo in range(graph.num_directed_edges):
+        u = int(src[eo])
+        v = int(graph.dst[eo])
+        counts[eo] = len(neighbor_sets[u] & neighbor_sets[v])
+    return counts
+
+
+def verify_counts(result: EdgeCounts, *, against: str = "auto") -> None:
+    """Raise :class:`VerificationError` unless the counts are correct.
+
+    ``against``:
+
+    * ``"brute"`` — per-edge Python set intersections (small graphs);
+    * ``"networkx"`` — triangle-count identity ``Σcnt / 6 == #triangles``;
+    * ``"auto"`` — brute force below 20k directed edges, networkx above.
+    """
+    graph = result.graph
+    if not result.is_symmetric():
+        raise VerificationError("counts are not symmetric across edge directions")
+
+    if against == "auto":
+        against = "brute" if graph.num_directed_edges <= 20_000 else "networkx"
+
+    if against == "brute":
+        expected = brute_force_counts(graph)
+        if not np.array_equal(result.counts, expected):
+            bad = int(np.flatnonzero(result.counts != expected)[0])
+            raise VerificationError(
+                f"count mismatch at edge offset {bad}: "
+                f"got {result.counts[bad]}, expected {expected[bad]}"
+            )
+    elif against == "networkx":
+        import networkx as nx
+
+        triangles = sum(nx.triangles(graph.to_networkx()).values()) // 3
+        if result.triangle_count() != triangles:
+            raise VerificationError(
+                f"triangle identity failed: Σcnt/6 = {result.triangle_count()}, "
+                f"networkx says {triangles}"
+            )
+    else:
+        raise ValueError(f"unknown reference {against!r}")

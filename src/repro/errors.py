@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this package derive from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph violates a structural invariant (CSR layout, sortedness...)."""
+
+
+class EdgeNotFoundError(ReproError, KeyError):
+    """An edge-offset lookup ``e(u, v)`` was requested for a missing edge."""
+
+    def __init__(self, u: int, v: int):
+        super().__init__(f"edge ({u}, {v}) not present in graph")
+        self.u = u
+        self.v = v
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was misconfigured or received invalid input."""
+
+
+class UnknownAlgorithmError(AlgorithmError, KeyError):
+    """Requested algorithm name is not registered."""
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        super().__init__(f"unknown algorithm {name!r}; known: {', '.join(known)}")
+        self.name = name
+        self.known = known
+
+
+class SimulationError(ReproError):
+    """The architecture simulator was given inconsistent parameters."""
+
+
+class CapacityError(SimulationError):
+    """A simulated memory allocation exceeds the device capacity."""
+
+
+class VerificationError(ReproError):
+    """Computed counts failed verification against a reference."""

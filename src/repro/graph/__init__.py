@@ -1,0 +1,41 @@
+"""Graph substrate: CSR storage, construction, reordering, generators, I/O."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.build import edges_to_csr, csr_from_pairs, csr_to_undirected_pairs
+from repro.graph.reorder import degree_descending_order, reorder_graph, ReorderResult
+from repro.graph.validate import validate_csr
+from repro.graph.stats import graph_statistics, skew_percentage, GraphStatistics
+from repro.graph.degrees import (
+    degree_histogram,
+    degree_ccdf,
+    hill_tail_exponent,
+    gini_coefficient,
+)
+from repro.graph.sample import (
+    induced_subgraph,
+    ego_network,
+    sample_edges,
+    largest_degree_core,
+)
+
+__all__ = [
+    "CSRGraph",
+    "edges_to_csr",
+    "csr_from_pairs",
+    "csr_to_undirected_pairs",
+    "degree_descending_order",
+    "reorder_graph",
+    "ReorderResult",
+    "validate_csr",
+    "graph_statistics",
+    "skew_percentage",
+    "GraphStatistics",
+    "degree_histogram",
+    "degree_ccdf",
+    "hill_tail_exponent",
+    "gini_coefficient",
+    "induced_subgraph",
+    "ego_network",
+    "sample_edges",
+    "largest_degree_core",
+]

@@ -1,0 +1,177 @@
+"""Compressed Sparse Row (CSR) undirected graph storage.
+
+The paper (§2.1) stores the graph as an *offset* array ``off`` and a
+*neighbor* array ``dst``: the neighbors of vertex ``u`` occupy
+``dst[off[u] : off[u+1]]`` and are sorted ascending.  Both directions of
+every undirected edge are stored, so ``len(dst) == 2·|E_undirected|`` and an
+*edge offset* ``e(u, v)`` — the position of ``v`` inside ``u``'s adjacency
+list — identifies one direction of one edge.  The all-edge common neighbor
+counts are stored in an array aligned with ``dst``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EdgeNotFoundError, GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+OFFSET_DTYPE = np.int64
+VERTEX_DTYPE = np.int32
+
+
+class CSRGraph:
+    """Immutable undirected graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        ``int64`` array of length ``num_vertices + 1``; monotonically
+        non-decreasing, ``offsets[0] == 0``, ``offsets[-1] == len(dst)``.
+    dst:
+        ``int32`` array of neighbor vertex ids; each adjacency list is
+        strictly ascending (sorted, no duplicates).
+    validate:
+        When true (default), structural invariants are checked eagerly.
+    """
+
+    __slots__ = ("offsets", "dst", "_degrees")
+
+    def __init__(self, offsets: np.ndarray, dst: np.ndarray, *, validate: bool = True):
+        self.offsets = np.ascontiguousarray(offsets, dtype=OFFSET_DTYPE)
+        self.dst = np.ascontiguousarray(dst, dtype=VERTEX_DTYPE)
+        self._degrees: np.ndarray | None = None
+        if validate:
+            from repro.graph.validate import validate_csr
+
+            validate_csr(self)
+
+    # ------------------------------------------------------------------ #
+    # basic size accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored (directed) adjacency entries, ``2·|E|``."""
+        return len(self.dst)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self.dst) // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        if self._degrees is None:
+            self._degrees = np.diff(self.offsets)
+        return self._degrees
+
+    def degree(self, u: int) -> int:
+        return int(self.offsets[u + 1] - self.offsets[u])
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max(initial=0))
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_directed_edges / self.num_vertices
+
+    # ------------------------------------------------------------------ #
+    # adjacency access
+    # ------------------------------------------------------------------ #
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbor array of ``u`` (a view, do not mutate)."""
+        return self.dst[self.offsets[u] : self.offsets[u + 1]]
+
+    def neighbor_range(self, u: int) -> tuple[int, int]:
+        """Half-open offset range ``[off[u], off[u+1])`` of ``u``'s list."""
+        return int(self.offsets[u]), int(self.offsets[u + 1])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return i < len(nbrs) and nbrs[i] == v
+
+    def edge_offset(self, u: int, v: int) -> int:
+        """Return ``e(u, v)``: position of ``v`` inside ``u``'s list.
+
+        Raises :class:`EdgeNotFoundError` when the edge does not exist.
+        """
+        lo, hi = self.neighbor_range(u)
+        i = int(np.searchsorted(self.dst[lo:hi], v))
+        if i >= hi - lo or self.dst[lo + i] != v:
+            raise EdgeNotFoundError(int(u), int(v))
+        return lo + i
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every edge offset (materialized; ``len(dst)``)."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.degrees
+        )
+
+    def source_of(self, edge_offset: int) -> int:
+        """Source vertex ``u`` for an edge offset ``e(u, v)``.
+
+        This is the *naive* lookup of the paper's ``FindSrc`` (Algorithm 3):
+        the last vertex whose offset range starts at or before the target.
+        Zero-degree vertices share their start offset with the next vertex;
+        ``searchsorted(..., side="right") - 1`` lands on the last of the
+        run, which is the unique vertex with a non-empty range.
+        """
+        if not 0 <= edge_offset < self.num_directed_edges:
+            raise IndexError(f"edge offset {edge_offset} out of range")
+        u = int(np.searchsorted(self.offsets, edge_offset, side="right")) - 1
+        return u
+
+    def reverse_edge_offset(self, edge_offset: int) -> int:
+        """Return ``e(v, u)`` given ``e(u, v)`` (binary search on N(v))."""
+        u = self.source_of(edge_offset)
+        v = int(self.dst[edge_offset])
+        return self.edge_offset(v, u)
+
+    # ------------------------------------------------------------------ #
+    # bulk views
+    # ------------------------------------------------------------------ #
+    def directed_edge_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` arrays over all stored directions."""
+        return self.edge_sources(), self.dst.copy()
+
+    def memory_bytes(self) -> int:
+        """Bytes used by the CSR arrays (offsets + dst)."""
+        return self.offsets.nbytes + self.dst.nbytes
+
+    # ------------------------------------------------------------------ #
+    # conversions / dunder
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        src = self.edge_sources()
+        mask = src < self.dst
+        g.add_edges_from(zip(src[mask].tolist(), self.dst[mask].tolist()))
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+            self.dst, other.dst
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"avg_d={self.average_degree:.1f}, max_d={self.max_degree})"
+        )

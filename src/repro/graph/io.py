@@ -1,0 +1,138 @@
+"""Graph I/O: SNAP-style edge-list text and binary ``.npz`` CSR files.
+
+The paper loads SNAP / WebGraph datasets from disk and measures in-memory
+time only; this module provides the equivalent loading path for our
+stand-ins and any user-supplied edge lists.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import edges_to_csr
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_csr",
+    "load_csr",
+    "save_paper_binary",
+    "load_paper_binary",
+]
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    *,
+    comments: str = "#",
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Read a whitespace-separated edge list (SNAP text format).
+
+    Lines starting with ``comments`` are skipped.  Each data line must have
+    at least two integer columns ``u v``; extra columns (weights) are
+    ignored.  Paths ending in ``.gz`` are decompressed transparently (SNAP
+    distributes its datasets gzipped).  The result is symmetrized and
+    deduplicated.
+    """
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id in {line!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise GraphFormatError(f"{path}:{lineno}: negative vertex id")
+            src_list.append(u)
+            dst_list.append(v)
+    src = np.array(src_list, dtype=np.int64)
+    dst = np.array(dst_list, dtype=np.int64)
+    return edges_to_csr(src, dst, num_vertices)
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the undirected edges (``u < v``) as SNAP text."""
+    from repro.graph.build import csr_to_undirected_pairs
+
+    u, v = csr_to_undirected_pairs(graph)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# Undirected graph: |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        np.savetxt(fh, np.column_stack([u, v]), fmt="%d")
+
+
+def save_csr(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(path, offsets=graph.offsets, dst=graph.dst)
+
+
+def load_csr(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_csr`."""
+    with np.load(path) as data:
+        if "offsets" not in data or "dst" not in data:
+            raise GraphFormatError(f"{path}: missing 'offsets'/'dst' arrays")
+        return CSRGraph(data["offsets"], data["dst"])
+
+
+def save_paper_binary(graph: CSRGraph, directory: str | os.PathLike) -> None:
+    """Write the binary layout the paper's released code consumes.
+
+    The authors' preprocessing produces two little-endian files:
+
+    * ``b_degree.bin`` — int32 header ``[int_size, |V|, 2|E|]`` followed by
+      the int32 degree of every vertex;
+    * ``b_adj.bin`` — the int32 neighbor array (CSR ``dst``).
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    degrees = np.diff(graph.offsets).astype(np.int32)
+    header = np.array(
+        [4, graph.num_vertices, graph.num_directed_edges], dtype=np.int32
+    )
+    with open(os.path.join(directory, "b_degree.bin"), "wb") as fh:
+        header.tofile(fh)
+        degrees.tofile(fh)
+    with open(os.path.join(directory, "b_adj.bin"), "wb") as fh:
+        graph.dst.astype(np.int32).tofile(fh)
+
+
+def load_paper_binary(directory: str | os.PathLike) -> CSRGraph:
+    """Read the ``b_degree.bin`` + ``b_adj.bin`` layout back into a CSR."""
+    directory = os.fspath(directory)
+    deg_path = os.path.join(directory, "b_degree.bin")
+    adj_path = os.path.join(directory, "b_adj.bin")
+    with open(deg_path, "rb") as fh:
+        header = np.fromfile(fh, dtype=np.int32, count=3)
+        if len(header) != 3:
+            raise GraphFormatError(f"{deg_path}: truncated header")
+        int_size, n, m = (int(x) for x in header)
+        if int_size != 4:
+            raise GraphFormatError(f"{deg_path}: unsupported int size {int_size}")
+        degrees = np.fromfile(fh, dtype=np.int32, count=n)
+    if len(degrees) != n:
+        raise GraphFormatError(f"{deg_path}: expected {n} degrees")
+    if degrees.sum() != m:
+        raise GraphFormatError(
+            f"{deg_path}: degree sum {degrees.sum()} != edge count {m}"
+        )
+    dst = np.fromfile(adj_path, dtype=np.int32)
+    if len(dst) != m:
+        raise GraphFormatError(f"{adj_path}: expected {m} neighbors, got {len(dst)}")
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    return CSRGraph(offsets, dst)

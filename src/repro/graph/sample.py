@@ -1,0 +1,76 @@
+"""Graph sampling utilities: subgraphs, ego networks, edge samples.
+
+Used by the trace-driven cache experiments (which replay *sampled* kernel
+executions) and handy for downsizing user graphs to test-scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import csr_to_undirected_pairs, edges_to_csr
+from repro.graph.csr import CSRGraph
+
+__all__ = ["induced_subgraph", "ego_network", "sample_edges", "largest_degree_core"]
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices``; ids are compacted to ``[0, k)``.
+
+    Returns ``(subgraph, old_ids)`` where ``old_ids[new]`` maps back.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if len(vertices) and (
+        vertices[0] < 0 or vertices[-1] >= graph.num_vertices
+    ):
+        raise IndexError("vertices out of range")
+    new_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(len(vertices))
+    u, v = csr_to_undirected_pairs(graph)
+    keep = (new_id[u] >= 0) & (new_id[v] >= 0)
+    sub = edges_to_csr(new_id[u[keep]], new_id[v[keep]], len(vertices))
+    return sub, vertices
+
+
+def ego_network(graph: CSRGraph, center: int, radius: int = 1):
+    """Induced subgraph of everything within ``radius`` hops of ``center``."""
+    if not 0 <= center < graph.num_vertices:
+        raise IndexError("center out of range")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    frontier = {center}
+    seen = {center}
+    for _ in range(radius):
+        nxt = set()
+        for u in frontier:
+            nxt.update(graph.neighbors(u).tolist())
+        frontier = nxt - seen
+        seen |= nxt
+    return induced_subgraph(graph, np.fromiter(seen, dtype=np.int64))
+
+
+def sample_edges(
+    graph: CSRGraph, k: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """``k`` distinct undirected edges sampled uniformly, as (u, v) arrays."""
+    u, v = csr_to_undirected_pairs(graph)
+    if k > len(u):
+        raise ValueError(f"cannot sample {k} of {len(u)} edges")
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(u), size=k, replace=False)
+    return u[idx], v[idx]
+
+
+def largest_degree_core(graph: CSRGraph, k: int) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph of the ``k`` highest-degree vertices.
+
+    The hub core is where the paper's skewed intersections live; this
+    extracts it for focused micro-experiments.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, graph.num_vertices)
+    top = np.argsort(-graph.degrees, kind="stable")[:k]
+    return induced_subgraph(graph, top)

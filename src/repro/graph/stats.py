@@ -1,0 +1,76 @@
+"""Dataset statistics: Table 1 (sizes/degrees) and Table 2 (skew %).
+
+Table 2 reports, over all intersections performed for edges ``(u, v)`` with
+``u < v``, the percentage that are *highly skewed*: ``max(d_u, d_v) /
+min(d_u, d_v) > 50``.  The same ratio (threshold ``t``) controls the
+VB-vs-PS dispatch inside MPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.build import csr_to_undirected_pairs
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphStatistics", "graph_statistics", "skew_percentage", "skew_ratios"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Row of the paper's Table 1 plus the Table 2 skew percentage."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    skew_percentage: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            round(self.average_degree, 1),
+            self.max_degree,
+            f"{self.skew_percentage:.0f}%",
+        )
+
+
+def skew_ratios(graph: CSRGraph) -> np.ndarray:
+    """Degree-skew ratio ``max(d_u,d_v)/min(d_u,d_v)`` per undirected edge."""
+    u, v = csr_to_undirected_pairs(graph)
+    if len(u) == 0:
+        return np.empty(0, dtype=np.float64)
+    d = graph.degrees
+    du = d[u].astype(np.float64)
+    dv = d[v].astype(np.float64)
+    hi = np.maximum(du, dv)
+    lo = np.minimum(du, dv)
+    # Every endpoint of a stored edge has degree >= 1, so lo >= 1.
+    return hi / lo
+
+
+def skew_percentage(graph: CSRGraph, threshold: float = 50.0) -> float:
+    """Percentage of undirected edges whose skew ratio exceeds ``threshold``."""
+    ratios = skew_ratios(graph)
+    if len(ratios) == 0:
+        return 0.0
+    return float(100.0 * np.count_nonzero(ratios > threshold) / len(ratios))
+
+
+def graph_statistics(
+    graph: CSRGraph, name: str = "", skew_threshold: float = 50.0
+) -> GraphStatistics:
+    """Compute the Table 1 + Table 2 statistics for one graph."""
+    return GraphStatistics(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree,
+        max_degree=graph.max_degree,
+        skew_percentage=skew_percentage(graph, skew_threshold),
+    )

@@ -1,0 +1,73 @@
+"""Structural validation of CSR graphs.
+
+These checks guard every loader and generator: the counting kernels assume
+sorted, duplicate-free adjacency lists and a symmetric edge set, and
+silently produce wrong counts when the assumptions break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["validate_csr", "check_symmetric"]
+
+
+def validate_csr(graph) -> None:
+    """Validate CSR layout invariants; raise :class:`GraphFormatError`.
+
+    Checks (paper §2.1 storage format):
+
+    * ``offsets`` starts at 0, ends at ``len(dst)``, non-decreasing;
+    * every neighbor id lies in ``[0, |V|)``;
+    * each adjacency list is strictly ascending (sorted, no duplicates);
+    * no self-loops.
+    """
+    offsets, dst = graph.offsets, graph.dst
+    if offsets.ndim != 1 or dst.ndim != 1:
+        raise GraphFormatError("offsets and dst must be 1-D arrays")
+    if len(offsets) == 0:
+        raise GraphFormatError("offsets must have at least one entry")
+    if offsets[0] != 0:
+        raise GraphFormatError(f"offsets[0] must be 0, got {offsets[0]}")
+    if offsets[-1] != len(dst):
+        raise GraphFormatError(
+            f"offsets[-1] ({offsets[-1]}) must equal len(dst) ({len(dst)})"
+        )
+    if len(offsets) > 1 and np.any(np.diff(offsets) < 0):
+        raise GraphFormatError("offsets must be non-decreasing")
+
+    n = len(offsets) - 1
+    if len(dst) > 0:
+        if dst.min() < 0 or dst.max() >= n:
+            raise GraphFormatError("neighbor ids out of range [0, |V|)")
+
+        # Strictly ascending within each row: dst[i] < dst[i+1] except at
+        # row boundaries.  Row starts are offsets[1:-1].
+        interior = np.ones(len(dst) - 1, dtype=bool) if len(dst) > 1 else None
+        if interior is not None:
+            boundary = offsets[1:-1]
+            boundary = boundary[(boundary > 0) & (boundary < len(dst))]
+            interior[boundary - 1] = False
+            bad = (np.diff(dst) <= 0) & interior
+            if bad.any():
+                pos = int(np.flatnonzero(bad)[0])
+                raise GraphFormatError(
+                    f"adjacency list not strictly ascending at dst[{pos}]"
+                )
+
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+        if np.any(src == dst):
+            raise GraphFormatError("self-loops are not allowed")
+
+
+def check_symmetric(graph) -> None:
+    """Verify every stored edge has its reverse stored too."""
+    src = graph.edge_sources().astype(np.int64)
+    dst = graph.dst.astype(np.int64)
+    n = graph.num_vertices
+    forward = src * n + dst
+    backward = dst * n + src
+    if not np.array_equal(np.sort(forward), np.sort(backward)):
+        raise GraphFormatError("edge set is not symmetric")

@@ -1,0 +1,47 @@
+"""Set-intersection kernels: instrumented scalar references and fast paths.
+
+Layer map (paper §3):
+
+* :mod:`repro.kernels.lowerbound` — binary / galloping / vectorized-linear
+  lower-bound searches used by pivot-skip.
+* :mod:`repro.kernels.merge` — ``IntersectM``, the plain merge baseline.
+* :mod:`repro.kernels.pivotskip` — ``IntersectPS`` for degree-skewed pairs.
+* :mod:`repro.kernels.blockmerge` — the vectorized block-wise merge (VB),
+  lane-width parameterized (8 = AVX2, 16 = AVX-512, 32 = one GPU warp).
+* :mod:`repro.kernels.bitmap` — word-packed bitmap + ``IntersectBMP``.
+* :mod:`repro.kernels.rangefilter` — two-level (range-filtered) bitmap.
+* :mod:`repro.kernels.batch` — NumPy/SciPy production paths that compute
+  all-edge counts fast (used for results; validated against the scalar
+  kernels and networkx).
+* :mod:`repro.kernels.costmodel` — vectorized per-edge operation estimates
+  feeding the architecture simulator.
+
+Every scalar kernel optionally fills an :class:`repro.types.OpCounts`.
+"""
+
+from repro.kernels.lowerbound import (
+    binary_lower_bound,
+    galloping_lower_bound,
+    hybrid_lower_bound,
+)
+from repro.kernels.merge import intersect_merge
+from repro.kernels.pivotskip import intersect_pivot_skip
+from repro.kernels.blockmerge import intersect_block_merge
+from repro.kernels.bitmap import Bitmap, intersect_bitmap
+from repro.kernels.rangefilter import RangeFilteredBitmap, intersect_range_filtered
+from repro.kernels.sparsebitmap import SparseBitmap, intersect_sparse
+
+__all__ = [
+    "SparseBitmap",
+    "intersect_sparse",
+    "binary_lower_bound",
+    "galloping_lower_bound",
+    "hybrid_lower_bound",
+    "intersect_merge",
+    "intersect_pivot_skip",
+    "intersect_block_merge",
+    "Bitmap",
+    "intersect_bitmap",
+    "RangeFilteredBitmap",
+    "intersect_range_filtered",
+]

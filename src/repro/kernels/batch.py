@@ -1,0 +1,177 @@
+"""Production all-edge counting paths (exact, vectorized).
+
+Three independent implementations of the same result — the common neighbor
+count for every directed edge offset, aligned with ``graph.dst``:
+
+* :func:`count_all_edges_bitmap` — the paper's BMP structure, vectorized
+  per vertex: build a boolean mark array over ``N(u)``, gather all
+  neighbors-of-neighbors in one shot, segment-reduce.  This is the
+  "paper-faithful" production path.
+* :func:`count_all_edges_matmul` — ``(A·A) ⊙ A`` through SciPy sparse
+  matrix multiplication, blocked over row ranges to bound peak memory.
+  Fastest; used as the default backend and as an independent checker.
+* :func:`count_all_edges_merge` — per-edge ``searchsorted`` merge; slow,
+  used for cross-validation on small graphs.
+
+Plus the symmetric-assignment machinery shared by every algorithm
+(paper §3: compute only ``u < v``, mirror to ``e(v, u)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "reverse_edge_offsets",
+    "symmetric_assign",
+    "count_all_edges_bitmap",
+    "count_all_edges_matmul",
+    "count_all_edges_merge",
+    "count_edge",
+]
+
+
+def reverse_edge_offsets(graph: CSRGraph) -> np.ndarray:
+    """For every edge offset ``i = e(u, v)`` return ``e(v, u)``.
+
+    Sorting the directed edge list by ``(dst, src)`` enumerates the
+    reversed pairs in CSR order, so a single lexsort yields the whole
+    mapping — the vectorized equivalent of the per-edge binary searches
+    that the paper's GPU co-processing phase hides on the CPU.
+    """
+    src = graph.edge_sources()
+    order = np.lexsort((src, graph.dst))
+    return order
+
+
+def symmetric_assign(graph: CSRGraph, cnt: np.ndarray) -> np.ndarray:
+    """Mirror counts from ``u < v`` edge offsets onto their reverses."""
+    rev = reverse_edge_offsets(graph)
+    src = graph.edge_sources()
+    upper = src < graph.dst  # offsets holding computed counts
+    lower_rev = rev[~upper]  # reverse partner of each u > v offset
+    cnt[~upper] = cnt[lower_rev]
+    return cnt
+
+
+def count_all_edges_bitmap(graph: CSRGraph) -> np.ndarray:
+    """BMP-structured exact counting; returns counts aligned with ``dst``.
+
+    Per vertex ``u``: mark ``N(u)`` in a boolean array, gather the
+    adjacency of every ``v ∈ N(u)`` with ``v > u`` as one flat index
+    vector, test marks, and segment-sum per ``v`` (``np.add.reduceat``).
+    """
+    n = graph.num_vertices
+    offsets = graph.offsets
+    dst = graph.dst
+    cnt = np.zeros(len(dst), dtype=np.int64)
+    mark = np.zeros(n, dtype=bool)
+
+    for u in range(n):
+        lo, hi = offsets[u], offsets[u + 1]
+        if hi == lo:
+            continue
+        nbrs = dst[lo:hi]
+        # Only neighbors v > u are counted here (symmetric assignment
+        # fills the rest); they sit in the tail of the sorted list.
+        first = int(np.searchsorted(nbrs, u + 1))
+        if first == hi - lo:
+            continue
+        mark[nbrs] = True
+        vs = nbrs[first:].astype(np.int64)
+        starts = offsets[vs]
+        lens = offsets[vs + 1] - starts
+        total = int(lens.sum())
+        # Flat gather indices: concatenation of [starts[i], starts[i]+lens[i])
+        seg_ends = np.cumsum(lens)
+        flat = np.arange(total, dtype=np.int64)
+        flat += np.repeat(starts - (seg_ends - lens), lens)
+        hits = mark[dst[flat]]
+        seg_starts = seg_ends - lens
+        sums = np.add.reduceat(hits, seg_starts)
+        cnt[lo + first : hi] = sums
+        mark[nbrs] = False
+
+    return symmetric_assign(graph, cnt)
+
+
+def count_all_edges_matmul(
+    graph: CSRGraph, row_block_nnz: int = 2_000_000
+) -> np.ndarray:
+    """Exact counting via blocked sparse ``(A·A) ⊙ A``.
+
+    For adjacent ``(u, v)``, ``(A²)[u, v] = |N(u) ∩ N(v)|``.  Rows are
+    processed in blocks sized by their nnz so the intermediate product
+    stays small.
+    """
+    import scipy.sparse as sp
+
+    n = graph.num_vertices
+    offsets = graph.offsets
+    dst = graph.dst
+    nnz = len(dst)
+    cnt = np.zeros(nnz, dtype=np.int64)
+    if nnz == 0:
+        return cnt
+
+    A = sp.csr_matrix(
+        (np.ones(nnz, dtype=np.float64), dst, offsets), shape=(n, n)
+    )
+
+    row = 0
+    while row < n:
+        # Grow the block until its nnz budget is reached.
+        end = int(np.searchsorted(offsets, offsets[row] + row_block_nnz, side="left"))
+        end = max(end - 1, row + 1)
+        end = min(end, n)
+        block = A[row:end]
+        prod = (block @ A).multiply(block).tocsr()
+        prod.sort_indices()
+        # prod's pattern is a subset of block's (zero counts vanish);
+        # align through the edge-offset positions of the surviving entries.
+        if prod.nnz:
+            ids = sp.csr_matrix(
+                (
+                    np.arange(offsets[row], offsets[end], dtype=np.float64) + 1.0,
+                    dst[offsets[row] : offsets[end]],
+                    offsets[row : end + 1] - offsets[row],
+                ),
+                shape=(end - row, n),
+            )
+            pattern = prod.copy()
+            pattern.data = np.ones_like(pattern.data)
+            pos = ids.multiply(pattern).tocsr()
+            pos.sort_indices()
+            cnt[pos.data.astype(np.int64) - 1] = np.rint(prod.data).astype(np.int64)
+        row = end
+
+    return cnt
+
+
+def count_all_edges_merge(graph: CSRGraph) -> np.ndarray:
+    """Per-edge ``searchsorted`` merge counting (validation path)."""
+    offsets = graph.offsets
+    dst = graph.dst
+    cnt = np.zeros(len(dst), dtype=np.int64)
+    src = graph.edge_sources()
+    upper = np.flatnonzero(src < dst)
+    for eo in upper:
+        u = int(src[eo])
+        v = int(dst[eo])
+        cnt[eo] = count_edge(graph, u, v)
+    return symmetric_assign(graph, cnt)
+
+
+def count_edge(graph: CSRGraph, u: int, v: int) -> int:
+    """Exact ``|N(u) ∩ N(v)|`` for one vertex pair (need not be an edge)."""
+    a = graph.neighbors(u)
+    b = graph.neighbors(v)
+    if len(a) > len(b):
+        a, b = b, a
+    if len(a) == 0:
+        return 0
+    idx = np.searchsorted(b, a)
+    idx[idx == len(b)] = len(b) - 1 if len(b) else 0
+    return int(np.count_nonzero(b[idx] == a)) if len(b) else 0

@@ -1,0 +1,93 @@
+"""Vectorized block-wise merge (VB) — paper §3.1, Figure 1.
+
+The SIMD kernel of Inoue et al. [14]: load one block from each array,
+compare **all pairs** inside the vector registers simultaneously (shuffles
++ one packed compare), accumulate the match mask, then advance the block
+whose last element is smaller by a whole block.
+
+Lane width parameterizes the processor: 8 = AVX2 (8×32-bit), 16 = AVX-512,
+32 = one GPU warp (the paper: "the multiplication of block sizes for N(u)
+and N(v) is 32").  We execute the identical block logic with NumPy, so the
+result is exact and the issued vector-instruction count is what compiled
+SIMD code would issue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.merge import intersect_merge
+from repro.types import OpCounts
+
+__all__ = ["intersect_block_merge", "block_sizes"]
+
+#: SIMD instructions issued per all-pair block comparison step: shuffle of
+#: one register, packed compare, mask-popcount accumulate (Figure 1's three
+#: steps).  Calibrated to Inoue et al.'s reported instruction mix.
+VECTOR_OPS_PER_BLOCK_STEP = 3
+
+
+def block_sizes(lane_width: int) -> tuple[int, int]:
+    """Split ``lane_width`` comparator lanes into an all-pair block shape.
+
+    ``b1 × b2 == lane_width`` with the most square feasible split:
+    8 → (4, 2); 16 → (4, 4); 32 → (8, 4).
+    """
+    if lane_width < 1:
+        raise ValueError("lane_width must be >= 1")
+    b2 = 1
+    for cand in range(int(lane_width**0.5), 0, -1):
+        if lane_width % cand == 0:
+            b2 = cand
+            break
+    return lane_width // b2, b2
+
+
+def intersect_block_merge(
+    a1: np.ndarray,
+    a2: np.ndarray,
+    counts: OpCounts | None = None,
+    lane_width: int = 8,
+) -> int:
+    """Count ``|a1 ∩ a2|`` with the vectorized block-wise merge.
+
+    Main loop handles whole blocks (``b1`` from ``a1``, ``b2`` from ``a2``);
+    the ragged tail falls back to the scalar merge, as real SIMD
+    implementations do.
+    """
+    b1, b2 = block_sizes(lane_width)
+    o1 = 0
+    o2 = 0
+    end1 = len(a1)
+    end2 = len(a2)
+    c = 0
+    block_steps = 0
+    tail_counts = OpCounts() if counts is not None else None
+
+    while o1 + b1 <= end1 and o2 + b2 <= end2:
+        blk1 = a1[o1 : o1 + b1]
+        blk2 = a2[o2 : o2 + b2]
+        # All-pair comparison: one shuffled packed compare in hardware.
+        c += int(np.count_nonzero(blk1[:, None] == blk2[None, :]))
+        block_steps += 1
+        last1 = blk1[-1]
+        last2 = blk2[-1]
+        if last1 < last2:
+            o1 += b1
+        elif last1 > last2:
+            o2 += b2
+        else:
+            o1 += b1
+            o2 += b2
+
+    # Ragged tail: scalar merge over the remainders.
+    c += intersect_merge(a1[o1:], a2[o2:], tail_counts)
+
+    if counts is not None:
+        counts.vector_ops += VECTOR_OPS_PER_BLOCK_STEP * block_steps
+        counts.lane_width = max(counts.lane_width, lane_width)
+        counts.comparisons += block_steps  # last-element compare per step
+        counts.seq_words += o1 + o2
+        counts.matches += c - tail_counts.matches  # tail added its own below
+        counts.__iadd__(tail_counts)
+    return c

@@ -1,0 +1,102 @@
+"""Lower-bound search kernels used by the pivot-skip merge (paper §3.1).
+
+``LowerBound(A, lo, hi, x)`` returns the smallest index ``i`` in
+``[lo, hi]`` such that ``A[i] >= x`` (``hi`` when no such element).  The
+paper implements it as: (1) a *vectorized linear search* over one SIMD
+block, and when that fails (2) *galloping* with exponentially growing skips
+``2^4, 2^5, …`` followed by (3) a binary search inside the final range.
+
+Each function reports its step counts so the cost models can price the
+skips (which are the random memory accesses that make PS slow on the GPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import OpCounts
+
+__all__ = [
+    "binary_lower_bound",
+    "galloping_lower_bound",
+    "hybrid_lower_bound",
+    "GALLOP_START_EXP",
+]
+
+#: The paper starts galloping at 2**4 after the vectorized linear probe.
+GALLOP_START_EXP = 4
+
+
+def binary_lower_bound(
+    arr: np.ndarray, lo: int, hi: int, target: int, counts: OpCounts | None = None
+) -> int:
+    """Classic binary search for the lower bound of ``target`` in [lo, hi)."""
+    steps = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        steps += 1
+        if arr[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    if counts is not None:
+        counts.binary_steps += steps
+        counts.rand_words += steps
+    return lo
+
+
+def galloping_lower_bound(
+    arr: np.ndarray, lo: int, hi: int, target: int, counts: OpCounts | None = None
+) -> int:
+    """Galloping (exponential) search then binary search on the last range.
+
+    Skips of size ``2^4, 2^5, …`` from ``lo`` until an element ``>= target``
+    is found (or the end is passed), then binary-searches the bracketed
+    range, exactly as described in the paper.
+    """
+    gallop_steps = 0
+    if lo >= hi:
+        return lo
+    prev = lo
+    step = 1 << GALLOP_START_EXP
+    probe = lo + step
+    while probe < hi and arr[probe] < target:
+        gallop_steps += 1
+        prev = probe
+        step <<= 1
+        probe = lo + step
+    if counts is not None:
+        counts.gallop_steps += gallop_steps + 1
+        counts.rand_words += gallop_steps + 1
+    return binary_lower_bound(arr, prev, min(probe, hi), target, counts)
+
+
+def hybrid_lower_bound(
+    arr: np.ndarray,
+    lo: int,
+    hi: int,
+    target: int,
+    lane_width: int = 8,
+    counts: OpCounts | None = None,
+) -> int:
+    """Vectorized-linear probe over one SIMD block, then galloping.
+
+    Mirrors the paper's two-stage ``LowerBound``: one vector comparison
+    covers ``lane_width`` consecutive elements (a single SIMD instruction);
+    only if the answer is beyond that block do we fall back to galloping.
+    """
+    if lo >= hi:
+        return lo
+    block_end = min(lo + lane_width, hi)
+    # One SIMD compare of the whole block against the target.
+    block = arr[lo:block_end]
+    if counts is not None:
+        counts.vector_ops += 1
+        counts.lane_width = max(counts.lane_width, lane_width)
+        counts.seq_words += block_end - lo
+    hits = np.nonzero(block >= target)[0]
+    if hits.size:
+        return lo + int(hits[0])
+    if block_end == hi:
+        return hi
+    return galloping_lower_bound(arr, block_end, hi, target, counts)

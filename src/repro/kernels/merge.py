@@ -1,0 +1,54 @@
+"""``IntersectM`` — the plain two-pointer merge (Algorithm 1, lines 6-12).
+
+This is the baseline *M* of the paper's Figure 3 / Table 4 and the
+correctness reference for every other kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import OpCounts
+
+__all__ = ["intersect_merge"]
+
+
+def intersect_merge(
+    a1: np.ndarray, a2: np.ndarray, counts: OpCounts | None = None
+) -> int:
+    """Count ``|a1 ∩ a2|`` for two strictly ascending arrays.
+
+    Exactly Algorithm 1's ``IntersectM``: advance the pointer at the
+    smaller element, count on equality.  Instrumentation counts one
+    comparison per loop iteration (branch decisions on equal keys reuse
+    the same flags register, as compiled code would) and one advance per
+    pointer increment; every element touched is a sequential word.
+    """
+    c = 0
+    o1 = 0
+    o2 = 0
+    end1 = len(a1)
+    end2 = len(a2)
+    comparisons = 0
+    advances = 0
+    while o1 < end1 and o2 < end2:
+        comparisons += 1
+        x1 = a1[o1]
+        x2 = a2[o2]
+        if x1 < x2:
+            o1 += 1
+            advances += 1
+        elif x1 > x2:
+            o2 += 1
+            advances += 1
+        else:
+            o1 += 1
+            o2 += 1
+            c += 1
+            advances += 2
+    if counts is not None:
+        counts.comparisons += comparisons
+        counts.advances += advances
+        counts.seq_words += o1 + o2
+        counts.matches += c
+    return c

@@ -1,0 +1,59 @@
+"""``IntersectPS`` — pivot-skip merge for degree-skewed pairs.
+
+Algorithm 1, lines 13-22: iteratively fix a pivot in one array and skip the
+other array directly to the lower bound of that pivot via the hybrid
+(vectorized-linear → galloping → binary) search.  Complexity
+``O(Σ log(skip) + d_s)`` ≈ ``O(c · d_s)`` where ``d_s = min(d_u, d_v)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.lowerbound import hybrid_lower_bound
+from repro.types import OpCounts
+
+__all__ = ["intersect_pivot_skip"]
+
+
+def intersect_pivot_skip(
+    a1: np.ndarray,
+    a2: np.ndarray,
+    counts: OpCounts | None = None,
+    lane_width: int = 8,
+) -> int:
+    """Count ``|a1 ∩ a2|`` with the pivot-skip strategy.
+
+    Faithful transcription of the paper's ``IntersectPS``:
+
+    1. advance ``off1`` to the lower bound of pivot ``a2[off2]`` in ``a1``;
+    2. advance ``off2`` to the lower bound of the (possibly new) pivot
+       ``a1[off1]`` in ``a2``;
+    3. on a match, count and advance both.
+    """
+    c = 0
+    off1 = 0
+    off2 = 0
+    end1 = len(a1)
+    end2 = len(a2)
+    if end1 == 0 or end2 == 0:
+        return 0
+    while True:
+        off1 = hybrid_lower_bound(a1, off1, end1, a2[off2], lane_width, counts)
+        if off1 >= end1:
+            break
+        off2 = hybrid_lower_bound(a2, off2, end2, a1[off1], lane_width, counts)
+        if off2 >= end2:
+            break
+        if counts is not None:
+            counts.comparisons += 1
+        if a1[off1] == a2[off2]:
+            off1 += 1
+            off2 += 1
+            c += 1
+            if counts is not None:
+                counts.advances += 2
+                counts.matches += 1
+            if off1 >= end1 or off2 >= end2:
+                break
+    return c

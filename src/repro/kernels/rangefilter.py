@@ -1,0 +1,91 @@
+"""Bitmap range filtering (paper §4.3) — a small filter over the big bitmap.
+
+Matches in real-world neighbor-set intersections are sparse, so most probes
+of the ``|V|``-bit bitmap miss.  The range filter is a second bitmap with
+one bit per ``range_scale`` ids (paper uses a size ratio of 4096 so the
+filter fits in L1 cache / GPU shared memory): a probe first checks the
+filter bit for its range and touches the big bitmap only when the range is
+known to contain at least one set bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.bitmap import Bitmap
+from repro.types import OpCounts
+
+__all__ = ["RangeFilteredBitmap", "intersect_range_filtered", "DEFAULT_RANGE_SCALE"]
+
+#: Paper: "We set the size ratio of the two bitmaps at 4096, to make the
+#: small bitmap fit into L1 cache."
+DEFAULT_RANGE_SCALE = 4096
+
+
+class RangeFilteredBitmap:
+    """Two-level bitmap: ``big`` (cardinality ``|V|``) + range ``filter``.
+
+    The BMP usage pattern builds the index for one vertex at a time and
+    clears it afterwards, so clearing may reset the filter bits of the
+    cleared ids unconditionally (all set bits belong to the current
+    vertex's neighbor set).
+    """
+
+    __slots__ = ("big", "filter", "range_scale")
+
+    def __init__(self, cardinality: int, range_scale: int = DEFAULT_RANGE_SCALE):
+        if range_scale < 1:
+            raise ValueError("range_scale must be >= 1")
+        self.big = Bitmap(cardinality)
+        self.range_scale = int(range_scale)
+        num_ranges = (cardinality + self.range_scale - 1) // self.range_scale
+        self.filter = Bitmap(max(num_ranges, 1))
+
+    def set_many(self, ids: np.ndarray, counts: OpCounts | None = None) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        self.big.set_many(ids, counts)
+        # Filter updates are cheap (tiny, cache-resident) — counted as
+        # filter tests, not random words.
+        self.filter.set_many(ids // self.range_scale)
+        if counts is not None:
+            counts.filter_test += len(ids)
+
+    def clear_many(self, ids: np.ndarray, counts: OpCounts | None = None) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        self.big.clear_many(ids, counts)
+        self.filter.clear_many(ids // self.range_scale)
+        if counts is not None:
+            counts.filter_test += len(ids)
+
+    def is_clear(self) -> bool:
+        return self.big.is_clear() and self.filter.is_clear()
+
+    def memory_bytes(self) -> int:
+        return self.big.memory_bytes() + self.filter.memory_bytes()
+
+    def filter_memory_bytes(self) -> int:
+        return self.filter.memory_bytes()
+
+
+def intersect_range_filtered(
+    rf: RangeFilteredBitmap, arr: np.ndarray, counts: OpCounts | None = None
+) -> int:
+    """Range-filtered ``IntersectBMP``.
+
+    Every element probes the (cache-resident) filter; only elements whose
+    range bit is set probe the big bitmap.  The avoided big-bitmap loads
+    are recorded as ``filter_skip`` — they are the global-memory / DRAM
+    loads the technique eliminates (paper Table 7 and Figure 6).
+    """
+    arr = np.asarray(arr, dtype=np.int64)
+    in_range = rf.filter.test_many(arr // rf.range_scale)
+    passed = arr[in_range]
+    if counts is not None:
+        counts.filter_test += len(arr)
+        counts.seq_words += len(arr)
+        counts.filter_skip += len(arr) - len(passed)
+    hits = rf.big.test_many(passed, counts)
+    matches = int(np.count_nonzero(hits))
+    if counts is not None:
+        counts.matches += matches
+    return matches

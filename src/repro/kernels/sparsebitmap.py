@@ -1,0 +1,121 @@
+"""Sparse bitmap (roaring-lite) — the related-work alternative to BMP.
+
+The paper's §2.2.1 discusses sparse bitmaps "consisting of offset and
+bit-state arrays" (EmptyHeaded, Han et al., Roaring): a set is stored as
+the sorted array of 64-bit *block offsets* that contain at least one
+element, plus the corresponding packed words.  Intersection merges the
+offset arrays and ANDs the matching words.  The paper rejects this design
+for the *dynamic* all-edge setting because making the bit-states compact
+requires offline reordering; we implement it so that trade-off is
+measurable (see ``benchmarks/bench_ablation_sparse_bitmap.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import OpCounts
+
+__all__ = ["SparseBitmap", "intersect_sparse"]
+
+BLOCK_BITS = 64
+_ONE = np.uint64(1)
+
+
+class SparseBitmap:
+    """Immutable sparse bitmap built from a sorted id array.
+
+    Attributes
+    ----------
+    offsets:
+        Sorted int64 array of block indices (``id >> 6``) with ≥1 bit.
+    words:
+        uint64 packed bit-states, aligned with ``offsets``.
+    """
+
+    __slots__ = ("offsets", "words", "size")
+
+    def __init__(self, offsets: np.ndarray, words: np.ndarray, size: int):
+        self.offsets = offsets
+        self.words = words
+        self.size = int(size)
+
+    @classmethod
+    def from_sorted(cls, ids: np.ndarray) -> "SparseBitmap":
+        """Build from a strictly ascending id array (one pass, vectorized)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return cls(np.empty(0, np.int64), np.empty(0, np.uint64), 0)
+        if np.any(np.diff(ids) <= 0):
+            raise ValueError("ids must be strictly ascending")
+        if ids[0] < 0:
+            raise ValueError("ids must be non-negative")
+        blocks = ids >> 6
+        offsets, inverse = np.unique(blocks, return_inverse=True)
+        bits = _ONE << (ids & 63).astype(np.uint64)
+        words = np.zeros(len(offsets), dtype=np.uint64)
+        np.bitwise_or.at(words, inverse, bits)
+        return cls(offsets, words, len(ids))
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.offsets)
+
+    def memory_bytes(self) -> int:
+        """Offsets + words — proportional to *occupied* blocks, not |V|."""
+        return self.offsets.nbytes + self.words.nbytes
+
+    def contains(self, vid: int) -> bool:
+        block = vid >> 6
+        i = int(np.searchsorted(self.offsets, block))
+        if i >= len(self.offsets) or self.offsets[i] != block:
+            return False
+        return bool((self.words[i] >> np.uint64(vid & 63)) & _ONE)
+
+    def to_ids(self) -> np.ndarray:
+        """Decode back to the sorted id array (for tests)."""
+        out = []
+        for off, word in zip(self.offsets.tolist(), self.words.tolist()):
+            w = int(word)
+            base = off << 6
+            while w:
+                b = w & -w
+                out.append(base + b.bit_length() - 1)
+                w ^= b
+        return np.array(out, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"SparseBitmap(size={self.size}, blocks={self.num_blocks})"
+
+
+def intersect_sparse(
+    a: SparseBitmap, b: SparseBitmap, counts: OpCounts | None = None
+) -> int:
+    """``|a ∩ b|`` by merging offset arrays and ANDing matched words.
+
+    Vectorized merge: for each of ``a``'s blocks, locate a match in ``b``
+    via ``searchsorted`` (the paper's "merging and filtering on the offset
+    arrays"), then popcount the ANDed bit-states.
+    """
+    if a.num_blocks == 0 or b.num_blocks == 0:
+        return 0
+    if a.num_blocks > b.num_blocks:
+        a, b = b, a
+    pos = np.searchsorted(b.offsets, a.offsets)
+    pos_clipped = np.minimum(pos, b.num_blocks - 1)
+    matched = b.offsets[pos_clipped] == a.offsets
+    anded = a.words[matched] & b.words[pos_clipped[matched]]
+    if hasattr(np, "bitwise_count"):
+        total = int(np.bitwise_count(anded).sum())
+    else:  # pragma: no cover - very old numpy
+        total = sum(bin(int(w)).count("1") for w in anded)
+    if counts is not None:
+        # One comparison per merged offset, one word AND+popcount per match.
+        counts.comparisons += a.num_blocks
+        counts.bitmap_test += int(matched.sum())
+        counts.seq_words += a.num_blocks + int(matched.sum()) * 2
+        counts.matches += total
+    return total

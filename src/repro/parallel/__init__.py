@@ -1,0 +1,38 @@
+"""Parallel runtime: task construction, FindSrc, scheduling, real threads.
+
+The paper parallelizes with OpenMP ``schedule(dynamic, |T|)`` on the
+CPU/KNL (fine-grained edge-range tasks) and with hardware block scheduling
+on the GPU (coarse-grained per-vertex tasks).  This package provides the
+equivalent machinery: task partitioners, the amortized ``FindSrc`` source
+lookup, an event-driven dynamic-scheduler simulator (used by the processor
+models), and a real ``multiprocessing`` execution path.
+"""
+
+from repro.parallel.tasks import (
+    fine_grained_chunks,
+    coarse_grained_tasks,
+    DEFAULT_TASK_SIZE,
+)
+from repro.parallel.findsrc import SourceFinder
+from repro.parallel.scheduler import (
+    Schedule,
+    simulate_dynamic,
+    simulate_static,
+    chunk_work,
+)
+from repro.parallel.threadpool import count_all_edges_parallel
+from repro.parallel.skeleton import run_parallel_skeleton, SkeletonStats
+
+__all__ = [
+    "fine_grained_chunks",
+    "coarse_grained_tasks",
+    "DEFAULT_TASK_SIZE",
+    "SourceFinder",
+    "Schedule",
+    "simulate_dynamic",
+    "simulate_static",
+    "chunk_work",
+    "count_all_edges_parallel",
+    "run_parallel_skeleton",
+    "SkeletonStats",
+]

@@ -1,0 +1,77 @@
+"""``FindSrc`` — amortized source-vertex lookup (Algorithm 3, lines 7-15).
+
+The parallel skeleton iterates edge *offsets*, so each task must recover
+the source vertex ``u`` of offset ``e(u, v)`` without materializing the
+per-edge source array.  The paper stashes the previously found vertex in a
+thread-local and only runs the (expensive) lower-bound search when the
+current offset leaves the stashed vertex's range — amortizing the search
+over the run of offsets sharing a source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.types import OpCounts
+
+__all__ = ["SourceFinder"]
+
+
+class SourceFinder:
+    """Stateful per-thread source-vertex finder.
+
+    Faithful to the paper's procedure, including the fix-ups around
+    zero-degree vertices (whose empty offset ranges alias their
+    neighbors' boundaries).
+    """
+
+    __slots__ = ("graph", "_u", "counts")
+
+    def __init__(self, graph: CSRGraph, counts: OpCounts | None = None):
+        self.graph = graph
+        self._u = 0
+        self.counts = counts
+
+    def reset(self) -> None:
+        """Forget the stash (a new task may jump backwards)."""
+        self._u = 0
+
+    def find(self, edge_offset: int) -> int:
+        """Source vertex of ``edge_offset``; amortized O(1) on scans."""
+        off = self.graph.offsets
+        n = self.graph.num_vertices
+        degrees = self.graph.degrees
+        u = self._u
+
+        if edge_offset < off[u]:
+            # The stash is ahead of the target (e.g. a fresh task starting
+            # earlier): restart the stash, mirroring a new thread-local.
+            u = 0
+
+        if edge_offset >= off[u + 1]:
+            # Lower bound of edge_offset in off[u+1 .. n], then fix up.
+            lo, hi = u + 1, n
+            steps = 0
+            while lo < hi:
+                mid = (lo + hi) // 2
+                steps += 1
+                if off[mid] < edge_offset:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            u = lo
+            if self.counts is not None:
+                self.counts.binary_steps += steps
+                self.counts.rand_words += steps
+            if off[u] > edge_offset:
+                # Landed past the owner: step back over zero-degree runs.
+                while degrees[u - 1] == 0:
+                    u -= 1
+                u -= 1
+            else:
+                # off[u] == edge_offset: skip forward over empty vertices.
+                while degrees[u] == 0:
+                    u += 1
+        self._u = u
+        return u

@@ -1,0 +1,49 @@
+"""Task construction (paper §4).
+
+Two granularities:
+
+* **fine-grained** — a task is ``|T|`` consecutive edge units; the paper
+  uses these on the CPU and KNL where the task-queue (OpenMP dynamic
+  scheduler) overhead must stay negligible relative to task work;
+* **coarse-grained** — a task is one vertex's ``d_u`` intersections; the
+  paper uses these on the GPU where the hardware block scheduler makes
+  per-vertex tasks cheap (``|T| = 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["fine_grained_chunks", "coarse_grained_tasks", "DEFAULT_TASK_SIZE"]
+
+#: Default fine-grained units per task.  The paper fixes |T| empirically;
+#: 1024 edges balances queue overhead against load balance on our scales.
+DEFAULT_TASK_SIZE = 1024
+
+
+def fine_grained_chunks(num_units: int, task_size: int = DEFAULT_TASK_SIZE) -> np.ndarray:
+    """Chunk boundaries for fine-grained tasks.
+
+    Returns ``starts`` such that task ``i`` covers units
+    ``[starts[i], starts[i+1])`` (with an implicit final end at
+    ``num_units``); suitable for ``np.add.reduceat``.
+    """
+    if task_size < 1:
+        raise ValueError("task_size must be >= 1")
+    if num_units <= 0:
+        return np.zeros(1 if num_units == 0 else 0, dtype=np.int64)[:0]
+    return np.arange(0, num_units, task_size, dtype=np.int64)
+
+
+def coarse_grained_tasks(graph: CSRGraph, edge_src: np.ndarray) -> np.ndarray:
+    """Map each edge unit to its per-vertex (thread-block) task id.
+
+    ``edge_src[i]`` is the source vertex of work unit ``i``; task ids are
+    the vertex ids themselves, so grouping work by task is a ``bincount``.
+    """
+    edge_src = np.asarray(edge_src)
+    if edge_src.size and (edge_src.min() < 0 or edge_src.max() >= graph.num_vertices):
+        raise ValueError("edge sources out of range")
+    return edge_src.astype(np.int64)

@@ -1,0 +1,126 @@
+"""Real parallel execution of all-edge counting via ``multiprocessing``.
+
+This is the substitute for the paper's OpenMP execution: the vertex range
+is split into coarse chunks, each worker process counts its chunk with the
+vectorized BMP-structured path (NumPy releases the GIL-equivalent cost by
+running in separate processes), and the parent stitches the per-chunk
+results and applies the symmetric assignment.
+
+On fork-based platforms the graph is inherited copy-on-write, so no
+serialization of the CSR arrays happens per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.batch import symmetric_assign
+
+__all__ = ["count_all_edges_parallel", "count_vertex_range"]
+
+# Worker-global graph reference, installed by the initializer (fork) so the
+# CSR arrays are shared copy-on-write rather than pickled per task.
+_WORKER_GRAPH: CSRGraph | None = None
+
+
+def _init_worker(graph: CSRGraph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def count_vertex_range(
+    graph: CSRGraph, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Counts for all ``u < v`` edges whose source ``u`` lies in [lo, hi).
+
+    Returns ``(edge_offsets, counts)`` for the computed entries.
+    """
+    offsets = graph.offsets
+    dst = graph.dst
+    n = graph.num_vertices
+    mark = np.zeros(n, dtype=bool)
+    out_off: list[np.ndarray] = []
+    out_cnt: list[np.ndarray] = []
+
+    for u in range(lo, hi):
+        a, b = offsets[u], offsets[u + 1]
+        if b == a:
+            continue
+        nbrs = dst[a:b]
+        first = int(np.searchsorted(nbrs, u + 1))
+        if first == b - a:
+            continue
+        mark[nbrs] = True
+        vs = nbrs[first:].astype(np.int64)
+        starts = offsets[vs]
+        lens = offsets[vs + 1] - starts
+        seg_ends = np.cumsum(lens)
+        flat = np.arange(int(lens.sum()), dtype=np.int64)
+        flat += np.repeat(starts - (seg_ends - lens), lens)
+        hits = mark[dst[flat]]
+        sums = np.add.reduceat(hits, seg_ends - lens)
+        out_off.append(np.arange(a + first, b, dtype=np.int64))
+        out_cnt.append(sums.astype(np.int64))
+        mark[nbrs] = False
+
+    if not out_off:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(out_off), np.concatenate(out_cnt)
+
+
+def _worker_task(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    return count_vertex_range(_WORKER_GRAPH, bounds[0], bounds[1])
+
+
+def _vertex_chunks(graph: CSRGraph, num_chunks: int) -> list[tuple[int, int]]:
+    """Split vertices into chunks of roughly equal adjacency volume."""
+    n = graph.num_vertices
+    num_chunks = max(1, min(num_chunks, n)) if n else 1
+    targets = np.linspace(0, graph.num_directed_edges, num_chunks + 1)
+    bounds = np.searchsorted(graph.offsets, targets, side="left")
+    bounds[0] = 0
+    bounds[-1] = n
+    bounds = np.maximum.accumulate(bounds)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(num_chunks)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def count_all_edges_parallel(
+    graph: CSRGraph,
+    num_workers: int | None = None,
+    chunks_per_worker: int = 4,
+) -> np.ndarray:
+    """All-edge counts using a pool of worker processes.
+
+    ``chunks_per_worker > 1`` gives the pool dynamic load balancing — the
+    same over-decomposition trade-off the paper tunes with ``|T|``.
+    Falls back to in-process execution when only one worker is available
+    or the platform lacks ``fork``.
+    """
+    if num_workers is None:
+        num_workers = os.cpu_count() or 1
+    num_workers = max(1, int(num_workers))
+
+    chunks = _vertex_chunks(graph, num_workers * chunks_per_worker)
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+
+    if num_workers == 1 or "fork" not in mp.get_all_start_methods():
+        results = [count_vertex_range(graph, lo, hi) for lo, hi in chunks]
+    else:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(
+            processes=num_workers, initializer=_init_worker, initargs=(graph,)
+        ) as pool:
+            results = pool.map(_worker_task, chunks)
+
+    for eo, vals in results:
+        cnt[eo] = vals
+    return symmetric_assign(graph, cnt)

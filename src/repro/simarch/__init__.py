@@ -1,0 +1,48 @@
+"""Architecture simulator: converts kernel work into modeled time.
+
+The paper's contribution is performance behavior on three processors we do
+not have.  This package models them: per-processor specs (:mod:`specs`),
+cache and memory-system models (:mod:`cache`, :mod:`memsystem`), multicore
+CPU/KNL execution (:mod:`multicore`), GPU execution (:mod:`gpu`), the
+CPU-GPU co-processing overlap (:mod:`coprocess`), unified-memory
+multi-pass processing (:mod:`multipass`), and the top-level entry point
+(:mod:`engine`).
+
+Capacities are *scaled* alongside the scaled-down datasets (see
+``ProcessorSpec.scaled``) so that every capacity-to-working-set relation
+of the paper — bitmap vs L3, CSR vs MCDRAM, graph vs GPU global memory —
+is preserved at reproduction scale.
+"""
+
+from repro.simarch.specs import (
+    CacheSpec,
+    MemorySpec,
+    CPUSpec,
+    KNLSpec,
+    GPUSpec,
+    PAPER_CPU,
+    PAPER_KNL,
+    PAPER_GPU,
+    DEFAULT_HW_SCALE,
+    scaled_specs,
+)
+from repro.simarch.cache import CacheSimulator, analytic_miss_rate
+from repro.simarch.engine import SimResult, simulate, best_configuration
+
+__all__ = [
+    "CacheSpec",
+    "MemorySpec",
+    "CPUSpec",
+    "KNLSpec",
+    "GPUSpec",
+    "PAPER_CPU",
+    "PAPER_KNL",
+    "PAPER_GPU",
+    "DEFAULT_HW_SCALE",
+    "scaled_specs",
+    "CacheSimulator",
+    "analytic_miss_rate",
+    "SimResult",
+    "simulate",
+    "best_configuration",
+]

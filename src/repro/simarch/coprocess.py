@@ -1,0 +1,67 @@
+"""CPU-GPU co-processing model (paper §4.2.1, Algorithm 4, Table 5).
+
+The symmetric assignment needs the reverse offset ``e(v, u)`` of every
+edge — found by binary search of ``u`` in ``N(v)``.  Without
+co-processing, the CPU performs search + assignment *after* the GPU
+kernels finish.  With co-processing, the CPU runs the searches *while*
+the GPU counts (storing ``cnt[e(v,u)] ← e(u,v)`` for ``u > v``), leaving
+only the final gather ``cnt[e] ← cnt[cnt[e]]`` as exposed post-processing
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.simarch.specs import CPUSpec, PAPER_CPU, scaled_specs
+
+__all__ = ["PostProcessing", "host_post_processing"]
+
+#: [calibrated] host cycles per binary-search step / per gathered word.
+SEARCH_CYCLES_PER_STEP = 6.0
+GATHER_CYCLES_PER_EDGE = 12.0  # one random read + one random write
+
+
+@dataclass(frozen=True)
+class PostProcessing:
+    """Exposed post-processing time on the host."""
+
+    seconds: float
+    search_seconds: float
+    gather_seconds: float
+    overlapped: bool
+
+
+def host_post_processing(
+    graph: CSRGraph,
+    gpu_busy_seconds: float,
+    coprocessing: bool,
+    host: CPUSpec | None = None,
+) -> PostProcessing:
+    """Model the host-side symmetric assignment around the GPU kernels."""
+    if host is None:
+        host = scaled_specs(PAPER_CPU)
+    freq = host.freq_ghz * 1e9
+    m = graph.num_directed_edges
+    if m == 0:
+        return PostProcessing(0.0, 0.0, 0.0, coprocessing)
+    avg_steps = float(np.log2(1.0 + graph.average_degree))
+
+    search = m * avg_steps * SEARCH_CYCLES_PER_STEP / (freq * host.cores)
+    gather = (m / 2.0) * GATHER_CYCLES_PER_EDGE / (freq * host.cores)
+
+    if coprocessing:
+        # Searches overlap the GPU kernels; only the remainder (if the GPU
+        # finished first) plus the final gather is exposed.
+        exposed = gather + max(0.0, search - gpu_busy_seconds)
+    else:
+        exposed = search + gather
+    return PostProcessing(
+        seconds=exposed,
+        search_seconds=search,
+        gather_seconds=gather,
+        overlapped=coprocessing,
+    )

@@ -1,0 +1,227 @@
+"""GPU execution model (paper §4.2: CUDA parallelization of MPS and BMP).
+
+Coarse-grained tasks: vertex ``u``'s intersections map to one thread block
+(Algorithms 5 and 6).  The model prices three kernel styles:
+
+* **MKernel** (MPS, balanced pairs) — one warp per edge runs the
+  block-wise merge at lane width 32; coalesced shared-memory loads.
+* **PSKernel** (MPS, skewed pairs) — one *thread* per edge; the galloping
+  lower bounds issue irregular, uncoalesced 32-byte gathers that cannot
+  exploit warp-level parallelism (why GPU-MPS is the paper's overall
+  loser).
+* **BMPKernel** — a block builds its pooled bitmap with atomic-or, then
+  each warp probes it for one edge; probes to the big bitmap are
+  line-granular global transactions, optionally filtered through the
+  shared-memory range filter (Table 7).
+
+Timing = max(issue-throughput makespan over block slots, global-memory
+traffic, latency exposure) + unified-memory paging (multi-pass plan) +
+host post-processing (co-processing overlap, Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.algorithms.bmp import BMP
+from repro.algorithms.mps import MPS
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.kernels.costmodel import (
+    block_merge_work,
+    bmp_work,
+    pivot_skip_work,
+    skew_mask,
+    upper_edges,
+)
+from repro.parallel.scheduler import simulate_dynamic
+from repro.simarch.coprocess import host_post_processing
+from repro.simarch.multipass import page_fault_time_s, plan_passes
+from repro.simarch.specs import CPUSpec, GPUSpec
+
+__all__ = ["GPUResult", "simulate_gpu", "blocks_per_sm", "bitmap_pool_bytes"]
+
+WARP_REDUCTION_INSTRS = 5.0  # __shfl_down over {16, 8, 4, 2, 1}
+TRANSACTION_BYTES = 32.0
+
+
+@dataclass(frozen=True)
+class GPUResult:
+    """Modeled GPU run."""
+
+    seconds: float
+    kernel_seconds: float
+    compute_seconds: float
+    latency_seconds: float
+    bandwidth_seconds: float
+    paging_seconds: float
+    post_seconds: float
+    passes: int
+    estimated_passes: int
+    thrashing: bool
+    warps_per_block: int
+    occupancy: float
+    detail: dict = field(default_factory=dict)
+
+
+def blocks_per_sm(spec: GPUSpec, warps_per_block: int) -> int:
+    """Concurrent blocks per SM for a block size (paper: 2048/128 = 16)."""
+    if warps_per_block < 1 or warps_per_block > spec.max_warps_per_sm:
+        raise SimulationError(
+            f"warps_per_block must be in [1, {spec.max_warps_per_sm}]"
+        )
+    by_threads = spec.max_threads_per_sm // (spec.warp_size * warps_per_block)
+    return max(1, min(spec.max_blocks_per_sm, by_threads))
+
+
+def bitmap_pool_bytes(spec: GPUSpec, num_vertices: int, warps_per_block: int) -> float:
+    """Bitmap pool: one |V|-bit bitmap per concurrent block (Algorithm 6)."""
+    n_blocks = spec.sms * blocks_per_sm(spec, warps_per_block)
+    return n_blocks * (num_vertices / 8.0)
+
+
+def _gpu_work(graph: CSRGraph, algorithm: Algorithm, spec: GPUSpec, use_rf: bool):
+    """Per-edge (warp_instrs, transactions, stream_words) for the kernels."""
+    es = upper_edges(graph)
+    n_edges = len(es)
+    warp_instrs = np.zeros(n_edges)
+    transactions = np.zeros(n_edges)
+    stream_words = np.zeros(n_edges)
+
+    if isinstance(algorithm, BMP):
+        w = bmp_work(
+            es,
+            range_filter=use_rf,
+            range_scale=algorithm.range_scale,
+            assume_reordered=True,
+        )
+        probes = es.d_small
+        # Warp-parallel probes + warp reduction + atomic build (amortized).
+        warp_instrs = (
+            2.0 * probes / spec.warp_size
+            + WARP_REDUCTION_INSTRS
+            + spec.atomic_overhead_cycles / spec.warp_size
+        )
+        transactions = w["bitmap_words"]  # line-granular bitmap traffic
+        stream_words = probes  # coalesced reads of N(v)
+        return es, warp_instrs, transactions, stream_words
+
+    if isinstance(algorithm, MPS):
+        skewed = skew_mask(es, algorithm.skew_threshold)
+        vb = block_merge_work(es, lane_width=spec.warp_size)
+        ps = pivot_skip_work(es, lane_width=1)
+        # MKernel: each VB block step is one warp instruction bundle.
+        m_instr = vb["vector_ops"] + vb["scalar_ops"] + WARP_REDUCTION_INSTRS
+        # PSKernel: one thread per edge — divergent scalar execution
+        # shares the warp with 31 other edges, serialized by divergence.
+        ps_instr = ps["scalar_ops"] * spec.divergence_factor / spec.warp_size
+        warp_instrs = np.where(skewed, ps_instr, m_instr)
+        # PS lower bounds gather irregularly: one 32B transaction per step.
+        transactions = np.where(skewed, ps["rand_words"], 0.0)
+        stream_words = np.where(skewed, ps["seq_words"], vb["seq_words"])
+        return es, warp_instrs, transactions, stream_words
+
+    # Baseline merge on the GPU: MKernel for every edge.
+    vb = block_merge_work(es, lane_width=spec.warp_size)
+    warp_instrs = vb["vector_ops"] + vb["scalar_ops"] + WARP_REDUCTION_INSTRS
+    stream_words = vb["seq_words"]
+    return es, warp_instrs, transactions, stream_words
+
+
+def simulate_gpu(
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    spec: GPUSpec,
+    *,
+    warps_per_block: int = 4,
+    passes: int | None = None,
+    coprocessing: bool = True,
+    host: CPUSpec | None = None,
+) -> GPUResult:
+    """Model one GPU run (defaults mirror the paper: 4 warps/block)."""
+    n = graph.num_vertices
+    freq = spec.freq_ghz * 1e9
+    is_bmp = isinstance(algorithm, BMP)
+
+    # Range filter lives in shared memory; it is only usable when the
+    # filter bitmap fits the per-block share of the SM's 48KB.
+    use_rf = False
+    if is_bmp and algorithm.range_filter:
+        bps = blocks_per_sm(spec, warps_per_block)
+        filter_bytes = n / algorithm.range_scale / 8.0
+        use_rf = filter_bytes <= spec.shared_mem_per_sm / bps
+
+    es, warp_instrs, transactions, stream_words = _gpu_work(
+        graph, algorithm, spec, use_rf
+    )
+
+    # ---------------- occupancy and issue throughput ---------------- #
+    bps = blocks_per_sm(spec, warps_per_block)
+    active_warps = bps * warps_per_block
+    occupancy = min(1.0, active_warps / spec.max_warps_per_sm)
+    issue_eff = min(1.0, active_warps / spec.min_warps_for_full_issue)
+    machine_rate = (
+        spec.sms * spec.schedulers_per_sm * spec.warp_issue_ipc * freq * issue_eff
+    )
+
+    # ---------------- block-slot makespan ---------------- #
+    per_vertex = np.bincount(es.u, weights=warp_instrs, minlength=n)
+    per_vertex = per_vertex[per_vertex > 0]
+    slots = spec.sms * bps
+    slot_rate = machine_rate / slots
+    sched = simulate_dynamic(per_vertex / slot_rate, slots)
+    t_compute = sched.makespan
+
+    # ---------------- memory bounds ---------------- #
+    total_trans = float(transactions.sum())
+    rand_bytes = total_trans * TRANSACTION_BYTES if not is_bmp else total_trans * 64.0
+    rand_bw = spec.global_mem.bandwidth_gbs * (
+        spec.line_bw_efficiency if is_bmp else spec.random_bw_efficiency
+    )
+    stream_bytes = float(stream_words.sum()) * 4.0
+    t_bw = rand_bytes / (rand_bw * 1e9) + stream_bytes / (
+        spec.global_mem.bandwidth_gbs * 1e9
+    )
+    outstanding = spec.sms * active_warps * 2.0  # ~2 in-flight loads per warp
+    t_latency = total_trans * spec.global_mem.latency_ns * 1e-9 / max(outstanding, 1)
+
+    # ---------------- unified memory paging (multi-pass) ------------- #
+    cnt_bytes = 4.0 * graph.num_directed_edges
+    csr_bytes = float(graph.memory_bytes()) + cnt_bytes
+    pool = bitmap_pool_bytes(spec, n, warps_per_block) if is_bmp else 0.0
+    plan = plan_passes(spec, csr_bytes, pool, passes=passes)
+    t_paging = page_fault_time_s(spec, plan)
+
+    t_kernel = max(t_compute, t_bw, t_latency)
+
+    # ---------------- host post-processing (Table 5) ---------------- #
+    post = host_post_processing(
+        graph, gpu_busy_seconds=t_kernel + t_paging, coprocessing=coprocessing, host=host
+    )
+
+    total = t_kernel + t_paging + post.seconds
+    return GPUResult(
+        seconds=total,
+        kernel_seconds=t_kernel,
+        compute_seconds=t_compute,
+        latency_seconds=t_latency,
+        bandwidth_seconds=t_bw,
+        paging_seconds=t_paging,
+        post_seconds=post.seconds,
+        passes=plan.passes,
+        estimated_passes=plan.estimated_passes,
+        thrashing=plan.thrashing,
+        warps_per_block=warps_per_block,
+        occupancy=occupancy,
+        detail={
+            "transactions": total_trans,
+            "stream_bytes": stream_bytes,
+            "bitmap_pool_bytes": pool,
+            "use_rf": use_rf,
+            "post_search_seconds": post.search_seconds,
+            "post_gather_seconds": post.gather_seconds,
+        },
+    )

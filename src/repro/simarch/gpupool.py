@@ -1,0 +1,147 @@
+"""Executable model of Algorithm 6's bitmap pool and block execution.
+
+The GPU BMP kernel manages a pool of ``SMs × n_C`` bitmaps through an
+occupation-status array ``BS_A``: one thread per block atomically claims a
+free bitmap for its SM's slot range (``AcquireBitmap``), the block builds
+the index over ``N(u)`` with atomic-or, probes it warp-wise, and clears +
+releases it (``ReleaseBitmap``).  This module reproduces that life cycle
+with interleaved (concurrent-like) block execution so its invariants —
+no slot double-acquired, every bitmap returned clear, never more
+concurrent blocks per SM than ``n_C`` — are testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.kernels.batch import reverse_edge_offsets
+from repro.kernels.bitmap import Bitmap, intersect_bitmap
+
+__all__ = ["BitmapPool", "GPURunStats", "run_gpu_bmp_reference"]
+
+
+class BitmapPool:
+    """Pool of ``sms × blocks_per_sm`` bitmaps with per-SM slot ranges."""
+
+    def __init__(self, sms: int, blocks_per_sm: int, cardinality: int):
+        if sms < 1 or blocks_per_sm < 1:
+            raise SimulationError("pool dimensions must be positive")
+        self.sms = sms
+        self.blocks_per_sm = blocks_per_sm
+        self.bitmaps = [
+            Bitmap(cardinality) for _ in range(sms * blocks_per_sm)
+        ]
+        # BS_A: the occupation-status array of Algorithm 6.
+        self.status = np.zeros(sms * blocks_per_sm, dtype=np.int8)
+        self.max_in_use = 0
+
+    def acquire(self, sm_id: int) -> int:
+        """``AcquireBitmap``: linear scan of the SM's slots (atomicCAS)."""
+        if not 0 <= sm_id < self.sms:
+            raise SimulationError(f"sm_id {sm_id} out of range")
+        base = sm_id * self.blocks_per_sm
+        for i in range(self.blocks_per_sm):
+            if self.status[base + i] == 0:
+                self.status[base + i] = 1
+                self.max_in_use = max(self.max_in_use, int(self.status.sum()))
+                return base + i
+        raise SimulationError(f"no free bitmap on SM {sm_id} (oversubscribed)")
+
+    def release(self, slot: int) -> None:
+        """``ReleaseBitmap``: the bitmap must come back all-zero."""
+        if self.status[slot] == 0:
+            raise SimulationError(f"slot {slot} released twice")
+        if not self.bitmaps[slot].is_clear():
+            raise SimulationError(f"slot {slot} released dirty")
+        self.status[slot] = 0
+
+    @property
+    def in_use(self) -> int:
+        return int(self.status.sum())
+
+    def memory_bytes(self) -> float:
+        return sum(b.memory_bytes() for b in self.bitmaps)
+
+
+@dataclass(frozen=True)
+class GPURunStats:
+    counts: np.ndarray
+    max_concurrent_blocks: int
+    blocks_executed: int
+
+
+def run_gpu_bmp_reference(
+    graph: CSRGraph, sms: int = 4, blocks_per_sm: int = 4
+) -> GPURunStats:
+    """Execute the BMP kernel's block semantics with interleaved blocks.
+
+    One thread block per vertex (coarse-grained tasks, §4.2); blocks are
+    dispatched to SM slots as they free up (the hardware scheduler), and
+    each block runs acquire → build → probe-all-edges → clear → release.
+    Execution interleaves ``sms × blocks_per_sm`` concurrent blocks to
+    stress the pool exactly as concurrent hardware would.
+    """
+    n = graph.num_vertices
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    pool = BitmapPool(sms, blocks_per_sm, n)
+
+    pending = deque(u for u in range(n) if graph.degree(u) > 0)
+    # Active blocks: (vertex, slot, edge cursor, probe list).
+    active: list[list] = []
+    executed = 0
+    max_conc = 0
+    rng_sm = 0
+
+    def _free_sm() -> int:
+        nonlocal rng_sm
+        # The hardware scheduler places the block on any SM with a free
+        # slot; rotate for fairness.
+        for probe in range(sms):
+            sm_id = (rng_sm + probe) % sms
+            base = sm_id * blocks_per_sm
+            if (pool.status[base : base + blocks_per_sm] == 0).any():
+                rng_sm = sm_id + 1
+                return sm_id
+        raise SimulationError("no SM has a free slot")  # pragma: no cover
+
+    def launch():
+        u = pending.popleft()
+        slot = pool.acquire(_free_sm())
+        nbrs = graph.neighbors(u)
+        pool.bitmaps[slot].set_many(nbrs)  # AtomicConstrucBitmap
+        lo, hi = graph.neighbor_range(u)
+        first = int(np.searchsorted(nbrs, u + 1))
+        active.append([u, slot, lo + first, hi])
+
+    while pending or active:
+        # Fill free slots with new blocks (the hardware block scheduler).
+        while pending and pool.in_use < sms * blocks_per_sm:
+            launch()
+        max_conc = max(max_conc, len(active))
+        # Advance every active block by one edge (interleaved progress).
+        for block in list(active):
+            u, slot, cursor, hi = block
+            if cursor < hi:
+                v = int(graph.dst[cursor])
+                cnt[cursor] = intersect_bitmap(
+                    pool.bitmaps[slot], graph.neighbors(v)
+                )
+                block[2] += 1
+            else:
+                pool.bitmaps[slot].clear_many(graph.neighbors(u))
+                pool.release(slot)
+                active.remove(block)
+                executed += 1
+
+    rev = reverse_edge_offsets(graph)
+    src = graph.edge_sources()
+    lower = src > graph.dst
+    cnt[lower] = cnt[rev[lower]]
+    return GPURunStats(
+        counts=cnt, max_concurrent_blocks=max_conc, blocks_executed=executed
+    )

@@ -1,0 +1,110 @@
+"""Memory-system timing: bandwidth saturation, tiers, KNL MCDRAM modes.
+
+The timing model splits memory cost into a *streaming* term (bytes over
+achievable bandwidth, which saturates as threads multiply) and a *latency*
+term (cache misses waiting on DRAM, overlapped up to the core's
+memory-level parallelism).  The KNL's MCDRAM enters as a tier choice:
+flat mode places arrays explicitly (falling back to DDR for the
+overflow), cache mode filters everything through the MCDRAM with a
+movement-overhead efficiency factor (paper §4.3 / Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simarch.specs import CPUSpec, GPUSpec, KNLSpec, MemorySpec
+
+__all__ = [
+    "MemoryTier",
+    "saturated_bandwidth",
+    "stream_time_s",
+    "latency_time_s",
+    "knl_tier",
+    "cpu_tier",
+    "PER_THREAD_STREAM_GBS",
+]
+
+#: [calibrated] sustainable streaming bandwidth per hardware thread; the
+#: aggregate saturates at the tier's peak (paper: KNL MPS stops scaling
+#: past 64 threads "when the memory bandwidth is saturated").
+PER_THREAD_STREAM_GBS = {"cpu": 6.0, "knl": 7.0}
+
+
+@dataclass(frozen=True)
+class MemoryTier:
+    """The effective (bandwidth, latency) pair a run sees."""
+
+    bandwidth_gbs: float
+    latency_ns: float
+    label: str
+
+
+def saturated_bandwidth(peak_gbs: float, threads: int, per_thread_gbs: float) -> float:
+    """min(peak, threads × per-thread): the classic saturation curve."""
+    if threads < 1:
+        raise SimulationError("threads must be >= 1")
+    return min(peak_gbs, threads * per_thread_gbs)
+
+
+def stream_time_s(total_bytes: float, bandwidth_gbs: float) -> float:
+    if bandwidth_gbs <= 0:
+        raise SimulationError("bandwidth must be positive")
+    return total_bytes / (bandwidth_gbs * 1e9)
+
+
+def latency_time_s(
+    misses: float, latency_ns: float, mlp: float, contexts: int
+) -> float:
+    """Total stall time for ``misses`` random misses.
+
+    Each context (hardware thread) overlaps up to ``mlp`` outstanding
+    misses; contexts run concurrently, so the aggregate service rate is
+    ``contexts × mlp`` misses per latency window.
+    """
+    if mlp <= 0 or contexts < 1:
+        raise SimulationError("mlp and contexts must be positive")
+    return (misses * latency_ns * 1e-9) / (mlp * contexts)
+
+
+def cpu_tier(spec: CPUSpec) -> MemoryTier:
+    return MemoryTier(spec.dram.bandwidth_gbs, spec.dram.latency_ns, "DDR4")
+
+
+def knl_tier(spec: KNLSpec, mode: str, working_set_bytes: float) -> MemoryTier:
+    """Effective tier for the KNL's three MCDRAM configurations.
+
+    * ``ddr`` — MCDRAM unused (the pre-HBW configuration of Table 4);
+    * ``flat`` — arrays allocated on MCDRAM via memkind; whatever exceeds
+      its capacity spills to DDR, blending the bandwidth;
+    * ``cache`` — MCDRAM as a memory-side cache: near-MCDRAM bandwidth
+      when the working set fits (paper: "competitive ... because the
+      capacity is large and accesses have good locality"), discounted by
+      the data-movement overhead.
+    """
+    if mode == "ddr":
+        return MemoryTier(spec.dram.bandwidth_gbs, spec.dram.latency_ns, "DDR4")
+    if mode == "flat":
+        cap = spec.mcdram.capacity_bytes
+        if working_set_bytes <= cap:
+            return MemoryTier(
+                spec.mcdram.bandwidth_gbs, spec.mcdram.latency_ns, "MCDRAM-flat"
+            )
+        frac = cap / working_set_bytes
+        bw = frac * spec.mcdram.bandwidth_gbs + (1 - frac) * spec.dram.bandwidth_gbs
+        lat = frac * spec.mcdram.latency_ns + (1 - frac) * spec.dram.latency_ns
+        return MemoryTier(bw, lat, "MCDRAM-flat+DDR4")
+    if mode == "cache":
+        eff = spec.cache_mode_efficiency
+        if working_set_bytes <= spec.mcdram.capacity_bytes:
+            return MemoryTier(
+                spec.mcdram.bandwidth_gbs * eff,
+                spec.mcdram.latency_ns + 20.0,  # miss-check overhead
+                "MCDRAM-cache",
+            )
+        # Thrashing the memory-side cache degrades toward DDR speed.
+        return MemoryTier(
+            spec.dram.bandwidth_gbs, spec.dram.latency_ns + 40.0, "MCDRAM-cache-thrash"
+        )
+    raise SimulationError(f"unknown MCDRAM mode {mode!r} (ddr|flat|cache)")

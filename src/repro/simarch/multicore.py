@@ -1,0 +1,241 @@
+"""CPU / KNL execution model (paper §4.1 parallelization + §4.3 opts).
+
+Converts an algorithm's per-edge work into modeled seconds:
+
+``T = max(T_sched_makespan, T_bandwidth) [+ T_reorder]``
+
+* **compute** — scalar/vector instructions at the spec's IPC, with SMT
+  marginal-throughput scaling beyond the physical core count;
+* **latency** — random-word misses (bitmap probes, galloping jumps) priced
+  at tier latency, overlapped up to the core's MLP — the mechanism behind
+  "CPU favors BMP (deep OoO + L3) while KNL does not";
+* **bandwidth** — streamed words plus miss-induced line fills over the
+  saturating tier bandwidth — the mechanism behind "MPS stops scaling on
+  the KNL past 64 threads" and the MCDRAM (HBW) gains;
+* **scheduling** — the dynamic-chunk makespan (load imbalance + dequeue
+  overhead) over ``|E|/|T|`` tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.kernels.costmodel import symmetry_work, upper_edges
+from repro.parallel.scheduler import chunk_work, simulate_dynamic, simulate_static
+from repro.parallel.tasks import DEFAULT_TASK_SIZE
+from repro.simarch.cache import analytic_miss_rate, bitmap_working_set_miss_rate
+from repro.simarch.memsystem import (
+    cpu_tier,
+    knl_tier,
+    latency_time_s,
+    stream_time_s,
+)
+from repro.simarch.specs import CPUSpec, KNLSpec
+
+__all__ = ["MulticoreResult", "simulate_multicore"]
+
+CACHE_LINE_BYTES = 64
+#: [calibrated] cycles per vertex for the degree-descending reorder
+#: (sort + remap); the paper reports < 3 s on billion-edge graphs.
+REORDER_CYCLES_PER_EDGE = 4.0
+
+
+@dataclass(frozen=True)
+class MulticoreResult:
+    """Modeled run on the CPU or KNL."""
+
+    seconds: float
+    compute_seconds: float
+    latency_seconds: float
+    bandwidth_seconds: float
+    scheduling_overhead_seconds: float
+    reorder_seconds: float
+    threads: int
+    tier_label: str
+    efficiency: float
+    detail: dict = field(default_factory=dict)
+
+
+def _throughput_threads(spec, threads: int) -> float:
+    """Effective compute throughput in thread-equivalents.
+
+    Up to the core count each thread is a full core; hyperthreads beyond
+    that add only ``smt_gain`` of a core each.
+    """
+    if threads <= spec.cores:
+        return float(threads)
+    return spec.cores + spec.smt_gain * (threads - spec.cores)
+
+
+def simulate_multicore(
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    spec: CPUSpec | KNLSpec,
+    *,
+    threads: int = 1,
+    task_size: int = DEFAULT_TASK_SIZE,
+    mcdram_mode: str = "flat",
+    include_symmetry: bool = True,
+    static_schedule: bool = False,
+) -> MulticoreResult:
+    """Model one run of ``algorithm`` on ``spec`` with ``threads`` threads.
+
+    ``mcdram_mode`` applies to the KNL only: ``ddr`` (HBW off), ``flat``,
+    or ``cache`` (paper Figure 7).
+    """
+    if threads < 1 or threads > spec.max_threads:
+        raise SimulationError(
+            f"threads must be in [1, {spec.max_threads}] for {spec.name}"
+        )
+
+    es = upper_edges(graph)
+    work = algorithm.work(es)
+    if include_symmetry:
+        work = work + symmetry_work(es)
+
+    n = graph.num_vertices
+    freq = spec.freq_ghz * 1e9
+    is_bmp = algorithm.requires_reorder
+    bitmap_bytes = n / 8.0
+
+    cnt_bytes = 4.0 * graph.num_directed_edges
+    csr_bytes = float(graph.memory_bytes()) + cnt_bytes
+    working_set = csr_bytes + (threads * bitmap_bytes if is_bmp else 0.0)
+
+    # ---------------- memory tier and miss rates ---------------- #
+    if spec.kind == "knl":
+        tier = knl_tier(spec, mcdram_mode, working_set)
+        # No L3: each thread-local bitmap competes for its own tile's 1MB
+        # L2 (two cores per tile), shared with co-resident threads.  This
+        # is the locality cliff behind BMP's KNL behavior (paper Fig. 5).
+        tiles = max(spec.cores // 2, 1)
+        threads_per_tile = max(1.0, threads / tiles)
+        miss_bitmap = analytic_miss_rate(
+            bitmap_bytes, spec.l2.size_bytes / threads_per_tile
+        )
+        reuse_cache_bytes = spec.l2.size_bytes
+    else:
+        tier = cpu_tier(spec)
+        # Shared L3: all concurrent thread-local bitmaps compete.
+        miss_bitmap = bitmap_working_set_miss_rate(
+            bitmap_bytes, threads if is_bmp else 1, spec.llc.size_bytes
+        )
+        reuse_cache_bytes = spec.llc.size_bytes
+    if not is_bmp:
+        miss_bitmap = 0.0
+
+    # Non-bitmap random accesses (galloping/binary-search probes and the
+    # symmetric-assignment lookups) target adjacency lists: a list of
+    # degree d is probed by its d incident edges, so it stays cached when
+    # it fits the reuse-capturing cache (L3 on the CPU, the tile L2 on the
+    # KNL).  Per-edge miss rate = fit-weighted reuse curve.
+    d_large = np.maximum(es.du, es.dv)
+    list_bytes = 4.0 * d_large
+    f_fit = np.minimum(1.0, reuse_cache_bytes / np.maximum(list_bytes, 1.0))
+    reuse = 2.0 / (2.0 + spec.stream_reuse_beta * d_large)
+    miss_other = np.clip(f_fit * reuse + (1.0 - f_fit), 0.02, 1.0)
+
+    # ---------------- per-edge cost (seconds, one thread) ---------------- #
+    scalar = work["scalar_ops"]
+    vector = work["vector_ops"]
+    bitmap_words = work["bitmap_words"]
+    other_rand = np.maximum(work["rand_words"] - bitmap_words, 0.0)
+    seq_words = work["seq_words"]
+
+    # Bitmap probes that hit in cache still pay the L3 (CPU) / L2 (KNL)
+    # hit latency, only partially overlapped — this is why sequential BMP
+    # is cache-latency-bound, and why the paper credits the CPU's L3 for
+    # BMP's behavior ("its L3 cache reduces the memory access latency").
+    hit_cache_cycles = (
+        spec.llc.latency_cycles if spec.kind == "cpu" else spec.l2.latency_cycles
+    )
+    cache_hit_s = (
+        bitmap_words * (1.0 - miss_bitmap) * hit_cache_cycles
+    ) / (spec.cache_hit_hide * freq)
+
+    compute_s = (
+        scalar / spec.scalar_ipc
+        + vector / spec.vector_ipc
+        + work["branch_ops"] * spec.branch_miss_cycles
+    ) / freq + cache_hit_s
+    missed = bitmap_words * miss_bitmap + other_rand * miss_other
+
+    # ---------------- scheduling makespan (compute) ---------------- #
+    # Compute throughput discounts hyperthreads by smt_gain; the latency
+    # bound below gets the *full* thread count because interleaved
+    # hyperthreads hide each other's stalls almost perfectly.
+    speed = _throughput_threads(spec, threads) / threads
+    chunks = chunk_work(compute_s, task_size) / speed
+    if static_schedule:
+        sched = simulate_static(chunks, threads)
+    else:
+        sched = simulate_dynamic(
+            chunks, threads, dequeue_overhead=spec.dequeue_overhead_us * 1e-6
+        )
+    t_compute = sched.makespan
+
+    # ---------------- latency bound ---------------- #
+    # Oversubscribing cores multiplies concurrent random misses; memory
+    # queues saturate and the effective service latency grows — the
+    # mechanism behind BMP's slowdown at 128/256 KNL threads (Fig. 5).
+    total_misses = float(missed.sum())
+    bitmap_misses = float(bitmap_words.sum()) * miss_bitmap
+    other_misses = total_misses - bitmap_misses
+    contention = 1.0 + spec.contention_alpha * max(0, threads - spec.cores) / spec.cores
+    t_latency = latency_time_s(
+        bitmap_misses, tier.latency_ns * contention, spec.bitmap_mlp, threads
+    ) + latency_time_s(other_misses, tier.latency_ns, spec.mlp, threads)
+
+    # ---------------- bandwidth bound ---------------- #
+    # An adjacency list of degree d is re-streamed for each of its d
+    # incident edges; caches capture that reuse, so only a 2/(2+beta*d)
+    # fraction of its streams reaches DRAM (hub lists are hot, light
+    # lists miss).  Random misses transfer a whole line each.
+    reuse_factor = 2.0 / (2.0 + spec.stream_reuse_beta * (es.du + es.dv))
+    stream_bytes = float(seq_words.sum()) * 4.0
+    dram_stream_bytes = float((seq_words * reuse_factor).sum()) * 4.0
+    miss_bytes = total_misses * CACHE_LINE_BYTES
+    bitmap_miss_bytes = bitmap_misses * CACHE_LINE_BYTES
+    t_bw = stream_time_s(
+        dram_stream_bytes + (miss_bytes - bitmap_miss_bytes), tier.bandwidth_gbs
+    ) + stream_time_s(
+        bitmap_miss_bytes, tier.bandwidth_gbs * spec.random_bw_efficiency
+    )
+
+    # ---------------- fixed costs ---------------- #
+    # The reorder's sort+remap parallelizes across a handful of threads.
+    t_reorder = (
+        REORDER_CYCLES_PER_EDGE
+        * graph.num_directed_edges
+        / (freq * min(threads, 8))
+        if is_bmp
+        else 0.0
+    )
+
+    # Compute, outstanding misses and streaming overlap (OoO cores, HW
+    # prefetch); the run is as slow as its tightest bottleneck.
+    total = max(t_compute, t_latency, t_bw) + t_reorder
+    return MulticoreResult(
+        seconds=total,
+        compute_seconds=t_compute,
+        latency_seconds=t_latency,
+        bandwidth_seconds=t_bw,
+        scheduling_overhead_seconds=sched.overhead,
+        reorder_seconds=t_reorder,
+        threads=threads,
+        tier_label=tier.label,
+        efficiency=sched.efficiency,
+        detail={
+            "miss_bitmap": miss_bitmap,
+            "miss_other": miss_other,
+            "stream_bytes": stream_bytes,
+            "miss_bytes": miss_bytes,
+            "bandwidth_gbs": tier.bandwidth_gbs,
+            "total_misses": total_misses,
+        },
+    )

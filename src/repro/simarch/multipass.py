@@ -1,0 +1,105 @@
+"""Multi-pass processing for unified memory (paper §4.2.2, Figure 8).
+
+When the graph exceeds the GPU's global memory, processing all
+destinations at once thrashes the on-demand pager.  The paper splits the
+destination-vertex range into passes sized so each pass's working set fits
+in what's left of global memory after the bitmap pool and a reserved
+sequential-access region:
+
+``passes = ceil(Mem_CSR / (Mem_global − Mem_reserved − Mem_BA))``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.simarch.specs import GPUSpec
+
+__all__ = ["PassPlan", "estimate_passes", "plan_passes", "page_fault_time_s"]
+
+#: Paper §5.2.2: "the reserved memory size is 500MB" (scaled alongside).
+DEFAULT_RESERVED_FRACTION_OF_GLOBAL = 500.0 / (12.0 * 1024.0)
+
+#: Super-linear thrash exponent: when a pass's working set exceeds the
+#: available memory, pages fault repeatedly; the paper's runs blow past a
+#: one-hour limit (Fig. 8's missing points). [calibrated]
+THRASH_EXPONENT = 3.0
+
+
+@dataclass(frozen=True)
+class PassPlan:
+    """A multi-pass execution plan and its modeled paging cost."""
+
+    passes: int
+    estimated_passes: int
+    available_bytes: float
+    per_pass_bytes: float
+    fault_pages: float
+    thrashing: bool
+
+
+def estimate_passes(
+    csr_bytes: float, global_bytes: float, reserved_bytes: float, bitmap_bytes: float
+) -> int:
+    """The paper's pass-count estimator."""
+    available = global_bytes - reserved_bytes - bitmap_bytes
+    if available <= 0:
+        raise CapacityError(
+            "bitmap pool + reserved memory exceed GPU global memory"
+        )
+    return max(1, math.ceil(csr_bytes / available))
+
+
+def plan_passes(
+    spec: GPUSpec,
+    csr_bytes: float,
+    bitmap_pool_bytes: float,
+    passes: int | None = None,
+    reserved_bytes: float | None = None,
+) -> PassPlan:
+    """Build a pass plan; model page-fault volume including thrashing.
+
+    With at least the estimated number of passes, every CSR byte faults
+    in once (plus a per-pass re-touch of the offset array, folded into
+    ``fault_pages``).  With fewer passes, the per-pass working set
+    overflows available memory and pages fault repeatedly — super-linearly
+    in the overflow ratio.
+    """
+    if reserved_bytes is None:
+        reserved_bytes = DEFAULT_RESERVED_FRACTION_OF_GLOBAL * spec.global_mem.capacity_bytes
+    est = estimate_passes(
+        csr_bytes, spec.global_mem.capacity_bytes, reserved_bytes, bitmap_pool_bytes
+    )
+    if passes is None:
+        passes = est
+    if passes < 1:
+        raise CapacityError("passes must be >= 1")
+
+    available = spec.global_mem.capacity_bytes - reserved_bytes - bitmap_pool_bytes
+    per_pass = csr_bytes / passes
+    if per_pass <= available:
+        # Clean: each byte migrates once; each extra pass re-touches ~10%
+        # of the CSR (offset array + boundary neighbors).
+        fault_bytes = csr_bytes * (1.0 + 0.1 * (passes - 1))
+        thrashing = False
+    else:
+        overflow = per_pass / available
+        fault_bytes = csr_bytes * (overflow**THRASH_EXPONENT) * passes
+        thrashing = True
+    return PassPlan(
+        passes=passes,
+        estimated_passes=est,
+        available_bytes=available,
+        per_pass_bytes=per_pass,
+        fault_pages=fault_bytes / spec.page_bytes,
+        thrashing=thrashing,
+    )
+
+
+def page_fault_time_s(spec: GPUSpec, plan: PassPlan) -> float:
+    """Seconds spent servicing page faults + migrating over the host link."""
+    fault_service = plan.fault_pages * spec.page_fault_us * 1e-6
+    migration = plan.fault_pages * spec.page_bytes / (spec.host_link_gbs * 1e9)
+    return fault_service + migration

@@ -1,0 +1,45 @@
+"""Human-readable reports for simulation results."""
+
+from __future__ import annotations
+
+from repro.simarch.engine import SimResult
+
+__all__ = ["format_sim_result"]
+
+
+def format_sim_result(result: SimResult) -> str:
+    """Render a :class:`SimResult` as an aligned multi-line report."""
+    lines = [
+        f"algorithm : {result.algorithm}",
+        f"processor : {result.processor}",
+        f"modeled   : {result.seconds:.6f} s",
+        "breakdown :",
+    ]
+    width = max((len(k) for k in result.breakdown), default=0)
+    for key, value in result.breakdown.items():
+        bar = ""
+        if result.seconds > 0 and value >= 0:
+            frac = min(value / result.seconds, 1.0)
+            bar = " " + "#" * int(round(frac * 30))
+        lines.append(f"  {key.ljust(width)} : {value:.6f} s{bar}")
+    interesting = (
+        "threads",
+        "task_size",
+        "mcdram_mode",
+        "tier",
+        "warps_per_block",
+        "passes",
+        "estimated_passes",
+        "thrashing",
+        "coprocessing",
+        "occupancy",
+    )
+    config = {k: result.config[k] for k in interesting if result.config.get(k) is not None}
+    if config:
+        lines.append("config    :")
+        cw = max(len(k) for k in config)
+        for key, value in config.items():
+            if isinstance(value, float):
+                value = f"{value:.3g}"
+            lines.append(f"  {key.ljust(cw)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Shared value types: operation counts and work vectors.
+
+Every instrumented kernel in :mod:`repro.kernels` reports what it did as an
+:class:`OpCounts` record.  The architecture simulator in :mod:`repro.simarch`
+consumes these records (or their vectorized aggregate, :class:`WorkVector`)
+and converts them to modeled time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OpCounts", "WorkVector"]
+
+
+@dataclass
+class OpCounts:
+    """Exact operation counts produced by one (or many) kernel invocations.
+
+    The fields mirror the cost-relevant events of the paper's kernels:
+
+    * merge kernels issue element *comparisons* and offset *advances*;
+    * the vectorized block-wise merge (VB) issues SIMD *vector_ops* at a
+      given lane width;
+    * pivot-skip (PS) issues *gallop_steps* and *binary_steps* inside its
+      ``LowerBound``;
+    * BMP issues *bitmap_set* / *bitmap_test* / *bitmap_clear* word
+      operations, and range filtering replaces some tests with
+      *filter_test* (+ *filter_skip* recording avoided big-bitmap reads);
+    * *seq_words* / *rand_words* classify 4-byte memory touches by access
+      pattern, which is what the memory model prices.
+    """
+
+    comparisons: int = 0
+    advances: int = 0
+    vector_ops: int = 0
+    lane_width: int = 1
+    gallop_steps: int = 0
+    binary_steps: int = 0
+    bitmap_set: int = 0
+    bitmap_test: int = 0
+    bitmap_clear: int = 0
+    filter_test: int = 0
+    filter_skip: int = 0
+    seq_words: int = 0
+    rand_words: int = 0
+    matches: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        if not isinstance(other, OpCounts):
+            return NotImplemented
+        merged = OpCounts()
+        for f in dataclasses.fields(OpCounts):
+            if f.name == "lane_width":
+                continue
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        merged.lane_width = max(self.lane_width, other.lane_width)
+        return merged
+
+    def __iadd__(self, other: "OpCounts") -> "OpCounts":
+        for f in dataclasses.fields(OpCounts):
+            if f.name == "lane_width":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        self.lane_width = max(self.lane_width, other.lane_width)
+        return self
+
+    @property
+    def scalar_instructions(self) -> int:
+        """Scalar ALU work: comparisons, advances, and search steps."""
+        return (
+            self.comparisons
+            + self.advances
+            + self.gallop_steps
+            + self.binary_steps
+            + self.bitmap_set
+            + self.bitmap_test
+            + self.bitmap_clear
+            + self.filter_test
+        )
+
+    @property
+    def total_instructions(self) -> int:
+        return self.scalar_instructions + self.vector_ops
+
+    @property
+    def total_words(self) -> int:
+        return self.seq_words + self.rand_words
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+# Field names a WorkVector carries.  Kept in one place so the cost model,
+# the scheduler, and the processor models agree on the schema.
+WORK_FIELDS = (
+    "scalar_ops",  # scalar ALU instructions
+    "vector_ops",  # SIMD instructions (already divided by lane width)
+    "branch_ops",  # data-dependent (hard-to-predict) branches
+    "rand_words",  # random-access 4-byte word touches
+    "seq_words",  # streaming 4-byte word touches
+    "bitmap_words",  # subset of rand_words that hit the big bitmap
+)
+
+
+class WorkVector:
+    """Per-task work, vectorized: one float per task for each work field.
+
+    Tasks are either edges (fine-grained, CPU/KNL) or vertices
+    (coarse-grained, GPU).  Arrays are aligned with the task order used by
+    the producer (documented at each call site).
+    """
+
+    __slots__ = ("n", "_data")
+
+    def __init__(self, n: int, **arrays: np.ndarray):
+        self.n = int(n)
+        self._data: dict[str, np.ndarray] = {}
+        for name in WORK_FIELDS:
+            arr = arrays.pop(name, None)
+            if arr is None:
+                arr = np.zeros(self.n, dtype=np.float64)
+            else:
+                arr = np.asarray(arr, dtype=np.float64)
+                if arr.shape != (self.n,):
+                    raise ValueError(
+                        f"work field {name!r} has shape {arr.shape}, expected ({self.n},)"
+                    )
+            self._data[name] = arr
+        if arrays:
+            raise TypeError(f"unknown work fields: {sorted(arrays)}")
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._data[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        if name not in WORK_FIELDS:
+            raise KeyError(name)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != (self.n,):
+            raise ValueError(f"shape {value.shape} != ({self.n},)")
+        self._data[name] = value
+
+    def fields(self) -> tuple[str, ...]:
+        return WORK_FIELDS
+
+    def total(self, name: str) -> float:
+        return float(self._data[name].sum())
+
+    def totals(self) -> dict[str, float]:
+        return {name: float(arr.sum()) for name, arr in self._data.items()}
+
+    def scaled(self, factor: float) -> "WorkVector":
+        return WorkVector(
+            self.n, **{name: arr * factor for name, arr in self._data.items()}
+        )
+
+    def __add__(self, other: "WorkVector") -> "WorkVector":
+        if not isinstance(other, WorkVector):
+            return NotImplemented
+        if other.n != self.n:
+            raise ValueError("WorkVector length mismatch")
+        return WorkVector(
+            self.n,
+            **{name: self._data[name] + other._data[name] for name in WORK_FIELDS},
+        )
+
+    def group_by(self, groups: np.ndarray, num_groups: int) -> "WorkVector":
+        """Aggregate per-task work into ``num_groups`` buckets.
+
+        ``groups[i]`` is the bucket of task ``i``.  Used to convert
+        per-edge work into per-vertex (thread-block) work for the GPU model.
+        """
+        groups = np.asarray(groups)
+        if groups.shape != (self.n,):
+            raise ValueError("groups must align with tasks")
+        out = WorkVector(num_groups)
+        for name in WORK_FIELDS:
+            out._data[name] = np.bincount(
+                groups, weights=self._data[name], minlength=num_groups
+            ).astype(np.float64)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        totals = ", ".join(f"{k}={v:.3g}" for k, v in self.totals().items())
+        return f"WorkVector(n={self.n}, {totals})"

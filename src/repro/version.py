@@ -1,0 +1,10 @@
+"""Version information for the reproduction package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "Yulin Che, Zhuohang Lai, Shixuan Sun, Qiong Luo, Yue Wang. "
+    "Accelerating All-Edge Common Neighbor Counting on Three Processors. "
+    "ICPP 2019."
+)

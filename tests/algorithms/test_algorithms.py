@@ -1,0 +1,94 @@
+"""Unit tests for the algorithm layer (M, MPS, BMP)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MPS, BMP, MergeBaseline, algorithm_names, get_algorithm
+from repro.algorithms.bmp import map_counts_to_original
+from repro.errors import UnknownAlgorithmError
+from repro.graph.reorder import reorder_graph
+from repro.kernels.batch import count_all_edges_matmul, count_all_edges_bitmap
+from repro.kernels.costmodel import upper_edges
+
+
+def test_registry_contents():
+    names = algorithm_names()
+    for expected in ("M", "MPS", "BMP", "BMP-RF", "MPS-AVX2", "MPS-AVX512", "MPS-SCALAR"):
+        assert expected in names
+
+
+def test_unknown_algorithm():
+    with pytest.raises(UnknownAlgorithmError):
+        get_algorithm("quantum")
+
+
+def test_get_algorithm_case_insensitive():
+    assert isinstance(get_algorithm("bmp"), BMP)
+    assert isinstance(get_algorithm("mps"), MPS)
+
+
+def test_get_algorithm_kwargs_override():
+    a = get_algorithm("MPS", skew_threshold=20.0)
+    assert a.skew_threshold == 20.0
+    with pytest.raises(TypeError):
+        get_algorithm("MPS", bogus=1)
+
+
+def test_all_algorithms_same_counts(medium_graph):
+    ref = count_all_edges_matmul(medium_graph)
+    for name in algorithm_names():
+        got = get_algorithm(name).count(medium_graph)
+        assert np.array_equal(got, ref), name
+
+
+def test_bmp_requires_reorder_flag():
+    assert BMP().requires_reorder
+    assert not MPS().requires_reorder
+    assert not MergeBaseline().requires_reorder
+
+
+def test_bmp_count_roundtrips_reorder(medium_graph, small_graph, small_graph_counts):
+    cnt = BMP().count(small_graph)
+    for (u, v), expected in small_graph_counts.items():
+        assert cnt[small_graph.edge_offset(u, v)] == expected
+
+
+def test_map_counts_to_original(medium_graph):
+    rr = reorder_graph(medium_graph)
+    counts_new = count_all_edges_bitmap(rr.graph)
+    mapped = map_counts_to_original(medium_graph, rr.new_id, counts_new)
+    assert np.array_equal(mapped, count_all_edges_matmul(medium_graph))
+
+
+def test_mps_describe():
+    assert "VB16" in MPS(lane_width=16).describe()
+    assert "scalar-merge" in MPS(vectorized=False).describe()
+    assert "RF" in get_algorithm("BMP-RF").describe()
+
+
+def test_mps_threshold_affects_work(medium_graph):
+    es = upper_edges(medium_graph)
+    strict = MPS(skew_threshold=1e9).work(es)  # everything VB
+    loose = MPS(skew_threshold=1.0).work(es)  # everything PS
+    # With all edges on PS, vector_ops count pivots instead of blocks.
+    assert strict.totals() != loose.totals()
+
+
+def test_mps_scalar_variant_has_branches(medium_graph):
+    es = upper_edges(medium_graph)
+    scalar = MPS(vectorized=False).work(es)
+    vectorized = MPS(vectorized=True).work(es)
+    assert scalar["branch_ops"].sum() > vectorized["branch_ops"].sum()
+
+
+def test_work_vector_alignment(medium_graph):
+    es = upper_edges(medium_graph)
+    for name in ("M", "MPS", "BMP"):
+        w = get_algorithm(name).work(es)
+        assert w.n == len(es)
+
+
+def test_baseline_work_matches_merge_formula(medium_graph):
+    es = upper_edges(medium_graph)
+    w = MergeBaseline().work(es)
+    assert np.allclose(w["scalar_ops"], 2.0 * (es.du + es.dv))

@@ -1,0 +1,79 @@
+"""Tests for the reference executions of Algorithms 1 and 2."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import (
+    run_bmp_reference,
+    run_merge_reference,
+    run_mps_reference,
+)
+from repro.graph.reorder import reorder_graph
+from repro.kernels.batch import count_all_edges_matmul
+from repro.types import OpCounts
+
+
+@pytest.fixture
+def expected(medium_graph):
+    return count_all_edges_matmul(medium_graph)
+
+
+def test_merge_reference_exact(medium_graph, expected):
+    assert np.array_equal(run_merge_reference(medium_graph), expected)
+
+
+def test_mps_reference_exact(medium_graph, expected):
+    assert np.array_equal(run_mps_reference(medium_graph), expected)
+
+
+@pytest.mark.parametrize("threshold", [1.5, 50.0, 1e9])
+def test_mps_reference_threshold_invariant(medium_graph, expected, threshold):
+    """Counts must not depend on the VB/PS dispatch threshold."""
+    assert np.array_equal(
+        run_mps_reference(medium_graph, skew_threshold=threshold), expected
+    )
+
+
+def test_bmp_reference_exact(medium_graph, expected):
+    assert np.array_equal(run_bmp_reference(medium_graph), expected)
+
+
+def test_bmp_reference_with_range_filter(medium_graph, expected):
+    got = run_bmp_reference(medium_graph, range_filter=True, range_scale=32)
+    assert np.array_equal(got, expected)
+
+
+def test_bmp_reference_on_reordered_graph(medium_graph):
+    """Reordering changes ids but preserves the triangle structure."""
+    rr = reorder_graph(medium_graph)
+    plain = run_bmp_reference(medium_graph)
+    reordered = run_bmp_reference(rr.graph)
+    assert plain.sum() == reordered.sum()
+
+
+def test_bmp_index_cost_accounting(medium_graph):
+    """Paper §3.2: every directed edge accounts for one set + one flip."""
+    ops = OpCounts()
+    run_bmp_reference(medium_graph, counts=ops)
+    m = medium_graph.num_directed_edges
+    assert ops.bitmap_set == m
+    assert ops.bitmap_clear == m
+    # Probes are the N(v) loops over v > u edges only.
+    assert ops.bitmap_test > 0
+
+
+def test_mps_reference_op_profile(medium_graph):
+    """Sanity: lowering the threshold moves work from VB to PS."""
+    vb_heavy, ps_heavy = OpCounts(), OpCounts()
+    run_mps_reference(medium_graph, skew_threshold=1e9, counts=vb_heavy)
+    run_mps_reference(medium_graph, skew_threshold=1.0, counts=ps_heavy)
+    assert ps_heavy.gallop_steps + ps_heavy.binary_steps > (
+        vb_heavy.gallop_steps + vb_heavy.binary_steps
+    )
+
+
+def test_references_on_small_graph(small_graph, small_graph_counts):
+    for runner in (run_merge_reference, run_mps_reference, run_bmp_reference):
+        cnt = runner(small_graph)
+        for (u, v), value in small_graph_counts.items():
+            assert cnt[small_graph.edge_offset(u, v)] == value, runner.__name__

@@ -1,0 +1,43 @@
+"""Unit tests for symmetric assignment and co-processing offsets."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.symmetry import (
+    coprocess_reverse_offsets,
+    reverse_offsets_via_search,
+    symmetric_assign_with_offsets,
+)
+from repro.types import OpCounts
+
+
+def test_search_matches_lexsort(small_graph, medium_graph):
+    for g in (small_graph, medium_graph):
+        slow = reverse_offsets_via_search(g)
+        fast = coprocess_reverse_offsets(g)
+        assert np.array_equal(slow, fast)
+
+
+def test_search_counts_binary_steps(small_graph):
+    c = OpCounts()
+    reverse_offsets_via_search(small_graph, c)
+    assert c.binary_steps > 0
+    # Each search costs at most ceil(log2(max_degree)) + 1 steps.
+    bound = small_graph.num_directed_edges * (
+        int(np.ceil(np.log2(max(small_graph.max_degree, 2)))) + 1
+    )
+    assert c.binary_steps <= bound
+
+
+def test_symmetric_assign_with_offsets(medium_graph):
+    src = medium_graph.edge_sources()
+    cnt = np.where(src < medium_graph.dst, np.arange(len(src)), 0)
+    rev = coprocess_reverse_offsets(medium_graph)
+    out = symmetric_assign_with_offsets(medium_graph, cnt.copy(), rev)
+    lower = src > medium_graph.dst
+    assert np.array_equal(out[lower], out[rev[lower]])
+
+
+def test_reverse_offsets_are_permutation(medium_graph):
+    rev = coprocess_reverse_offsets(medium_graph)
+    assert np.array_equal(np.sort(rev), np.arange(len(rev)))

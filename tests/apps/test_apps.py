@@ -1,0 +1,120 @@
+"""Unit tests for the application layer (similarity, SCAN, recommendation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    jaccard_similarity,
+    recommend_products,
+    scan_clustering,
+    structural_similarity,
+)
+from repro.core import count_common_neighbors
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import co_purchase_graph
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 5-cliques joined by a single bridge edge — classic SCAN input."""
+    edges = []
+    for base in (0, 5):
+        edges += [(base + i, base + j) for i in range(5) for j in range(i + 1, 5)]
+    edges.append((0, 5))  # bridge
+    return csr_from_pairs(edges)
+
+
+def test_structural_similarity_bounds(medium_graph):
+    sim = structural_similarity(count_common_neighbors(medium_graph))
+    assert np.all(sim > 0)
+    assert np.all(sim <= 1.0 + 1e-9)
+
+
+def test_structural_similarity_exact_value():
+    # Triangle: every edge has sigma = (1 + 2)/sqrt(3*3) = 1.
+    g = csr_from_pairs([(0, 1), (1, 2), (0, 2)])
+    sim = structural_similarity(count_common_neighbors(g))
+    assert np.allclose(sim, 1.0)
+
+
+def test_jaccard_bounds_and_order(medium_graph):
+    counted = count_common_neighbors(medium_graph)
+    jac = jaccard_similarity(counted)
+    assert np.all((0 < jac) & (jac <= 1.0))
+    # Jaccard <= cosine for the same sets.
+    assert np.all(jac <= structural_similarity(counted) + 1e-9)
+
+
+def test_scan_separates_cliques(two_cliques):
+    counted = count_common_neighbors(two_cliques)
+    result = scan_clustering(counted, eps=0.7, mu=3)
+    assert result.num_clusters == 2
+    labels = result.labels
+    assert len(set(labels[0:5])) == 1
+    assert len(set(labels[5:10])) == 1
+    assert labels[0] != labels[5]
+
+
+def test_scan_loose_eps_merges_everything(two_cliques):
+    counted = count_common_neighbors(two_cliques)
+    result = scan_clustering(counted, eps=0.1, mu=2)
+    assert result.num_clusters == 1
+
+
+def test_scan_identifies_hub():
+    # A vertex bridging two cliques without belonging to either.
+    edges = []
+    for base in (0, 5):
+        edges += [(base + i, base + j) for i in range(5) for j in range(i + 1, 5)]
+    edges += [(10, 0), (10, 5)]  # vertex 10 touches both cliques
+    g = csr_from_pairs(edges)
+    result = scan_clustering(count_common_neighbors(g), eps=0.6, mu=3)
+    assert result.num_clusters == 2
+    assert 10 in result.hubs.tolist()
+
+
+def test_scan_outliers():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 0)]  # 3 dangles off a triangle
+    g = csr_from_pairs(edges)
+    result = scan_clustering(count_common_neighbors(g), eps=0.9, mu=3)
+    assert 3 in result.outliers.tolist() or 3 in result.hubs.tolist() or result.labels[3] >= 0
+
+
+def test_scan_parameter_validation(two_cliques):
+    counted = count_common_neighbors(two_cliques)
+    with pytest.raises(ValueError):
+        scan_clustering(counted, eps=0.0)
+    with pytest.raises(ValueError):
+        scan_clustering(counted, mu=1)
+
+
+def test_recommendation_basics():
+    g = co_purchase_graph(300, 60, purchases_per_user=5, seed=9)
+    counted = count_common_neighbors(g)
+    product = int(g.degrees.argmax())
+    recs = recommend_products(counted, product, k=5)
+    assert 0 < len(recs) <= 5
+    scores = [s for _, s in recs]
+    assert scores == sorted(scores, reverse=True)
+    assert all(g.has_edge(product, p) for p, _ in recs)
+
+
+def test_recommendation_by_count_vs_similarity():
+    g = co_purchase_graph(300, 60, purchases_per_user=5, seed=9)
+    counted = count_common_neighbors(g)
+    product = int(g.degrees.argmax())
+    by_count = recommend_products(counted, product, k=3, by="count")
+    assert all(isinstance(p, int) for p, _ in by_count)
+    with pytest.raises(ValueError):
+        recommend_products(counted, product, by="stars")
+
+
+def test_recommendation_out_of_range(medium_graph):
+    counted = count_common_neighbors(medium_graph)
+    with pytest.raises(IndexError):
+        recommend_products(counted, medium_graph.num_vertices)
+
+
+def test_recommendation_isolated_product(small_graph):
+    counted = count_common_neighbors(small_graph)
+    assert recommend_products(counted, 7) == []

@@ -1,0 +1,67 @@
+"""Unit tests for clustering coefficients (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.coefficients import (
+    average_clustering,
+    local_clustering_coefficient,
+    transitivity,
+    triangles_per_vertex,
+)
+from repro.core import count_common_neighbors
+from repro.graph.build import csr_from_pairs
+
+
+def test_triangle_counts_per_vertex(small_graph):
+    counted = count_common_neighbors(small_graph)
+    tri = triangles_per_vertex(counted)
+    nxg = small_graph.to_networkx()
+    expected = nx.triangles(nxg)
+    for v in range(small_graph.num_vertices):
+        assert tri[v] == expected[v]
+
+
+def test_local_coefficient_matches_networkx(medium_graph):
+    counted = count_common_neighbors(medium_graph)
+    coeff = local_clustering_coefficient(counted)
+    expected = nx.clustering(medium_graph.to_networkx())
+    for v in range(0, medium_graph.num_vertices, 13):
+        assert coeff[v] == pytest.approx(expected[v], abs=1e-12)
+
+
+def test_average_clustering_matches_networkx(medium_graph):
+    counted = count_common_neighbors(medium_graph)
+    assert average_clustering(counted) == pytest.approx(
+        nx.average_clustering(medium_graph.to_networkx()), abs=1e-12
+    )
+
+
+def test_transitivity_matches_networkx(medium_graph):
+    counted = count_common_neighbors(medium_graph)
+    assert transitivity(counted) == pytest.approx(
+        nx.transitivity(medium_graph.to_networkx()), abs=1e-12
+    )
+
+
+def test_complete_graph_extremes():
+    g = csr_from_pairs([(i, j) for i in range(5) for j in range(i + 1, 5)])
+    counted = count_common_neighbors(g)
+    assert np.allclose(local_clustering_coefficient(counted), 1.0)
+    assert transitivity(counted) == pytest.approx(1.0)
+
+
+def test_triangle_free_graph():
+    g = csr_from_pairs([(i, i + 1) for i in range(6)])
+    counted = count_common_neighbors(g)
+    assert not triangles_per_vertex(counted).any()
+    assert transitivity(counted) == 0.0
+    assert average_clustering(counted) == 0.0
+
+
+def test_degree_one_vertices_get_zero(small_graph):
+    counted = count_common_neighbors(small_graph)
+    coeff = local_clustering_coefficient(counted)
+    assert coeff[6] == 0.0  # pendant
+    assert coeff[7] == 0.0  # isolated

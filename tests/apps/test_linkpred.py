@@ -1,0 +1,80 @@
+"""Unit tests for link prediction scores."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.linkpred import (
+    adamic_adar_score,
+    common_neighbor_score,
+    common_neighbors_of,
+    predict_links,
+    resource_allocation_score,
+)
+from repro.graph.build import csr_from_pairs
+
+
+def test_common_neighbors_of(small_graph):
+    assert common_neighbors_of(small_graph, 1, 4).tolist() == [0]
+    assert common_neighbors_of(small_graph, 0, 1).tolist() == [2, 3]
+    assert common_neighbors_of(small_graph, 6, 7).tolist() == []
+
+
+def test_scores_match_networkx(medium_graph):
+    nxg = medium_graph.to_networkx()
+    rng = np.random.default_rng(3)
+    pairs = [
+        (int(a), int(b))
+        for a, b in zip(
+            rng.integers(0, medium_graph.num_vertices, 15),
+            rng.integers(0, medium_graph.num_vertices, 15),
+        )
+        if a != b and not medium_graph.has_edge(int(a), int(b))
+    ]
+    aa = {(u, v): p for u, v, p in nx.adamic_adar_index(nxg, pairs)}
+    ra = {(u, v): p for u, v, p in nx.resource_allocation_index(nxg, pairs)}
+    for u, v in pairs:
+        assert adamic_adar_score(medium_graph, u, v) == pytest.approx(aa[(u, v)])
+        assert resource_allocation_score(medium_graph, u, v) == pytest.approx(ra[(u, v)])
+
+
+def test_common_score_is_count(small_graph):
+    assert common_neighbor_score(small_graph, 1, 4) == 1.0
+    assert common_neighbor_score(small_graph, 0, 7) == 0.0
+
+
+def test_adamic_adar_ignores_degree_one_sharers():
+    # 0-2-1 path: vertex 2 has degree 2, fine.  0-3-1 where 3 only
+    # connects to 0 and 1: also degree 2.  Build a case with a degree-1
+    # impossible sharer -> use triangle where shared vertex has degree 2.
+    g = csr_from_pairs([(0, 2), (1, 2)])
+    assert adamic_adar_score(g, 0, 1) == pytest.approx(1 / np.log(2))
+
+
+def test_predict_links_returns_two_hop_non_neighbors(medium_graph):
+    seed = int(medium_graph.degrees.argmax())
+    preds = predict_links(medium_graph, seed, k=5)
+    assert 0 < len(preds) <= 5
+    scores = [s for _, s in preds]
+    assert scores == sorted(scores, reverse=True)
+    for cand, _ in preds:
+        assert not medium_graph.has_edge(seed, cand)
+        assert cand != seed
+
+
+def test_predict_links_methods_differ(medium_graph):
+    seed = int(medium_graph.degrees.argmax())
+    by_common = predict_links(medium_graph, seed, k=10, method="common")
+    by_aa = predict_links(medium_graph, seed, k=10, method="adamic-adar")
+    assert len(by_common) == len(by_aa)
+
+
+def test_predict_links_validation(small_graph):
+    with pytest.raises(ValueError):
+        predict_links(small_graph, 0, method="tarot")
+    with pytest.raises(IndexError):
+        predict_links(small_graph, 99)
+
+
+def test_predict_links_isolated_vertex(small_graph):
+    assert predict_links(small_graph, 7) == []

@@ -1,0 +1,74 @@
+"""Smoke tests for the sweep-style experiments at reduced scale.
+
+The full-scale shape assertions live in benchmarks/; these verify the
+experiment functions stay structurally sound at any scale (row shapes,
+series lengths, value sanity) so refactors cannot silently break the
+harness between benchmark runs.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import render_table
+
+SCALE = 0.1
+
+
+def test_fig5_series_lengths():
+    result = experiments.fig5_scalability(scale=SCALE)
+    assert len(result.rows) == 8  # 2 datasets x (cpu,knl) x (MPS,BMP)
+    for row in result.rows:
+        threads, speedups = row[3], row[4]
+        assert len(threads) == len(speedups)
+        assert speedups[0] == 1.0
+        assert all(s > 0 for s in speedups)
+
+
+def test_fig8_series_lengths():
+    result = experiments.fig8_multipass(scale=SCALE)
+    for row in result.rows:
+        passes, seconds, thrash = row[3], row[4], row[5]
+        assert len(passes) == len(seconds) == len(thrash)
+        assert row[2] >= 1  # estimated passes
+
+
+def test_fig9_series_lengths():
+    result = experiments.fig9_block_size(scale=SCALE)
+    for row in result.rows:
+        warps, seconds = row[2], row[3]
+        assert len(warps) == len(seconds)
+        assert min(seconds) > 0
+
+
+def test_fig10_row_per_dataset():
+    result = experiments.fig10_comparison(scale=SCALE)
+    assert len(result.rows) == 5
+    cols = result.columns
+    for row in result.rows:
+        best, worst = row[cols.index("best")], row[cols.index("worst")]
+        times = row[1:7]
+        assert min(times) == row[cols.index(best)]
+        assert max(times) == row[cols.index(worst)]
+
+
+def test_table4_configs_complete():
+    result = experiments.table4_breakdown(scale=SCALE)
+    configs = {(r[0], r[1], r[2]) for r in result.rows}
+    for ds in ("tw", "fr"):
+        assert (ds, "cpu", "M") in configs
+        assert (ds, "knl", "MPS+V+P+HBW") in configs
+        assert (ds, "cpu", "BMP+P+RF") in configs
+    # Every row renders cleanly.
+    render_table(result)
+
+
+def test_all_experiments_have_unique_ids():
+    ids = [
+        fn(scale=SCALE).experiment_id
+        for fn in (
+            experiments.table1_datasets,
+            experiments.table2_skew,
+            experiments.table3_bitmap_memory,
+        )
+    ]
+    assert len(set(ids)) == len(ids)

@@ -1,0 +1,42 @@
+"""Unit tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.bench.figures import ascii_bars, ascii_series
+
+
+def test_bars_basic():
+    text = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+    lines = text.splitlines()
+    assert lines[0].startswith("a ")
+    assert lines[1].count("#") == 10  # the max fills the width
+    assert lines[0].count("#") == 5
+
+
+def test_bars_zero_values():
+    text = ascii_bars(["x"], [0.0])
+    assert "#" not in text
+
+
+def test_bars_validation():
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1.0, 2.0])
+    assert ascii_bars([], []) == "(empty)"
+
+
+def test_series_markers_and_legend():
+    text = ascii_series([1, 2, 4], {"mps": [1, 2, 3], "bmp": [3, 2, 1]})
+    assert "A = mps" in text and "B = bmp" in text
+    assert "A" in text and "B" in text
+    assert "x: 1 .. 4" in text
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        ascii_series([1, 2], {"s": [1.0]})
+    assert ascii_series([1], {}) == "(empty)"
+
+
+def test_series_constant_line():
+    text = ascii_series([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+    assert "flat" in text

@@ -1,0 +1,68 @@
+"""Unit tests for the bench harness and experiment smoke runs."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentResult, fmt, render_table
+
+
+@pytest.fixture
+def sample():
+    return ExperimentResult(
+        "tableX",
+        "Sample",
+        ["name", "value"],
+        [["a", 1.5], ["b", 20000]],
+        notes=["hello"],
+    )
+
+
+def test_render_contains_everything(sample):
+    text = render_table(sample)
+    assert "tableX" in text and "Sample" in text
+    assert "name" in text and "value" in text
+    assert "1.50" in text and "20,000" in text
+    assert "note: hello" in text
+
+
+def test_column_and_row_map(sample):
+    assert sample.column("value") == [1.5, 20000]
+    assert sample.row_map()["a"] == ["a", 1.5]
+
+
+def test_fmt_variants():
+    assert fmt(0.0) == "0"
+    assert fmt(0.1234567) == "0.1235"
+    assert fmt(3.14159) == "3.14"
+    assert fmt(123456.0) == "123,456"
+    assert fmt(42) == "42"
+    assert fmt("x") == "x"
+
+
+# ------------------------- experiment smoke runs ------------------------- #
+# Full-scale runs live in benchmarks/; here we only check the experiment
+# functions execute and produce well-formed rows at tiny scale.
+
+SMOKE_SCALE = 0.1
+
+
+@pytest.mark.parametrize(
+    "fn,n_rows",
+    [
+        (experiments.table1_datasets, 5),
+        (experiments.table2_skew, 5),
+        (experiments.table3_bitmap_memory, 2),
+        (experiments.table5_coprocessing, 2),
+        (experiments.table6_memory_passes, 4),
+        (experiments.table7_gpu_rf, 2),
+        (experiments.fig3_skew_handling, 4),
+        (experiments.fig4_vectorization, 4),
+        (experiments.fig6_range_filtering, 4),
+        (experiments.fig7_mcdram, 4),
+    ],
+)
+def test_experiment_smoke(fn, n_rows):
+    result = fn(scale=SMOKE_SCALE)
+    assert len(result.rows) == n_rows
+    assert all(len(r) == len(result.columns) for r in result.rows)
+    render_table(result)  # must not raise

@@ -1,0 +1,68 @@
+"""Shared fixtures and hypothesis configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    small_test_graph,
+)
+
+# Keep the property-based suite fast on small CI machines.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    """The fixed 8-vertex graph with known counts (see generators)."""
+    return small_test_graph()
+
+
+@pytest.fixture
+def medium_graph() -> CSRGraph:
+    """A power-law graph big enough to exercise skew paths (~3k edges)."""
+    return chung_lu_graph(600, 3000, exponent=2.1, seed=11)
+
+
+@pytest.fixture
+def uniform_graph() -> CSRGraph:
+    """A uniform random graph (no skew)."""
+    return erdos_renyi_graph(400, 2000, seed=5)
+
+
+#: Known ground truth for small_test_graph: cnt[(u,v)] per undirected edge.
+SMALL_GRAPH_COUNTS = {
+    (0, 1): 2,  # common: 2, 3
+    (0, 2): 2,  # common: 1, 3
+    (0, 3): 2,  # common: 1, 2
+    (0, 4): 1,  # common: 5
+    (0, 5): 1,  # common: 4
+    (1, 2): 2,  # common: 0, 3
+    (1, 3): 2,  # common: 0, 2
+    (2, 3): 2,  # common: 0, 1
+    (4, 5): 1,  # common: 0
+    (5, 6): 0,
+}
+
+
+@pytest.fixture
+def small_graph_counts() -> dict:
+    return dict(SMALL_GRAPH_COUNTS)
+
+
+@pytest.fixture
+def sorted_pair():
+    """Two sorted unique int arrays with a known intersection size."""
+    rng = np.random.default_rng(42)
+    a = np.unique(rng.integers(0, 200, 60))
+    b = np.unique(rng.integers(0, 200, 45))
+    return a, b, len(np.intersect1d(a, b))

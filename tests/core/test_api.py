@@ -1,0 +1,53 @@
+"""Unit tests for the public counting API."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommonNeighborCounter, count_common_neighbors, recommend_processor
+from repro.errors import AlgorithmError
+from repro.graph.datasets import load_dataset
+from repro.kernels.batch import count_all_edges_matmul
+
+
+def test_default_count(medium_graph):
+    result = count_common_neighbors(medium_graph)
+    assert np.array_equal(result.counts, count_all_edges_matmul(medium_graph))
+
+
+@pytest.mark.parametrize("backend", ["matmul", "bitmap", "merge", "parallel"])
+def test_all_backends_agree(small_graph, small_graph_counts, backend):
+    result = count_common_neighbors(small_graph, backend=backend)
+    for (u, v), expected in small_graph_counts.items():
+        assert result[u, v] == expected
+
+
+@pytest.mark.parametrize("algorithm", ["M", "MPS", "BMP", "BMP-RF"])
+def test_all_algorithms_agree(medium_graph, algorithm):
+    ref = count_common_neighbors(medium_graph)
+    got = count_common_neighbors(medium_graph, algorithm=algorithm)
+    assert np.array_equal(ref.counts, got.counts)
+
+
+def test_unknown_backend(medium_graph):
+    with pytest.raises(AlgorithmError):
+        count_common_neighbors(medium_graph, backend="gpu-magic")
+
+
+def test_counter_simulate(medium_graph):
+    counter = CommonNeighborCounter(algorithm="MPS")
+    r = counter.simulate(medium_graph, "cpu", threads=4)
+    assert r.seconds > 0
+    assert "MPS" in r.algorithm
+
+
+def test_counter_simulate_auto_selects(medium_graph):
+    counter = CommonNeighborCounter()
+    assert "BMP" in counter.simulate(medium_graph, "cpu", threads=2).algorithm
+    assert "MPS" in counter.simulate(medium_graph, "knl", threads=2).algorithm
+
+
+def test_recommend_processor_matches_paper_findings():
+    skewed = load_dataset("tw", scale=0.25, cache=False)
+    uniform = load_dataset("fr", scale=0.25, cache=False)
+    assert recommend_processor(skewed) == "gpu"
+    assert recommend_processor(uniform) == "knl"

@@ -1,0 +1,49 @@
+"""Unit tests for arbitrary-pair similarity queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_common_neighbors, count_pairs
+
+
+def test_pairs_match_edge_counts(small_graph, small_graph_counts):
+    pairs = list(small_graph_counts)
+    u = np.array([p[0] for p in pairs])
+    v = np.array([p[1] for p in pairs])
+    got = count_pairs(small_graph, u, v)
+    assert got.tolist() == [small_graph_counts[p] for p in pairs]
+
+
+def test_non_adjacent_pairs(small_graph):
+    # (1, 4): not an edge; vertex 0 is the only common neighbor.
+    # (2, 4): not an edge; vertex 0 again.
+    got = count_pairs(small_graph, [1, 2, 6], [4, 4, 7])
+    assert got.tolist() == [1, 1, 0]
+
+
+def test_pairs_symmetric(medium_graph):
+    rng = np.random.default_rng(0)
+    u = rng.integers(0, medium_graph.num_vertices, 20)
+    v = rng.integers(0, medium_graph.num_vertices, 20)
+    assert np.array_equal(
+        count_pairs(medium_graph, u, v), count_pairs(medium_graph, v, u)
+    )
+
+
+def test_pairs_match_brute_force(medium_graph):
+    rng = np.random.default_rng(1)
+    u = rng.integers(0, medium_graph.num_vertices, 30)
+    v = rng.integers(0, medium_graph.num_vertices, 30)
+    got = count_pairs(medium_graph, u, v)
+    for i in range(len(u)):
+        a = set(medium_graph.neighbors(int(u[i])).tolist())
+        b = set(medium_graph.neighbors(int(v[i])).tolist())
+        assert got[i] == len(a & b)
+
+
+def test_pairs_validation(small_graph):
+    with pytest.raises(ValueError):
+        count_pairs(small_graph, [0, 1], [2])
+    with pytest.raises(IndexError):
+        count_pairs(small_graph, [0], [99])
+    assert len(count_pairs(small_graph, [], [])) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the EdgeCounts result wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_common_neighbors
+from repro.core.result import EdgeCounts
+from repro.graph.build import csr_from_pairs
+
+
+@pytest.fixture
+def counted(small_graph):
+    return count_common_neighbors(small_graph)
+
+
+def test_lookup_both_directions(counted):
+    assert counted[0, 1] == counted[1, 0] == 2
+
+
+def test_lookup_missing_edge_raises(counted):
+    with pytest.raises(KeyError):
+        counted[0, 6]
+
+
+def test_len(counted, small_graph):
+    assert len(counted) == small_graph.num_directed_edges
+
+
+def test_misaligned_counts_rejected(small_graph):
+    with pytest.raises(ValueError):
+        EdgeCounts(small_graph, np.zeros(3))
+
+
+def test_triangle_count(counted):
+    # small_test_graph has triangles: 012, 013, 023, 123, 045 = 5.
+    assert counted.triangle_count() == 5
+
+
+def test_per_vertex_sum(counted, small_graph):
+    sums = counted.per_vertex_sum()
+    assert len(sums) == small_graph.num_vertices
+    assert sums[7] == 0  # isolated vertex
+    assert sums.sum() == counted.counts.sum()
+
+
+def test_top_edges(counted):
+    top = counted.top_edges(3)
+    assert len(top) == 3
+    assert all(u < v for u, v, _ in top)
+    counts = [c for _, _, c in top]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] == 2
+
+
+def test_is_symmetric(counted):
+    assert counted.is_symmetric()
+    broken = counted.counts.copy()
+    broken[0] += 1
+    assert not EdgeCounts(counted.graph, broken).is_symmetric()
+
+
+def test_repr(counted):
+    assert "triangles=5" in repr(counted)
+
+
+def test_complete_graph_triangles():
+    n = 6
+    g = csr_from_pairs([(i, j) for i in range(n) for j in range(i + 1, n)])
+    c = count_common_neighbors(g)
+    assert c.triangle_count() == n * (n - 1) * (n - 2) // 6
+
+
+def test_histogram_accounts_every_edge(counted, small_graph):
+    values, freq = counted.histogram()
+    assert freq.sum() == small_graph.num_edges
+    hist = dict(zip(values.tolist(), freq.tolist()))
+    # small graph: one zero-count edge (5,6), three count-1, six count-2.
+    assert hist == {0: 1, 1: 3, 2: 6}
+
+
+def test_save_load_roundtrip(tmp_path, counted, small_graph):
+    path = tmp_path / "counts.npz"
+    counted.save(path)
+    loaded = EdgeCounts.load(small_graph, path)
+    assert np.array_equal(loaded.counts, counted.counts)
+
+
+def test_load_rejects_wrong_graph(tmp_path, counted):
+    path = tmp_path / "counts.npz"
+    counted.save(path)
+    other = csr_from_pairs([(0, 1)], num_vertices=3)
+    with pytest.raises(ValueError, match="different graph"):
+        EdgeCounts.load(other, path)

@@ -1,0 +1,52 @@
+"""Unit tests for verification machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_common_neighbors, verify_counts
+from repro.core.result import EdgeCounts
+from repro.core.verify import brute_force_counts
+from repro.errors import VerificationError
+from repro.kernels.batch import count_all_edges_matmul
+
+
+def test_brute_force_matches_fast_paths(medium_graph):
+    assert np.array_equal(
+        brute_force_counts(medium_graph), count_all_edges_matmul(medium_graph)
+    )
+
+
+def test_verify_passes_on_correct_counts(small_graph, medium_graph):
+    verify_counts(count_common_neighbors(small_graph), against="brute")
+    verify_counts(count_common_neighbors(medium_graph), against="networkx")
+    verify_counts(count_common_neighbors(medium_graph), against="auto")
+
+
+def test_verify_detects_corruption_brute(small_graph):
+    result = count_common_neighbors(small_graph)
+    bad = result.counts.copy()
+    eo = small_graph.edge_offset(0, 1)
+    bad[eo] += 1
+    bad[small_graph.edge_offset(1, 0)] += 1  # keep symmetric
+    with pytest.raises(VerificationError, match="mismatch"):
+        verify_counts(EdgeCounts(small_graph, bad), against="brute")
+
+
+def test_verify_detects_asymmetry(small_graph):
+    result = count_common_neighbors(small_graph)
+    bad = result.counts.copy()
+    bad[0] += 1
+    with pytest.raises(VerificationError, match="symmetric"):
+        verify_counts(EdgeCounts(small_graph, bad))
+
+
+def test_verify_detects_corruption_networkx(medium_graph):
+    result = count_common_neighbors(medium_graph)
+    bad = result.counts + 6  # symmetric but wrong everywhere
+    with pytest.raises(VerificationError, match="triangle"):
+        verify_counts(EdgeCounts(medium_graph, bad), against="networkx")
+
+
+def test_verify_unknown_reference(small_graph):
+    with pytest.raises(ValueError):
+        verify_counts(count_common_neighbors(small_graph), against="oracle")

@@ -1,0 +1,92 @@
+"""Unit tests for edge-list → CSR construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import csr_from_pairs, csr_to_undirected_pairs, edges_to_csr
+from repro.graph.validate import check_symmetric
+
+
+def test_simple_triangle():
+    g = csr_from_pairs([(0, 1), (1, 2), (0, 2)])
+    assert g.num_vertices == 3
+    assert g.num_edges == 3
+    assert g.neighbors(0).tolist() == [1, 2]
+    assert g.neighbors(1).tolist() == [0, 2]
+
+
+def test_self_loops_dropped():
+    g = csr_from_pairs([(0, 0), (0, 1), (1, 1)])
+    assert g.num_edges == 1
+    assert not g.has_edge(0, 0)
+
+
+def test_duplicates_collapse():
+    g = csr_from_pairs([(0, 1), (1, 0), (0, 1), (0, 1)])
+    assert g.num_edges == 1
+
+
+def test_symmetrization():
+    g = csr_from_pairs([(0, 1)])
+    assert g.has_edge(0, 1) and g.has_edge(1, 0)
+    check_symmetric(g)
+
+
+def test_no_symmetrize_keeps_directions():
+    g = edges_to_csr(np.array([0]), np.array([1]), 2, symmetrize=False)
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+
+
+def test_num_vertices_inferred():
+    g = csr_from_pairs([(3, 7)])
+    assert g.num_vertices == 8
+
+
+def test_explicit_num_vertices_allows_isolated():
+    g = csr_from_pairs([(0, 1)], num_vertices=10)
+    assert g.num_vertices == 10
+    assert g.degree(9) == 0
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(GraphFormatError):
+        edges_to_csr(np.array([0]), np.array([5]), num_vertices=3)
+    with pytest.raises(GraphFormatError):
+        edges_to_csr(np.array([-1]), np.array([0]), num_vertices=3)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(GraphFormatError):
+        edges_to_csr(np.array([0, 1]), np.array([1]))
+
+
+def test_bad_pairs_shape_rejected():
+    with pytest.raises(GraphFormatError):
+        csr_from_pairs([(0, 1, 2)])
+
+
+def test_empty_graph():
+    g = csr_from_pairs([], num_vertices=5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 0
+
+
+def test_only_self_loops_yields_empty():
+    g = csr_from_pairs([(1, 1), (2, 2)], num_vertices=4)
+    assert g.num_edges == 0
+
+
+def test_undirected_pairs_roundtrip(medium_graph):
+    u, v = csr_to_undirected_pairs(medium_graph)
+    assert len(u) == medium_graph.num_edges
+    assert np.all(u < v)
+    rebuilt = edges_to_csr(u, v, medium_graph.num_vertices)
+    assert rebuilt == medium_graph
+
+
+def test_adjacency_sorted_after_build(medium_graph):
+    for x in range(0, medium_graph.num_vertices, 37):
+        nbrs = medium_graph.neighbors(x)
+        assert np.all(np.diff(nbrs) > 0)

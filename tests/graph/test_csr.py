@@ -1,0 +1,137 @@
+"""Unit tests for CSRGraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.build import csr_from_pairs
+
+
+def test_basic_sizes(small_graph):
+    assert small_graph.num_vertices == 8
+    assert small_graph.num_edges == 10
+    assert small_graph.num_directed_edges == 20
+
+
+def test_degrees(small_graph):
+    assert small_graph.degree(0) == 5
+    assert small_graph.degree(7) == 0
+    assert small_graph.degrees.sum() == small_graph.num_directed_edges
+    assert small_graph.max_degree == 5
+
+
+def test_average_degree(small_graph):
+    assert small_graph.average_degree == pytest.approx(20 / 8)
+
+
+def test_average_degree_empty_graph():
+    g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int32))
+    assert g.num_vertices == 0
+    assert g.average_degree == 0.0
+    assert g.max_degree == 0
+
+
+def test_neighbors_sorted(small_graph):
+    for u in range(small_graph.num_vertices):
+        nbrs = small_graph.neighbors(u)
+        assert np.all(np.diff(nbrs) > 0)
+
+
+def test_neighbors_content(small_graph):
+    assert small_graph.neighbors(0).tolist() == [1, 2, 3, 4, 5]
+    assert small_graph.neighbors(6).tolist() == [5]
+    assert small_graph.neighbors(7).tolist() == []
+
+
+def test_neighbor_range(small_graph):
+    lo, hi = small_graph.neighbor_range(0)
+    assert (lo, hi) == (0, 5)
+    lo, hi = small_graph.neighbor_range(7)
+    assert lo == hi
+
+
+def test_has_edge(small_graph):
+    assert small_graph.has_edge(0, 1)
+    assert small_graph.has_edge(1, 0)
+    assert not small_graph.has_edge(0, 6)
+    assert not small_graph.has_edge(7, 0)
+
+
+def test_edge_offset_roundtrip(small_graph):
+    for u in range(small_graph.num_vertices):
+        for v in small_graph.neighbors(u):
+            eo = small_graph.edge_offset(u, int(v))
+            assert small_graph.dst[eo] == v
+            assert small_graph.source_of(eo) == u
+
+
+def test_edge_offset_missing_raises(small_graph):
+    with pytest.raises(EdgeNotFoundError):
+        small_graph.edge_offset(0, 6)
+    with pytest.raises(EdgeNotFoundError):
+        small_graph.edge_offset(7, 0)
+
+
+def test_edge_not_found_is_keyerror(small_graph):
+    with pytest.raises(KeyError):
+        small_graph.edge_offset(0, 7)
+
+
+def test_source_of_bounds(small_graph):
+    with pytest.raises(IndexError):
+        small_graph.source_of(-1)
+    with pytest.raises(IndexError):
+        small_graph.source_of(small_graph.num_directed_edges)
+
+
+def test_source_of_with_zero_degree_vertices():
+    # Vertex 1 has degree zero; its offset range aliases vertex 2's start.
+    g = csr_from_pairs([(0, 2), (2, 3)], num_vertices=4)
+    src = g.edge_sources()
+    for eo in range(g.num_directed_edges):
+        assert g.source_of(eo) == src[eo]
+
+
+def test_reverse_edge_offset(small_graph):
+    for u in range(small_graph.num_vertices):
+        for v in small_graph.neighbors(u):
+            eo = small_graph.edge_offset(u, int(v))
+            rev = small_graph.reverse_edge_offset(eo)
+            assert small_graph.source_of(rev) == v
+            assert small_graph.dst[rev] == u
+
+
+def test_edge_sources(small_graph):
+    src = small_graph.edge_sources()
+    assert len(src) == small_graph.num_directed_edges
+    assert src[0] == 0 and src[-1] == 6
+
+
+def test_memory_bytes(small_graph):
+    expected = small_graph.offsets.nbytes + small_graph.dst.nbytes
+    assert small_graph.memory_bytes() == expected
+
+
+def test_to_networkx(small_graph):
+    nxg = small_graph.to_networkx()
+    assert nxg.number_of_nodes() == 8
+    assert nxg.number_of_edges() == 10
+
+
+def test_equality(small_graph):
+    other = CSRGraph(small_graph.offsets.copy(), small_graph.dst.copy())
+    assert small_graph == other
+    assert small_graph != CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, np.int32))
+
+
+def test_repr(small_graph):
+    text = repr(small_graph)
+    assert "|V|=8" in text and "|E|=10" in text
+
+
+def test_validation_on_construction():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 2]), np.array([1, 1]))  # duplicate neighbor
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([1, 2]), np.array([0, 1]))  # offsets[0] != 0

@@ -1,0 +1,76 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    PAPER_TABLE1,
+    clear_dataset_cache,
+    dataset_names,
+    load_dataset,
+    memory_scale,
+)
+from repro.graph.stats import skew_percentage
+from repro.graph.validate import validate_csr
+
+
+def test_registry_has_all_five():
+    assert dataset_names() == ("lj", "or", "wi", "tw", "fr")
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError):
+        load_dataset("nope")
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_small_scale_loads_valid(name):
+    g = load_dataset(name, scale=0.05, cache=False)
+    validate_csr(g)
+    assert g.num_edges > 0
+
+
+def test_cache_returns_same_object():
+    a = load_dataset("lj", scale=0.05)
+    b = load_dataset("lj", scale=0.05)
+    assert a is b
+    clear_dataset_cache()
+    c = load_dataset("lj", scale=0.05)
+    assert c is not a
+    assert c == a
+
+
+def test_reordered_flag_applies_invariant():
+    g = load_dataset("tw", scale=0.05, reordered=True, cache=False)
+    src = g.edge_sources()
+    mask = src < g.dst
+    d = g.degrees
+    assert np.all(d[src[mask]] >= d[g.dst[mask]])
+
+
+def test_skew_profile_ordering():
+    """The stand-ins preserve Table 2's ordering: WI > TW >> FR."""
+    skews = {
+        name: skew_percentage(load_dataset(name, scale=0.25, cache=False))
+        for name in ("wi", "tw", "fr")
+    }
+    assert skews["wi"] > skews["tw"] > skews["fr"]
+
+
+def test_paper_table_complete():
+    for name in dataset_names():
+        assert set(PAPER_TABLE1[name]) == {"V", "E", "avg_d", "max_d"}
+        assert DATASETS[name].paper_stats() is PAPER_TABLE1[name]
+
+
+def test_memory_scale_positive_and_large():
+    g = load_dataset("tw", scale=0.25, cache=False)
+    ms = memory_scale("tw", g)
+    assert ms > 100  # stand-ins are orders of magnitude smaller
+
+
+def test_scale_parameter_grows_graph():
+    small = load_dataset("lj", scale=0.05, cache=False)
+    larger = load_dataset("lj", scale=0.1, cache=False)
+    assert larger.num_vertices > small.num_vertices

@@ -1,0 +1,68 @@
+"""Unit tests for degree-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.datasets import load_dataset
+from repro.graph.degrees import (
+    degree_ccdf,
+    degree_histogram,
+    gini_coefficient,
+    hill_tail_exponent,
+)
+from repro.graph.generators import chung_lu_graph, uniformish_graph
+
+
+def test_histogram_sums_to_vertices(medium_graph):
+    values, counts = degree_histogram(medium_graph)
+    assert counts.sum() == medium_graph.num_vertices
+    assert np.all(np.diff(values) > 0)
+
+
+def test_histogram_star():
+    g = csr_from_pairs([(0, i) for i in range(1, 6)])
+    values, counts = degree_histogram(g)
+    assert values.tolist() == [1, 5]
+    assert counts.tolist() == [5, 1]
+
+
+def test_ccdf_monotone_decreasing(medium_graph):
+    values, tail = degree_ccdf(medium_graph)
+    assert tail[0] == pytest.approx(1.0)
+    assert np.all(np.diff(tail) <= 1e-12)
+    assert tail[-1] > 0
+
+
+def test_hill_estimator_recovers_generator_exponent():
+    """Chung-Lu with exponent alpha should fit a tail near alpha."""
+    g = chung_lu_graph(20000, 120000, exponent=2.1, seed=4)
+    alpha = hill_tail_exponent(g, tail_fraction=0.05)
+    assert 1.6 < alpha < 3.0
+
+
+def test_hill_uniform_graph_has_steep_tail():
+    heavy = chung_lu_graph(5000, 25000, exponent=2.0, seed=1)
+    uniform = uniformish_graph(5000, 25000, spread=0.3, seed=1)
+    assert hill_tail_exponent(uniform) > hill_tail_exponent(heavy)
+
+
+def test_hill_validation(small_graph):
+    with pytest.raises(ValueError):
+        hill_tail_exponent(small_graph)  # too few vertices
+    with pytest.raises(ValueError):
+        hill_tail_exponent(small_graph, tail_fraction=0.0)
+
+
+def test_gini_orders_stand_ins():
+    """The skewed stand-ins are more hub-dominated than friendster's."""
+    tw = load_dataset("tw", scale=0.2, cache=False)
+    fr = load_dataset("fr", scale=0.2, cache=False)
+    assert gini_coefficient(tw) > gini_coefficient(fr) + 0.1
+
+
+def test_gini_extremes():
+    ring = csr_from_pairs([(i, (i + 1) % 8) for i in range(8)])
+    assert gini_coefficient(ring) == pytest.approx(0.0, abs=1e-9)
+    star = csr_from_pairs([(0, i) for i in range(1, 9)])
+    assert gini_coefficient(star) > 0.35

@@ -1,0 +1,117 @@
+"""Unit tests for the random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    chung_lu_graph,
+    co_purchase_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    small_test_graph,
+    uniformish_graph,
+)
+from repro.graph.stats import skew_percentage
+from repro.graph.validate import check_symmetric, validate_csr
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: rmat_graph(8, edge_factor=4, seed=1),
+        lambda: chung_lu_graph(300, 900, seed=1),
+        lambda: erdos_renyi_graph(200, 600, seed=1),
+        lambda: uniformish_graph(200, 700, seed=1),
+        lambda: co_purchase_graph(100, 50, seed=1),
+        small_test_graph,
+    ],
+)
+def test_generators_produce_valid_graphs(factory):
+    g = factory()
+    validate_csr(g)
+    check_symmetric(g)
+    assert g.num_edges > 0
+
+
+def test_generators_deterministic():
+    a = chung_lu_graph(200, 600, seed=7)
+    b = chung_lu_graph(200, 600, seed=7)
+    assert a == b
+
+
+def test_generators_seed_sensitivity():
+    a = chung_lu_graph(200, 600, seed=7)
+    b = chung_lu_graph(200, 600, seed=8)
+    assert a != b
+
+
+def test_rmat_vertex_count():
+    g = rmat_graph(7, edge_factor=4, seed=0)
+    assert g.num_vertices == 128
+
+
+def test_rmat_bad_params():
+    with pytest.raises(ValueError):
+        rmat_graph(0)
+    with pytest.raises(ValueError):
+        rmat_graph(8, a=0.9, b=0.2, c=0.2)
+
+
+def test_chung_lu_needs_two_vertices():
+    with pytest.raises(ValueError):
+        chung_lu_graph(1, 10)
+
+
+def test_heavy_tail_is_skewed():
+    """Lower exponent → heavier tail → more highly skewed intersections."""
+    heavy = chung_lu_graph(2000, 10000, exponent=1.9, seed=2)
+    light = uniformish_graph(2000, 10000, spread=0.4, seed=2)
+    assert skew_percentage(heavy) > skew_percentage(light)
+
+
+def test_uniformish_has_low_skew():
+    g = uniformish_graph(2000, 10000, spread=0.4, seed=3)
+    assert skew_percentage(g) < 5.0
+
+
+def test_co_purchase_projection_shape():
+    g = co_purchase_graph(200, 80, purchases_per_user=5, seed=4)
+    assert g.num_vertices == 80
+    # popular products should exist: max degree well above average
+    assert g.max_degree > 2 * g.average_degree / 2
+
+
+def test_small_test_graph_known_structure(small_graph_counts):
+    g = small_test_graph()
+    assert g.num_vertices == 8
+    assert g.degree(7) == 0  # isolated vertex
+    assert set(small_graph_counts) == {
+        (int(u), int(v))
+        for u in range(8)
+        for v in g.neighbors(u)
+        if u < v
+    }
+
+
+def test_planted_partition_structure():
+    from repro.graph.generators import planted_partition_graph
+
+    g = planted_partition_graph(3, 30, p_in=0.5, p_out=0.005, seed=7)
+    validate_csr(g)
+    check_symmetric(g)
+    # Edges are overwhelmingly intra-community.
+    from repro.graph.build import csr_to_undirected_pairs
+
+    u, v = csr_to_undirected_pairs(g)
+    intra = ((u // 30) == (v // 30)).mean()
+    assert intra > 0.85
+
+
+def test_planted_partition_validation():
+    from repro.graph.generators import planted_partition_graph
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        planted_partition_graph(0, 10)
+    with _pytest.raises(ValueError):
+        planted_partition_graph(2, 10, p_in=0.1, p_out=0.5)

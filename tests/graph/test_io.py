@@ -1,0 +1,105 @@
+"""Unit tests for graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_csr, read_edge_list, save_csr, write_edge_list
+
+
+def test_edge_list_roundtrip(tmp_path, medium_graph):
+    path = tmp_path / "g.txt"
+    write_edge_list(medium_graph, path)
+    loaded = read_edge_list(path, num_vertices=medium_graph.num_vertices)
+    assert loaded == medium_graph
+
+
+def test_read_snap_style_comments(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# SNAP header\n# more\n0 1\n1 2\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_read_extra_columns_ignored(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 0.5\n1 2 0.9\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_read_rejects_short_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n")
+    with pytest.raises(GraphFormatError, match="expected"):
+        read_edge_list(path)
+
+
+def test_read_rejects_non_integer(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphFormatError, match="non-integer"):
+        read_edge_list(path)
+
+
+def test_read_rejects_negative_ids(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("-1 2\n")
+    with pytest.raises(GraphFormatError, match="negative"):
+        read_edge_list(path)
+
+
+def test_read_empty_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# nothing\n")
+    g = read_edge_list(path, num_vertices=3)
+    assert g.num_edges == 0 and g.num_vertices == 3
+
+
+def test_npz_roundtrip(tmp_path, medium_graph):
+    path = tmp_path / "g.npz"
+    save_csr(medium_graph, path)
+    assert load_csr(path) == medium_graph
+
+
+def test_npz_missing_arrays(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez_compressed(path, foo=np.arange(3))
+    with pytest.raises(GraphFormatError, match="missing"):
+        load_csr(path)
+
+
+def test_gzip_edge_list(tmp_path, medium_graph):
+    import gzip
+
+    from repro.graph.io import read_edge_list, write_edge_list
+
+    plain = tmp_path / "g.txt"
+    write_edge_list(medium_graph, plain)
+    gz = tmp_path / "g.txt.gz"
+    with open(plain, "rb") as fi, gzip.open(gz, "wb") as fo:
+        fo.write(fi.read())
+    loaded = read_edge_list(gz, num_vertices=medium_graph.num_vertices)
+    assert loaded == medium_graph
+
+
+def test_paper_binary_roundtrip(tmp_path, medium_graph):
+    from repro.graph.io import load_paper_binary, save_paper_binary
+
+    save_paper_binary(medium_graph, tmp_path)
+    assert (tmp_path / "b_degree.bin").exists()
+    assert (tmp_path / "b_adj.bin").exists()
+    assert load_paper_binary(tmp_path) == medium_graph
+
+
+def test_paper_binary_header_validation(tmp_path, small_graph):
+    import numpy as np
+
+    from repro.graph.io import load_paper_binary, save_paper_binary
+
+    save_paper_binary(small_graph, tmp_path)
+    # Corrupt the adjacency file: drop the last neighbor.
+    adj = np.fromfile(tmp_path / "b_adj.bin", dtype=np.int32)
+    adj[:-1].tofile(tmp_path / "b_adj.bin")
+    with pytest.raises(GraphFormatError, match="expected"):
+        load_paper_binary(tmp_path)

@@ -1,0 +1,87 @@
+"""Unit tests for graph sampling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.sample import (
+    ego_network,
+    induced_subgraph,
+    largest_degree_core,
+    sample_edges,
+)
+from repro.graph.validate import check_symmetric, validate_csr
+
+
+def test_induced_subgraph_structure(small_graph):
+    sub, old_ids = induced_subgraph(small_graph, np.array([0, 1, 2, 3]))
+    validate_csr(sub)
+    check_symmetric(sub)
+    assert sub.num_vertices == 4
+    # 0-1-2-3 is a clique in the small graph.
+    assert sub.num_edges == 6
+    assert old_ids.tolist() == [0, 1, 2, 3]
+
+
+def test_induced_subgraph_drops_external_edges(small_graph):
+    sub, _ = induced_subgraph(small_graph, np.array([0, 6]))
+    assert sub.num_edges == 0  # 0 and 6 are not adjacent
+
+
+def test_induced_subgraph_bounds(small_graph):
+    with pytest.raises(IndexError):
+        induced_subgraph(small_graph, np.array([99]))
+
+
+def test_ego_network_radius_one(small_graph):
+    sub, old_ids = ego_network(small_graph, 6, radius=1)
+    assert set(old_ids.tolist()) == {5, 6}
+    assert sub.num_edges == 1
+
+
+def test_ego_network_radius_two(small_graph):
+    _, old_ids = ego_network(small_graph, 6, radius=2)
+    assert set(old_ids.tolist()) == {0, 4, 5, 6}
+
+
+def test_ego_network_radius_zero(small_graph):
+    sub, old_ids = ego_network(small_graph, 3, radius=0)
+    assert old_ids.tolist() == [3]
+    assert sub.num_edges == 0
+
+
+def test_ego_network_validation(small_graph):
+    with pytest.raises(IndexError):
+        ego_network(small_graph, 99)
+    with pytest.raises(ValueError):
+        ego_network(small_graph, 0, radius=-1)
+
+
+def test_sample_edges(medium_graph):
+    u, v = sample_edges(medium_graph, 25, seed=1)
+    assert len(u) == 25
+    for a, b in zip(u, v):
+        assert medium_graph.has_edge(int(a), int(b))
+    u2, v2 = sample_edges(medium_graph, 25, seed=1)
+    assert np.array_equal(u, u2) and np.array_equal(v, v2)  # deterministic
+
+
+def test_sample_edges_too_many(small_graph):
+    with pytest.raises(ValueError):
+        sample_edges(small_graph, 1000)
+
+
+def test_largest_degree_core(medium_graph):
+    core, old_ids = largest_degree_core(medium_graph, 30)
+    assert core.num_vertices == 30
+    cutoff = np.sort(medium_graph.degrees)[-30]
+    assert np.all(medium_graph.degrees[old_ids] >= cutoff)
+    # The hub core is denser than the full graph.
+    assert core.average_degree >= 0
+
+
+def test_largest_degree_core_validation(small_graph):
+    with pytest.raises(ValueError):
+        largest_degree_core(small_graph, 0)
+    core, _ = largest_degree_core(small_graph, 100)  # clamps to |V|
+    assert core.num_vertices == small_graph.num_vertices

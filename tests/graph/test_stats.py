@@ -1,0 +1,59 @@
+"""Unit tests for graph statistics (Tables 1-2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.stats import (
+    graph_statistics,
+    skew_percentage,
+    skew_ratios,
+)
+
+
+def test_statistics_fields(small_graph):
+    s = graph_statistics(small_graph, "small")
+    assert s.name == "small"
+    assert s.num_vertices == 8
+    assert s.num_edges == 10
+    assert s.max_degree == 5
+    assert s.average_degree == pytest.approx(2.5)
+
+
+def test_skew_ratios_star_graph():
+    # Star: hub degree 4, leaves degree 1 → ratio 4 on every edge.
+    g = csr_from_pairs([(0, i) for i in range(1, 5)])
+    ratios = skew_ratios(g)
+    assert np.allclose(ratios, 4.0)
+
+
+def test_skew_percentage_thresholding():
+    g = csr_from_pairs([(0, i) for i in range(1, 5)])
+    assert skew_percentage(g, threshold=3.0) == 100.0
+    assert skew_percentage(g, threshold=5.0) == 0.0
+
+
+def test_skew_percentage_regular_graph():
+    # Cycle: every vertex degree 2 → no skew at any threshold > 1.
+    n = 10
+    g = csr_from_pairs([(i, (i + 1) % n) for i in range(n)])
+    assert skew_percentage(g, threshold=1.5) == 0.0
+
+
+def test_skew_empty_graph():
+    g = csr_from_pairs([], num_vertices=3)
+    assert skew_percentage(g) == 0.0
+    assert len(skew_ratios(g)) == 0
+
+
+def test_ratio_is_symmetric_in_orientation():
+    # ratio uses max/min, so it's orientation-independent.
+    g = csr_from_pairs([(0, 1), (0, 2), (0, 3), (3, 4)])
+    ratios = skew_ratios(g)
+    assert np.all(ratios >= 1.0)
+
+
+def test_as_row_format(small_graph):
+    row = graph_statistics(small_graph, "s").as_row()
+    assert row[0] == "s"
+    assert row[-1].endswith("%")

@@ -1,0 +1,72 @@
+"""Unit tests for CSR structural validation (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import check_symmetric, validate_csr
+
+
+def _raw(offsets, dst):
+    """Build without eager validation so we can feed corrupt layouts."""
+    return CSRGraph(np.asarray(offsets), np.asarray(dst), validate=False)
+
+
+def test_valid_graph_passes(small_graph):
+    validate_csr(small_graph)
+    check_symmetric(small_graph)
+
+
+def test_offsets_must_start_at_zero():
+    with pytest.raises(GraphFormatError, match="offsets\\[0\\]"):
+        validate_csr(_raw([1, 2], [0]))
+
+
+def test_offsets_must_end_at_len_dst():
+    with pytest.raises(GraphFormatError, match="offsets\\[-1\\]"):
+        validate_csr(_raw([0, 3], [1, 0]))
+
+
+def test_offsets_must_be_monotone():
+    with pytest.raises(GraphFormatError, match="non-decreasing"):
+        validate_csr(_raw([0, 2, 1, 3], [1, 2, 0]))
+
+
+def test_neighbor_ids_in_range():
+    with pytest.raises(GraphFormatError, match="out of range"):
+        validate_csr(_raw([0, 1], [5]))
+    with pytest.raises(GraphFormatError, match="out of range"):
+        validate_csr(_raw([0, 1], [-2]))
+
+
+def test_unsorted_adjacency_rejected():
+    with pytest.raises(GraphFormatError, match="ascending"):
+        validate_csr(_raw([0, 2, 3, 4], [2, 1, 0, 0]))
+
+
+def test_duplicate_neighbor_rejected():
+    with pytest.raises(GraphFormatError, match="ascending"):
+        validate_csr(_raw([0, 2, 2, 2], [1, 1]))
+
+
+def test_descending_across_row_boundary_allowed():
+    # dst = [2, 0]: decreasing across the row boundary is legal.
+    g = _raw([0, 1, 2, 2], [2, 0])
+    validate_csr(g)
+
+
+def test_self_loop_rejected():
+    with pytest.raises(GraphFormatError, match="self-loop"):
+        validate_csr(_raw([0, 1], [0]))
+
+
+def test_empty_offsets_rejected():
+    with pytest.raises(GraphFormatError):
+        validate_csr(_raw(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32)))
+
+
+def test_asymmetric_edges_detected():
+    g = _raw([0, 1, 1], [1])  # 0->1 stored, 1->0 missing
+    with pytest.raises(GraphFormatError, match="symmetric"):
+        check_symmetric(g)

@@ -1,0 +1,76 @@
+"""Integration tests: the full pipeline on every dataset family."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    count_common_neighbors,
+    load_dataset,
+    recommend_processor,
+    simulate,
+    verify_counts,
+)
+from repro.apps import scan_clustering, structural_similarity
+from repro.graph.datasets import dataset_names
+from repro.graph.generators import (
+    chung_lu_graph,
+    co_purchase_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    uniformish_graph,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: rmat_graph(9, edge_factor=6, seed=2),
+        lambda: chung_lu_graph(500, 2500, seed=2),
+        lambda: erdos_renyi_graph(400, 1600, seed=2),
+        lambda: uniformish_graph(400, 1600, seed=2),
+        lambda: co_purchase_graph(300, 100, seed=2),
+    ],
+)
+def test_count_and_verify_every_generator_family(factory):
+    g = factory()
+    result = count_common_neighbors(g)
+    verify_counts(result)
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_datasets_end_to_end(name):
+    g = load_dataset(name, scale=0.1, cache=False)
+    result = count_common_neighbors(g)
+    verify_counts(result, against="networkx")
+    # Simulation runs for every processor on every dataset.
+    for proc in ("cpu", "knl", "gpu"):
+        r = simulate(g, "BMP-RF" if proc != "knl" else "MPS-AVX512", proc, threads=None if proc == "gpu" else 8)
+        assert r.seconds > 0
+
+
+def test_full_analytics_workflow():
+    """Graph → counts → similarity → clustering, like an online pipeline."""
+    g = load_dataset("lj", scale=0.1, cache=False)
+    counts = count_common_neighbors(g, backend="bitmap")
+    sim = structural_similarity(counts)
+    assert len(sim) == g.num_directed_edges
+    clusters = scan_clustering(counts, eps=0.5, mu=3)
+    assert clusters.labels.max() >= 0  # found at least one cluster
+    assert recommend_processor(g) in ("gpu", "knl")
+
+
+def test_parallel_backend_agrees_on_dataset():
+    g = load_dataset("or", scale=0.1, cache=False)
+    serial = count_common_neighbors(g)
+    parallel = count_common_neighbors(g, backend="parallel", num_workers=2)
+    assert np.array_equal(serial.counts, parallel.counts)
+
+
+def test_algorithm_backends_cross_agree_on_skewed_data():
+    g = load_dataset("wi", scale=0.1, cache=False)
+    results = [
+        count_common_neighbors(g, algorithm=a).counts
+        for a in ("M", "MPS", "BMP", "BMP-RF")
+    ]
+    for r in results[1:]:
+        assert np.array_equal(results[0], r)

@@ -1,0 +1,113 @@
+"""Unit tests for the word-packed bitmap and IntersectBMP."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.bitmap import Bitmap, intersect_bitmap
+from repro.types import OpCounts
+
+
+def test_set_and_test():
+    bm = Bitmap(100)
+    bm.set_many(np.array([0, 63, 64, 99]))
+    for vid, expect in [(0, True), (63, True), (64, True), (99, True), (1, False), (65, False)]:
+        assert bm.test(vid) is expect
+
+
+def test_test_many_vectorized():
+    bm = Bitmap(200)
+    ids = np.array([5, 70, 128, 199])
+    bm.set_many(ids)
+    probe = np.arange(200)
+    hits = bm.test_many(probe)
+    assert np.array_equal(np.flatnonzero(hits), ids)
+
+
+def test_clear_restores_zero():
+    bm = Bitmap(100)
+    ids = np.array([1, 50, 99])
+    bm.set_many(ids)
+    assert not bm.is_clear()
+    bm.clear_many(ids)
+    assert bm.is_clear()
+
+
+def test_clear_only_touches_given_bits():
+    bm = Bitmap(128)
+    bm.set_many(np.array([3, 4, 5]))
+    bm.clear_many(np.array([4]))
+    assert bm.test(3) and bm.test(5) and not bm.test(4)
+
+
+def test_duplicate_sets_idempotent():
+    bm = Bitmap(64)
+    bm.set_many(np.array([7, 7, 7]))
+    assert bm.popcount() == 1
+
+
+def test_popcount():
+    bm = Bitmap(1000)
+    ids = np.arange(0, 1000, 7)
+    bm.set_many(ids)
+    assert bm.popcount() == len(ids)
+
+
+def test_out_of_range_rejected():
+    bm = Bitmap(10)
+    with pytest.raises(IndexError):
+        bm.set_many(np.array([10]))
+    with pytest.raises(IndexError):
+        bm.test_many(np.array([-1]))
+    with pytest.raises(IndexError):
+        bm.test(10)
+
+
+def test_memory_bytes_matches_paper_formula():
+    """Paper: a bitmap of cardinality |V| costs |V|/8 bytes."""
+    bm = Bitmap(4096)
+    assert bm.memory_bytes() == 4096 // 8
+    # Non-multiple-of-64 cardinalities round up to whole words.
+    assert Bitmap(65).memory_bytes() == 16
+
+
+def test_zero_cardinality():
+    bm = Bitmap(0)
+    assert bm.is_clear()
+    assert bm.memory_bytes() == 0
+
+
+def test_negative_cardinality_rejected():
+    with pytest.raises(ValueError):
+        Bitmap(-1)
+
+
+def test_intersect_bitmap_exact(sorted_pair):
+    a, b, expected = sorted_pair
+    bm = Bitmap(300)
+    bm.set_many(a)
+    assert intersect_bitmap(bm, b) == expected
+
+
+def test_intersect_counts(sorted_pair):
+    a, b, expected = sorted_pair
+    bm = Bitmap(300)
+    c = OpCounts()
+    bm.set_many(a, c)
+    assert c.bitmap_set == len(a)
+    n = intersect_bitmap(bm, b, c)
+    assert c.bitmap_test == len(b)
+    assert c.matches == n == expected
+    bm.clear_many(a, c)
+    assert c.bitmap_clear == len(a)
+
+
+def test_reuse_across_intersections():
+    """The BMP pattern: one build, many probes, one clear."""
+    bm = Bitmap(1000)
+    base = np.arange(0, 1000, 5)
+    bm.set_many(base)
+    for probe in (np.arange(0, 1000, 10), np.arange(0, 1000, 3)):
+        expected = len(np.intersect1d(base, probe))
+        assert intersect_bitmap(bm, probe) == expected
+    bm.clear_many(base)
+    assert bm.is_clear()

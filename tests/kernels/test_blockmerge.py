@@ -1,0 +1,81 @@
+"""Unit tests for the vectorized block-wise merge (VB)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.blockmerge import block_sizes, intersect_block_merge
+from repro.kernels.merge import intersect_merge
+from repro.types import OpCounts
+
+
+@pytest.mark.parametrize(
+    "lane,expected",
+    [(8, (4, 2)), (16, (4, 4)), (32, (8, 4)), (4, (2, 2)), (1, (1, 1)), (6, (3, 2))],
+)
+def test_block_sizes(lane, expected):
+    b1, b2 = block_sizes(lane)
+    assert (b1, b2) == expected
+    assert b1 * b2 == lane
+
+
+def test_block_sizes_invalid():
+    with pytest.raises(ValueError):
+        block_sizes(0)
+
+
+def test_known_intersection():
+    a = np.arange(0, 40, 2)
+    b = np.arange(0, 40, 3)
+    assert intersect_block_merge(a, b) == len(np.intersect1d(a, b))
+
+
+@pytest.mark.parametrize("lane", [1, 4, 8, 16, 32])
+def test_matches_merge_random(lane):
+    rng = np.random.default_rng(lane)
+    for _ in range(100):
+        a = np.unique(rng.integers(0, 300, rng.integers(0, 70)))
+        b = np.unique(rng.integers(0, 300, rng.integers(0, 70)))
+        assert intersect_block_merge(a, b, lane_width=lane) == intersect_merge(a, b)
+
+
+def test_empty_and_tiny_inputs():
+    e = np.empty(0, dtype=np.int64)
+    assert intersect_block_merge(e, e) == 0
+    assert intersect_block_merge(np.array([5]), np.array([5])) == 1
+    assert intersect_block_merge(np.array([5]), np.array([6])) == 0
+
+
+def test_vector_ops_counted():
+    a = np.arange(64)
+    b = np.arange(64)
+    c = OpCounts()
+    intersect_block_merge(a, b, c, lane_width=8)
+    assert c.vector_ops > 0
+    assert c.lane_width == 8
+    assert c.matches == 64
+
+
+def test_wider_lanes_issue_fewer_vector_ops():
+    a = np.arange(512)
+    b = np.arange(0, 1024, 2)
+    c8, c16 = OpCounts(), OpCounts()
+    intersect_block_merge(a, b, c8, lane_width=8)
+    intersect_block_merge(a, b, c16, lane_width=16)
+    assert c16.vector_ops < c8.vector_ops
+
+
+def test_fewer_branches_than_scalar_merge():
+    """VB's motivation: one data-dependent branch per block, not element."""
+    a = np.arange(0, 1000, 2)
+    b = np.arange(0, 1000, 3)
+    cm, cv = OpCounts(), OpCounts()
+    intersect_merge(a, b, cm)
+    intersect_block_merge(a, b, cv, lane_width=8)
+    assert cv.comparisons < cm.comparisons / 2
+
+
+def test_duplicate_free_all_pair_counting():
+    """All-pair block comparison must not double count within blocks."""
+    a = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+    b = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+    assert intersect_block_merge(a, b, lane_width=8) == 8

@@ -1,0 +1,138 @@
+"""Validation of the closed-form cost model against instrumented kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.graph.reorder import reorder_graph
+from repro.kernels.costmodel import (
+    block_merge_work,
+    bmp_work,
+    measure_work_sample,
+    merge_work,
+    mps_work,
+    pivot_skip_work,
+    skew_mask,
+    symmetry_work,
+    upper_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def tw_graph():
+    return load_dataset("tw", scale=0.15, reordered=True, cache=False)
+
+
+@pytest.fixture(scope="module")
+def es(tw_graph):
+    return upper_edges(tw_graph)
+
+
+def test_upper_edges_shape(es, tw_graph):
+    assert len(es) == tw_graph.num_edges
+    assert np.all(es.u < es.v)
+    d = tw_graph.degrees
+    assert np.array_equal(es.du, d[es.u].astype(float))
+    assert np.array_equal(es.dv, d[es.v].astype(float))
+
+
+def test_edge_offsets_point_to_v(es, tw_graph):
+    assert np.array_equal(tw_graph.dst[es.edge_offsets], es.v)
+
+
+def test_skew_mask_threshold(es):
+    loose = skew_mask(es, 2.0).sum()
+    strict = skew_mask(es, 100.0).sum()
+    assert loose > strict >= 0
+
+
+@pytest.mark.parametrize(
+    "kind,estimator,field,tol",
+    [
+        ("merge", lambda es: merge_work(es), "scalar_ops", 2.0),
+        ("block_merge", lambda es: block_merge_work(es), "vector_ops", 2.0),
+        ("pivot_skip", lambda es: pivot_skip_work(es), "vector_ops", 2.5),
+        ("mps", lambda es: mps_work(es), "vector_ops", 2.0),
+    ],
+)
+def test_estimates_track_measurements(tw_graph, es, kind, estimator, field, tol):
+    """Closed forms stay within a small factor of the exact counts."""
+    measured, _, idx = measure_work_sample(tw_graph, kind, 120, seed=9)
+    est = estimator(es)
+    est_total = float(est[field][idx].sum())
+    meas_total = {
+        "scalar_ops": measured.scalar_instructions,
+        "vector_ops": measured.vector_ops,
+    }[field]
+    assert est_total > 0
+    ratio = meas_total / est_total
+    assert 1 / tol <= ratio <= tol, f"{kind}/{field}: ratio {ratio:.2f}"
+
+
+def test_bmp_probe_estimate_is_exact(tw_graph, es):
+    """Post-reorder, BMP probes exactly min(d_u, d_v) per edge."""
+    measured, _, idx = measure_work_sample(tw_graph, "bmp", 100, seed=5)
+    assert measured.bitmap_test == int(es.d_small[idx].sum())
+
+
+def test_bmp_rf_probes_bounded(tw_graph, es):
+    measured, _, idx = measure_work_sample(tw_graph, "bmp_rf", 100, seed=5, range_scale=16)
+    # Filter tests cover every probe; big-bitmap tests are a subset.
+    assert measured.bitmap_test <= int(es.d_small[idx].sum())
+
+
+def test_rf_reduces_modeled_bitmap_traffic(es):
+    plain = bmp_work(es, range_filter=False)
+    filtered = bmp_work(es, range_filter=True, range_scale=16)
+    assert filtered["bitmap_words"].sum() < plain["bitmap_words"].sum()
+
+
+def test_rf_never_increases_probes_per_edge(es):
+    plain = bmp_work(es, range_filter=False)
+    filtered = bmp_work(es, range_filter=True, range_scale=16)
+    assert np.all(filtered["bitmap_words"] <= plain["bitmap_words"] + 1e-9)
+
+
+def test_bmp_without_reorder_costs_more(tw_graph):
+    """Without the reorder, probes use d_v regardless of size (>= min)."""
+    es_plain = upper_edges(load_dataset("tw", scale=0.15, cache=False))
+    with_r = bmp_work(es_plain, assume_reordered=True)
+    without = bmp_work(es_plain, assume_reordered=False)
+    assert without["scalar_ops"].sum() >= with_r["scalar_ops"].sum()
+
+
+def test_wider_lanes_reduce_vector_ops(es):
+    w8 = block_merge_work(es, 8)["vector_ops"].sum()
+    w16 = block_merge_work(es, 16)["vector_ops"].sum()
+    assert w16 < w8
+
+
+def test_mps_blends_vb_and_ps(es):
+    mps = mps_work(es, threshold=50.0)
+    vb = block_merge_work(es)
+    ps = pivot_skip_work(es)
+    skewed = skew_mask(es, 50.0)
+    assert np.allclose(mps["scalar_ops"][skewed], ps["scalar_ops"][skewed])
+    assert np.allclose(mps["scalar_ops"][~skewed], vb["scalar_ops"][~skewed])
+
+
+def test_ps_work_tracks_small_side(es):
+    """Paper's complexity: PS is O(c · d_s)."""
+    w = pivot_skip_work(es)
+    # Work per edge should correlate with d_small, not d_large.
+    per_edge = w["scalar_ops"]
+    small = es.d_small
+    hi = per_edge[small > np.quantile(small, 0.9)].mean()
+    lo = per_edge[small <= np.quantile(small, 0.1)].mean()
+    assert hi > lo
+
+
+def test_symmetry_work_logarithmic(es):
+    w = symmetry_work(es)
+    assert np.all(w["scalar_ops"] <= np.log2(1 + es.dv) + 2 + 1e-9)
+    assert np.all(w["rand_words"] >= 1.0)
+
+
+def test_measure_unknown_kind(tw_graph):
+    with pytest.raises(ValueError):
+        measure_work_sample(tw_graph, "nope", 4)

@@ -1,0 +1,89 @@
+"""Unit tests for the lower-bound search kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.lowerbound import (
+    binary_lower_bound,
+    galloping_lower_bound,
+    hybrid_lower_bound,
+)
+from repro.types import OpCounts
+
+ARR = np.array([2, 4, 4, 8, 10, 15, 20, 21, 30, 41, 55, 70, 90, 120])
+
+
+def _reference(arr, lo, hi, target):
+    return lo + int(np.searchsorted(arr[lo:hi], target, side="left"))
+
+
+@pytest.mark.parametrize("fn", [binary_lower_bound, galloping_lower_bound, hybrid_lower_bound])
+@pytest.mark.parametrize("target", [-5, 0, 2, 3, 4, 9, 21, 89, 120, 121, 1000])
+def test_matches_searchsorted(fn, target):
+    assert fn(ARR, 0, len(ARR), target) == _reference(ARR, 0, len(ARR), target)
+
+
+@pytest.mark.parametrize("fn", [binary_lower_bound, galloping_lower_bound, hybrid_lower_bound])
+def test_sub_ranges(fn):
+    for lo in range(0, len(ARR), 3):
+        for hi in range(lo, len(ARR) + 1, 4):
+            for target in (0, 8, 22, 200):
+                assert fn(ARR, lo, hi, target) == _reference(ARR, lo, hi, target)
+
+
+@pytest.mark.parametrize("fn", [binary_lower_bound, galloping_lower_bound, hybrid_lower_bound])
+def test_empty_range(fn):
+    assert fn(ARR, 5, 5, 10) == 5
+
+
+def test_binary_counts_steps():
+    c = OpCounts()
+    binary_lower_bound(ARR, 0, len(ARR), 21, c)
+    assert 1 <= c.binary_steps <= int(np.ceil(np.log2(len(ARR)))) + 1
+    assert c.rand_words == c.binary_steps
+
+
+def test_galloping_counts_on_long_array():
+    arr = np.arange(0, 100000, 3)
+    c = OpCounts()
+    idx = galloping_lower_bound(arr, 0, len(arr), 90000, c)
+    assert arr[idx] >= 90000 and (idx == 0 or arr[idx - 1] < 90000)
+    # Galloping needs ~log2(target_pos / 16) doublings, far fewer than a
+    # scan and comparable to binary search.
+    assert c.gallop_steps <= 20
+    assert c.binary_steps <= 20
+
+
+def test_galloping_faster_than_binary_for_near_targets():
+    """Galloping shines when the answer is near the start (skew case)."""
+    arr = np.arange(100000)
+    cg, cb = OpCounts(), OpCounts()
+    galloping_lower_bound(arr, 0, len(arr), 10, cg)
+    binary_lower_bound(arr, 0, len(arr), 10, cb)
+    assert cg.gallop_steps + cg.binary_steps < cb.binary_steps
+
+
+def test_hybrid_uses_one_vector_op_for_near_answers():
+    c = OpCounts()
+    hybrid_lower_bound(ARR, 0, len(ARR), 4, lane_width=8, counts=c)
+    assert c.vector_ops == 1
+    assert c.gallop_steps == 0  # answer inside the SIMD block
+
+
+def test_hybrid_lane_width_recorded():
+    c = OpCounts()
+    hybrid_lower_bound(ARR, 0, len(ARR), 1000, lane_width=16, counts=c)
+    assert c.lane_width == 16
+
+
+def test_random_cross_validation():
+    rng = np.random.default_rng(3)
+    for _ in range(100):
+        arr = np.unique(rng.integers(0, 10000, 200))
+        target = int(rng.integers(-10, 10100))
+        lo = int(rng.integers(0, len(arr)))
+        hi = int(rng.integers(lo, len(arr) + 1))
+        ref = _reference(arr, lo, hi, target)
+        assert binary_lower_bound(arr, lo, hi, target) == ref
+        assert galloping_lower_bound(arr, lo, hi, target) == ref
+        assert hybrid_lower_bound(arr, lo, hi, target) == ref

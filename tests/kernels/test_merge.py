@@ -1,0 +1,65 @@
+"""Unit tests for IntersectM (plain merge)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.merge import intersect_merge
+from repro.types import OpCounts
+
+
+def test_known_intersection():
+    a = np.array([1, 3, 5, 7])
+    b = np.array([3, 4, 5, 8])
+    assert intersect_merge(a, b) == 2
+
+
+def test_disjoint():
+    assert intersect_merge(np.array([1, 2]), np.array([3, 4])) == 0
+
+
+def test_identical():
+    a = np.arange(10)
+    assert intersect_merge(a, a) == 10
+
+
+def test_empty_inputs():
+    e = np.empty(0, dtype=np.int64)
+    assert intersect_merge(e, np.array([1, 2])) == 0
+    assert intersect_merge(np.array([1, 2]), e) == 0
+    assert intersect_merge(e, e) == 0
+
+
+def test_subset():
+    assert intersect_merge(np.array([2, 4]), np.arange(10)) == 2
+
+
+def test_commutative(sorted_pair):
+    a, b, expected = sorted_pair
+    assert intersect_merge(a, b) == expected
+    assert intersect_merge(b, a) == expected
+
+
+def test_counts_bounded_by_sum_of_sizes(sorted_pair):
+    a, b, _ = sorted_pair
+    c = OpCounts()
+    intersect_merge(a, b, c)
+    assert c.comparisons <= len(a) + len(b)
+    assert c.comparisons >= min(len(a), len(b))
+    assert c.seq_words <= len(a) + len(b)
+    assert c.matches == intersect_merge(a, b)
+
+
+def test_counts_accumulate():
+    c = OpCounts()
+    intersect_merge(np.array([1]), np.array([1]), c)
+    first = c.comparisons
+    intersect_merge(np.array([1]), np.array([1]), c)
+    assert c.comparisons == 2 * first
+    assert c.matches == 2
+
+
+def test_early_exit_on_exhaustion():
+    """Merge stops when the shorter array is consumed."""
+    c = OpCounts()
+    intersect_merge(np.array([1]), np.arange(1000), c)
+    assert c.comparisons <= 2

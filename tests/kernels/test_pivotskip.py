@@ -1,0 +1,67 @@
+"""Unit tests for IntersectPS (pivot-skip merge)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.merge import intersect_merge
+from repro.kernels.pivotskip import intersect_pivot_skip
+from repro.types import OpCounts
+
+
+def test_known_intersection():
+    a = np.array([1, 3, 5, 7, 9])
+    b = np.array([3, 9])
+    assert intersect_pivot_skip(a, b) == 2
+
+
+def test_matches_merge_on_random_inputs():
+    rng = np.random.default_rng(1)
+    for _ in range(150):
+        a = np.unique(rng.integers(0, 500, rng.integers(0, 80)))
+        b = np.unique(rng.integers(0, 500, rng.integers(0, 80)))
+        assert intersect_pivot_skip(a, b) == intersect_merge(a, b)
+
+
+def test_empty_inputs():
+    e = np.empty(0, dtype=np.int64)
+    assert intersect_pivot_skip(e, np.array([1])) == 0
+    assert intersect_pivot_skip(np.array([1]), e) == 0
+
+
+def test_extreme_skew_correct():
+    big = np.arange(0, 100000, 2)
+    small = np.array([10, 11, 50000, 99998])
+    assert intersect_pivot_skip(big, small) == 3
+
+
+def test_skew_case_cheaper_than_merge():
+    """PS's whole point: on skewed pairs it does far less work than M."""
+    big = np.arange(0, 100000, 2)
+    small = np.array([10, 50000, 99998])
+    cm, cp = OpCounts(), OpCounts()
+    intersect_merge(big, small, cm)
+    intersect_pivot_skip(big, small, cp)
+    assert cp.total_instructions < cm.total_instructions / 100
+
+
+def test_complexity_scales_with_smaller_set():
+    """Paper: PS is O(c · d_s) — work tracks the small side."""
+    big = np.arange(0, 200000, 2)
+    c1, c2 = OpCounts(), OpCounts()
+    intersect_pivot_skip(big, np.array([5, 100001]), c1)
+    small16 = np.linspace(1, 199999, 16).astype(np.int64)
+    intersect_pivot_skip(big, np.unique(small16), c2)
+    assert c2.total_instructions < 30 * c1.total_instructions
+
+
+def test_lane_width_variants(sorted_pair):
+    a, b, expected = sorted_pair
+    for lw in (1, 2, 8, 16, 32):
+        assert intersect_pivot_skip(a, b, lane_width=lw) == expected
+
+
+def test_counts_record_matches(sorted_pair):
+    a, b, expected = sorted_pair
+    c = OpCounts()
+    intersect_pivot_skip(a, b, c)
+    assert c.matches == expected

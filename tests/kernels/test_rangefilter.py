@@ -1,0 +1,81 @@
+"""Unit tests for the range-filtered (two-level) bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.rangefilter import (
+    DEFAULT_RANGE_SCALE,
+    RangeFilteredBitmap,
+    intersect_range_filtered,
+)
+from repro.types import OpCounts
+
+
+def test_exactness(sorted_pair):
+    a, b, expected = sorted_pair
+    rf = RangeFilteredBitmap(300, range_scale=16)
+    rf.set_many(a)
+    assert intersect_range_filtered(rf, b) == expected
+
+
+def test_matches_plain_bitmap_on_random_inputs():
+    rng = np.random.default_rng(2)
+    for _ in range(80):
+        n = 512
+        a = np.unique(rng.integers(0, n, rng.integers(0, 60)))
+        b = np.unique(rng.integers(0, n, rng.integers(0, 60)))
+        rf = RangeFilteredBitmap(n, range_scale=int(rng.integers(1, 64)))
+        rf.set_many(a)
+        assert intersect_range_filtered(rf, b) == len(np.intersect1d(a, b))
+
+
+def test_filter_skips_counted():
+    """Probes in empty ranges must never touch the big bitmap."""
+    rf = RangeFilteredBitmap(1024, range_scale=64)
+    rf.set_many(np.array([0, 1, 2]))  # only range 0 populated
+    probe = np.arange(512, 1024)  # ranges 8..15, all empty
+    c = OpCounts()
+    assert intersect_range_filtered(rf, probe, c) == 0
+    assert c.filter_skip == len(probe)
+    assert c.bitmap_test == 0
+
+
+def test_filter_passes_counted():
+    rf = RangeFilteredBitmap(1024, range_scale=64)
+    rf.set_many(np.array([100]))
+    probe = np.array([64, 100, 127, 900])  # 3 in range 1 (set), 1 in range 14
+    c = OpCounts()
+    assert intersect_range_filtered(rf, probe, c) == 1
+    assert c.bitmap_test == 3
+    assert c.filter_skip == 1
+
+
+def test_clear_resets_both_levels():
+    rf = RangeFilteredBitmap(256, range_scale=16)
+    ids = np.array([1, 100, 200])
+    rf.set_many(ids)
+    rf.clear_many(ids)
+    assert rf.is_clear()
+
+
+def test_memory_split():
+    rf = RangeFilteredBitmap(4096 * 64, range_scale=DEFAULT_RANGE_SCALE)
+    assert rf.big.memory_bytes() == 4096 * 8
+    assert rf.filter_memory_bytes() > 0
+    assert rf.filter_memory_bytes() < rf.big.memory_bytes()
+    assert rf.memory_bytes() == rf.big.memory_bytes() + rf.filter_memory_bytes()
+
+
+def test_range_scale_one_degenerates_to_duplicate():
+    rf = RangeFilteredBitmap(64, range_scale=1)
+    rf.set_many(np.array([3]))
+    assert intersect_range_filtered(rf, np.array([3, 4])) == 1
+
+
+def test_invalid_range_scale():
+    with pytest.raises(ValueError):
+        RangeFilteredBitmap(64, range_scale=0)
+
+
+def test_paper_default_ratio():
+    assert DEFAULT_RANGE_SCALE == 4096

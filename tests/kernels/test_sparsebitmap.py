@@ -1,0 +1,86 @@
+"""Unit tests for the sparse (roaring-lite) bitmap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernels.bitmap import Bitmap
+from repro.kernels.sparsebitmap import SparseBitmap, intersect_sparse
+from repro.types import OpCounts
+
+
+def test_roundtrip_ids():
+    ids = np.array([0, 1, 63, 64, 65, 1000, 4096])
+    sb = SparseBitmap.from_sorted(ids)
+    assert np.array_equal(sb.to_ids(), ids)
+    assert len(sb) == len(ids)
+
+
+def test_contains():
+    sb = SparseBitmap.from_sorted(np.array([5, 130, 131]))
+    assert sb.contains(5) and sb.contains(131)
+    assert not sb.contains(6)
+    assert not sb.contains(64)  # block exists for none
+
+
+def test_requires_sorted_unique():
+    with pytest.raises(ValueError):
+        SparseBitmap.from_sorted(np.array([3, 2]))
+    with pytest.raises(ValueError):
+        SparseBitmap.from_sorted(np.array([2, 2]))
+    with pytest.raises(ValueError):
+        SparseBitmap.from_sorted(np.array([-1, 2]))
+
+
+def test_empty():
+    sb = SparseBitmap.from_sorted(np.empty(0, dtype=np.int64))
+    assert len(sb) == 0 and sb.num_blocks == 0
+    other = SparseBitmap.from_sorted(np.array([1, 2]))
+    assert intersect_sparse(sb, other) == 0
+
+
+def test_memory_proportional_to_occupied_blocks():
+    """The sparse representation's selling point vs the dense bitmap."""
+    ids = np.array([0, 1_000_000])  # two far-apart elements
+    sb = SparseBitmap.from_sorted(ids)
+    dense = Bitmap(1_000_001)
+    assert sb.memory_bytes() < dense.memory_bytes() / 1000
+    # ...but clustered ids pack densely in both.
+    clustered = SparseBitmap.from_sorted(np.arange(0, 512))
+    assert clustered.num_blocks == 8
+
+
+def test_intersect_known():
+    a = SparseBitmap.from_sorted(np.array([1, 2, 3, 100, 200]))
+    b = SparseBitmap.from_sorted(np.array([2, 100, 300]))
+    assert intersect_sparse(a, b) == 2
+
+
+def test_intersect_counts():
+    a = SparseBitmap.from_sorted(np.arange(0, 640, 2))
+    b = SparseBitmap.from_sorted(np.arange(0, 640, 3))
+    c = OpCounts()
+    got = intersect_sparse(a, b, c)
+    assert got == len(np.intersect1d(np.arange(0, 640, 2), np.arange(0, 640, 3)))
+    assert c.matches == got
+    # Offset-merge comparisons bounded by the smaller block list.
+    assert c.comparisons <= min(a.num_blocks, b.num_blocks)
+
+
+sorted_sets = st.lists(st.integers(0, 2000), max_size=150).map(
+    lambda xs: np.unique(np.array(xs, dtype=np.int64))
+)
+
+
+@given(sorted_sets, sorted_sets)
+def test_property_matches_intersect1d(a, b):
+    sa = SparseBitmap.from_sorted(a)
+    sb = SparseBitmap.from_sorted(b)
+    expected = len(np.intersect1d(a, b))
+    assert intersect_sparse(sa, sb) == expected
+    assert intersect_sparse(sb, sa) == expected
+
+
+@given(sorted_sets)
+def test_property_roundtrip(a):
+    assert np.array_equal(SparseBitmap.from_sorted(a).to_ids(), a)

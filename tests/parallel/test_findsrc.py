@@ -1,0 +1,58 @@
+"""Unit tests for the amortized FindSrc lookup (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import chung_lu_graph
+from repro.parallel.findsrc import SourceFinder
+from repro.types import OpCounts
+
+
+def test_sequential_scan_matches(small_graph):
+    sf = SourceFinder(small_graph)
+    src = small_graph.edge_sources()
+    for eo in range(small_graph.num_directed_edges):
+        assert sf.find(eo) == src[eo]
+
+
+def test_random_access_matches(medium_graph):
+    sf = SourceFinder(medium_graph)
+    src = medium_graph.edge_sources()
+    rng = np.random.default_rng(0)
+    for eo in rng.integers(0, medium_graph.num_directed_edges, 300):
+        assert sf.find(int(eo)) == src[eo]
+
+
+def test_zero_degree_vertices():
+    g = csr_from_pairs([(0, 2), (2, 5), (5, 6)], num_vertices=8)
+    assert (g.degrees == 0).sum() >= 3
+    sf = SourceFinder(g)
+    src = g.edge_sources()
+    for eo in range(g.num_directed_edges):
+        assert sf.find(eo) == src[eo]
+    # backwards too
+    sf2 = SourceFinder(g)
+    for eo in reversed(range(g.num_directed_edges)):
+        assert sf2.find(eo) == src[eo]
+
+
+def test_amortization_on_scans():
+    """Scanning a long run of same-source offsets must not re-search."""
+    g = chung_lu_graph(400, 1500, seed=3)
+    c = OpCounts()
+    sf = SourceFinder(g, counts=c)
+    for eo in range(g.num_directed_edges):
+        sf.find(eo)
+    # One search per vertex transition at most — far fewer steps than
+    # searching every edge independently.
+    naive_bound = g.num_directed_edges * np.ceil(np.log2(g.num_vertices))
+    assert c.binary_steps < naive_bound / 4
+
+
+def test_reset(medium_graph):
+    sf = SourceFinder(medium_graph)
+    last = medium_graph.num_directed_edges - 1
+    sf.find(last)
+    sf.reset()
+    assert sf.find(0) == medium_graph.edge_sources()[0]

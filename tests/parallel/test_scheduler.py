@@ -1,0 +1,108 @@
+"""Unit tests for the dynamic-scheduling simulator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.scheduler import (
+    Schedule,
+    chunk_work,
+    simulate_dynamic,
+    simulate_static,
+)
+
+
+def test_chunk_work_sums():
+    costs = np.arange(10, dtype=float)
+    chunks = chunk_work(costs, 3)
+    assert np.allclose(chunks, [0 + 1 + 2, 3 + 4 + 5, 6 + 7 + 8, 9])
+
+
+def test_chunk_work_empty():
+    assert len(chunk_work(np.empty(0), 4)) == 0
+
+
+def test_single_worker_is_serial():
+    costs = np.ones(100)
+    s = simulate_dynamic(costs, 1, dequeue_overhead=0.5)
+    assert s.makespan == pytest.approx(100 + 50)
+    assert s.overhead == pytest.approx(50)
+
+
+def test_work_conservation():
+    rng = np.random.default_rng(0)
+    costs = rng.random(500)
+    s = simulate_dynamic(costs, 8)
+    assert s.total_work == pytest.approx(costs.sum())
+    # Makespan bounded below by ideal and above by serial.
+    assert s.ideal <= s.makespan <= costs.sum()
+
+
+def test_uniform_work_scales_linearly():
+    costs = np.ones(1024)
+    s = simulate_dynamic(costs, 16)
+    assert s.efficiency > 0.95
+
+
+def test_one_giant_chunk_limits_makespan():
+    costs = np.array([100.0] + [1.0] * 99)
+    s = simulate_dynamic(costs, 10)
+    assert s.makespan >= 100.0  # the giant chunk is a lower bound
+    assert s.makespan < 100.0 + 99.0  # but others overlap it
+
+
+def test_dynamic_beats_static_on_skewed_front_loaded_work():
+    # Heavy chunks first (like hub-first CSR order after the reorder).
+    costs = np.concatenate([np.full(8, 50.0), np.full(512, 1.0)])
+    dyn = simulate_dynamic(costs, 8)
+    stat = simulate_static(costs, 8)
+    assert dyn.makespan <= stat.makespan
+
+
+def test_overhead_accumulates_per_chunk():
+    costs = np.ones(64)
+    cheap = simulate_dynamic(costs, 4, dequeue_overhead=0.0)
+    costly = simulate_dynamic(costs, 4, dequeue_overhead=1.0)
+    assert costly.makespan > cheap.makespan
+    assert costly.overhead == 64.0
+
+
+def test_more_workers_never_slower():
+    rng = np.random.default_rng(4)
+    costs = rng.random(200) * 10
+    prev = np.inf
+    for workers in (1, 2, 4, 8, 16):
+        mk = simulate_dynamic(costs, workers).makespan
+        assert mk <= prev + 1e-9
+        prev = mk
+
+
+def test_static_contiguous_split():
+    costs = np.array([10.0, 10.0, 1.0, 1.0])
+    s = simulate_static(costs, 2)
+    assert s.makespan == pytest.approx(20.0)
+
+
+def test_static_more_workers_than_chunks():
+    s = simulate_static(np.array([3.0, 4.0]), 8)
+    assert s.makespan >= 4.0
+
+
+def test_empty_schedules():
+    for fn in (simulate_dynamic, simulate_static):
+        s = fn(np.empty(0), 4)
+        assert s.makespan == 0.0
+        assert s.efficiency == 1.0
+
+
+def test_invalid_workers():
+    with pytest.raises(ValueError):
+        simulate_dynamic(np.ones(3), 0)
+    with pytest.raises(ValueError):
+        simulate_static(np.ones(3), 0)
+
+
+def test_schedule_metrics():
+    s = Schedule(makespan=2.0, total_work=8.0, overhead=0.0, num_chunks=8, num_workers=4)
+    assert s.ideal == 2.0
+    assert s.efficiency == 1.0
+    assert s.imbalance == 0.0

@@ -1,0 +1,51 @@
+"""Unit tests for task construction."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.costmodel import upper_edges
+from repro.parallel.tasks import (
+    DEFAULT_TASK_SIZE,
+    coarse_grained_tasks,
+    fine_grained_chunks,
+)
+
+
+def test_fine_grained_boundaries():
+    starts = fine_grained_chunks(10, 4)
+    assert starts.tolist() == [0, 4, 8]
+
+
+def test_fine_grained_exact_multiple():
+    assert fine_grained_chunks(8, 4).tolist() == [0, 4]
+
+
+def test_fine_grained_single_unit_tasks():
+    assert len(fine_grained_chunks(5, 1)) == 5
+
+
+def test_fine_grained_empty():
+    assert len(fine_grained_chunks(0, 8)) == 0
+
+
+def test_fine_grained_invalid_size():
+    with pytest.raises(ValueError):
+        fine_grained_chunks(10, 0)
+
+
+def test_default_task_size_positive():
+    assert DEFAULT_TASK_SIZE >= 1
+
+
+def test_coarse_grained_maps_to_sources(medium_graph):
+    es = upper_edges(medium_graph)
+    tasks = coarse_grained_tasks(medium_graph, es.u)
+    assert np.array_equal(tasks, es.u)
+    # Grouping work by task is a bincount over vertex ids.
+    per_vertex = np.bincount(tasks, minlength=medium_graph.num_vertices)
+    assert per_vertex.sum() == len(es)
+
+
+def test_coarse_grained_rejects_bad_sources(medium_graph):
+    with pytest.raises(ValueError):
+        coarse_grained_tasks(medium_graph, np.array([medium_graph.num_vertices]))

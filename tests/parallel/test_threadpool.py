@@ -1,0 +1,62 @@
+"""Unit tests for the real multiprocessing execution path."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.kernels.batch import count_all_edges_matmul
+from repro.parallel.threadpool import (
+    _vertex_chunks,
+    count_all_edges_parallel,
+    count_vertex_range,
+)
+
+
+def test_vertex_range_counts(medium_graph):
+    ref = count_all_edges_matmul(medium_graph)
+    n = medium_graph.num_vertices
+    eo, vals = count_vertex_range(medium_graph, 0, n)
+    assert np.array_equal(ref[eo], vals)
+
+
+def test_vertex_range_partition_is_complete(medium_graph):
+    n = medium_graph.num_vertices
+    mid = n // 2
+    eo1, _ = count_vertex_range(medium_graph, 0, mid)
+    eo2, _ = count_vertex_range(medium_graph, mid, n)
+    src = medium_graph.edge_sources()
+    upper = np.flatnonzero(src < medium_graph.dst)
+    assert np.array_equal(np.sort(np.concatenate([eo1, eo2])), upper)
+
+
+def test_parallel_matches_reference_single_worker(medium_graph):
+    ref = count_all_edges_matmul(medium_graph)
+    got = count_all_edges_parallel(medium_graph, num_workers=1)
+    assert np.array_equal(ref, got)
+
+
+def test_parallel_matches_reference_two_workers(medium_graph):
+    ref = count_all_edges_matmul(medium_graph)
+    got = count_all_edges_parallel(medium_graph, num_workers=2)
+    assert np.array_equal(ref, got)
+
+
+def test_parallel_empty_graph():
+    g = csr_from_pairs([], num_vertices=3)
+    assert len(count_all_edges_parallel(g, num_workers=2)) == 0
+
+
+def test_vertex_chunks_cover_everything(medium_graph):
+    chunks = _vertex_chunks(medium_graph, 7)
+    assert chunks[0][0] == 0
+    assert chunks[-1][1] == medium_graph.num_vertices
+    for (a, b), (c, d) in zip(chunks, chunks[1:]):
+        assert b == c and a < b
+
+
+def test_vertex_chunks_balanced_by_volume(medium_graph):
+    chunks = _vertex_chunks(medium_graph, 4)
+    volumes = [
+        int(medium_graph.offsets[hi] - medium_graph.offsets[lo]) for lo, hi in chunks
+    ]
+    assert max(volumes) < 3 * (sum(volumes) / len(volumes) + 1)

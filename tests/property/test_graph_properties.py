@@ -1,0 +1,85 @@
+"""Property-based tests for graph construction, reordering, and counting."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import count_common_neighbors
+from repro.core.verify import brute_force_counts
+from repro.graph.build import csr_from_pairs, csr_to_undirected_pairs, edges_to_csr
+from repro.graph.reorder import reorder_graph
+from repro.graph.validate import check_symmetric, validate_csr
+from repro.kernels.batch import (
+    count_all_edges_bitmap,
+    count_all_edges_matmul,
+    reverse_edge_offsets,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120
+)
+
+
+@given(edge_lists)
+def test_build_always_valid(edges):
+    g = csr_from_pairs(edges, num_vertices=31)
+    validate_csr(g)
+    check_symmetric(g)
+
+
+@given(edge_lists)
+def test_roundtrip_through_pairs(edges):
+    g = csr_from_pairs(edges, num_vertices=31)
+    u, v = csr_to_undirected_pairs(g)
+    assert edges_to_csr(u, v, 31) == g
+
+
+@given(edge_lists)
+def test_reorder_preserves_structure(edges):
+    g = csr_from_pairs(edges, num_vertices=31)
+    rr = reorder_graph(g)
+    validate_csr(rr.graph)
+    assert rr.graph.num_edges == g.num_edges
+    assert sorted(rr.graph.degrees.tolist()) == sorted(g.degrees.tolist())
+    # BMP invariant
+    d = rr.graph.degrees
+    src = rr.graph.edge_sources()
+    mask = src < rr.graph.dst
+    assert np.all(d[src[mask]] >= d[rr.graph.dst[mask]])
+
+
+@given(edge_lists)
+def test_counting_paths_agree_with_brute_force(edges):
+    g = csr_from_pairs(edges, num_vertices=31)
+    expected = brute_force_counts(g)
+    assert np.array_equal(count_all_edges_bitmap(g), expected)
+    assert np.array_equal(count_all_edges_matmul(g), expected)
+
+
+@given(edge_lists)
+def test_counts_symmetric_and_bounded(edges):
+    g = csr_from_pairs(edges, num_vertices=31)
+    result = count_common_neighbors(g)
+    assert result.is_symmetric()
+    # cnt[(u,v)] <= min(d_u, d_v) - 1 is not generally true (u,v are not
+    # common neighbors of themselves) but cnt <= min(d_u, d_v) always is.
+    src = g.edge_sources()
+    d = g.degrees
+    bound = np.minimum(d[src], d[g.dst])
+    assert np.all(result.counts <= bound)
+
+
+@given(edge_lists)
+def test_reverse_offsets_involution(edges):
+    g = csr_from_pairs(edges, num_vertices=31)
+    rev = reverse_edge_offsets(g)
+    assert np.array_equal(rev[rev], np.arange(len(rev)))
+
+
+@given(edge_lists)
+def test_triangle_identity_against_networkx(edges):
+    import networkx as nx
+
+    g = csr_from_pairs(edges, num_vertices=31)
+    result = count_common_neighbors(g)
+    expected = sum(nx.triangles(g.to_networkx()).values()) // 3
+    assert result.triangle_count() == expected

@@ -1,0 +1,84 @@
+"""Property-based tests: every intersection kernel agrees with set math."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.kernels.bitmap import Bitmap, intersect_bitmap
+from repro.kernels.blockmerge import intersect_block_merge
+from repro.kernels.lowerbound import (
+    binary_lower_bound,
+    galloping_lower_bound,
+    hybrid_lower_bound,
+)
+from repro.kernels.merge import intersect_merge
+from repro.kernels.pivotskip import intersect_pivot_skip
+from repro.kernels.rangefilter import RangeFilteredBitmap, intersect_range_filtered
+from repro.types import OpCounts
+
+sorted_sets = st.lists(st.integers(0, 999), max_size=120).map(
+    lambda xs: np.unique(np.array(xs, dtype=np.int64))
+)
+
+
+@given(sorted_sets, sorted_sets)
+def test_merge_family_matches_intersect1d(a, b):
+    expected = len(np.intersect1d(a, b))
+    assert intersect_merge(a, b) == expected
+    assert intersect_pivot_skip(a, b) == expected
+    assert intersect_block_merge(a, b) == expected
+
+
+@given(sorted_sets, sorted_sets, st.sampled_from([1, 2, 8, 16, 32]))
+def test_lane_width_invariance(a, b, lane):
+    expected = len(np.intersect1d(a, b))
+    assert intersect_block_merge(a, b, lane_width=lane) == expected
+    assert intersect_pivot_skip(a, b, lane_width=lane) == expected
+
+
+@given(sorted_sets, sorted_sets)
+def test_bitmap_matches_intersect1d(a, b):
+    expected = len(np.intersect1d(a, b))
+    bm = Bitmap(1000)
+    bm.set_many(a)
+    assert intersect_bitmap(bm, b) == expected
+    bm.clear_many(a)
+    assert bm.is_clear()
+
+
+@given(sorted_sets, sorted_sets, st.integers(1, 512))
+def test_range_filter_matches_intersect1d(a, b, scale):
+    expected = len(np.intersect1d(a, b))
+    rf = RangeFilteredBitmap(1000, range_scale=scale)
+    rf.set_many(a)
+    assert intersect_range_filtered(rf, b) == expected
+    rf.clear_many(a)
+    assert rf.is_clear()
+
+
+@given(sorted_sets, sorted_sets)
+def test_intersection_commutative(a, b):
+    assert intersect_merge(a, b) == intersect_merge(b, a)
+    assert intersect_pivot_skip(a, b) == intersect_pivot_skip(b, a)
+
+
+@given(sorted_sets)
+def test_self_intersection_is_identity(a):
+    assert intersect_merge(a, a) == len(a)
+    assert intersect_block_merge(a, a) == len(a)
+
+
+@given(sorted_sets, sorted_sets, st.integers(-50, 1100))
+def test_lower_bounds_match_searchsorted(a, b, target):
+    arr = np.union1d(a, b)
+    expected = int(np.searchsorted(arr, target))
+    assert binary_lower_bound(arr, 0, len(arr), target) == expected
+    assert galloping_lower_bound(arr, 0, len(arr), target) == expected
+    assert hybrid_lower_bound(arr, 0, len(arr), target) == expected
+
+
+@given(sorted_sets, sorted_sets)
+def test_match_counts_recorded_consistently(a, b):
+    c = OpCounts()
+    got = intersect_merge(a, b, c)
+    assert c.matches == got
+    assert c.seq_words >= max(got, 0)

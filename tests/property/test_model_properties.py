@@ -1,0 +1,86 @@
+"""Property-based tests for scheduler, work vectors and the simulator."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.parallel.scheduler import chunk_work, simulate_dynamic, simulate_static
+from repro.simarch.cache import analytic_miss_rate
+from repro.simarch.multipass import estimate_passes
+from repro.types import OpCounts, WorkVector
+
+cost_arrays = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=0, max_size=200
+).map(np.array)
+
+
+@given(cost_arrays, st.integers(1, 32))
+def test_dynamic_makespan_bounds(costs, workers):
+    s = simulate_dynamic(costs, workers)
+    total = costs.sum() if len(costs) else 0.0
+    assert s.makespan >= total / workers - 1e-9
+    assert s.makespan <= total + 1e-9
+    assert 0 <= s.efficiency <= 1.0 + 1e-9
+
+
+@given(cost_arrays, st.integers(1, 32))
+def test_static_never_faster_than_ideal(costs, workers):
+    s = simulate_static(costs, workers)
+    total = costs.sum() if len(costs) else 0.0
+    assert s.makespan >= total / workers - 1e-9
+
+
+@given(cost_arrays, st.integers(1, 64))
+def test_chunk_work_conserves_total(costs, size):
+    chunks = chunk_work(costs, size)
+    assert np.isclose(chunks.sum() if len(chunks) else 0.0, costs.sum() if len(costs) else 0.0)
+
+
+@given(st.floats(0, 1e9), st.floats(0, 1e9))
+def test_analytic_miss_rate_in_unit_interval(ws, cache):
+    m = analytic_miss_rate(ws, cache)
+    assert 0.0 <= m <= 1.0
+
+
+@given(
+    st.floats(1, 1e12),
+    st.floats(1, 1e12),
+)
+def test_miss_rate_monotone_in_working_set(cache, ws):
+    smaller = analytic_miss_rate(ws, cache)
+    larger = analytic_miss_rate(ws * 2, cache)
+    assert larger >= smaller - 1e-12
+
+
+@given(st.floats(1, 1e12), st.floats(0.1, 1e12), st.floats(0, 1e10), st.floats(0, 1e10))
+def test_estimate_passes_properties(csr, glob, reserved, bitmaps):
+    if glob <= reserved + bitmaps:
+        return  # CapacityError territory, covered by unit tests
+    p = estimate_passes(csr, glob, reserved, bitmaps)
+    assert p >= 1
+    # More passes never needed when memory grows.
+    p2 = estimate_passes(csr, glob * 2, reserved, bitmaps)
+    assert p2 <= p
+
+
+@given(st.integers(0, 1000), st.integers(0, 1000))
+def test_opcounts_addition_commutes(a, b):
+    x = OpCounts(comparisons=a, seq_words=b, matches=a)
+    y = OpCounts(comparisons=b, rand_words=a)
+    assert (x + y).as_dict() == (y + x).as_dict()
+    assert (x + y).comparisons == a + b
+
+
+@given(st.integers(1, 50))
+def test_workvector_group_by_conserves(n):
+    rng = np.random.default_rng(n)
+    w = WorkVector(n, scalar_ops=rng.random(n))
+    groups = rng.integers(0, 5, n)
+    grouped = w.group_by(groups, 5)
+    assert np.isclose(grouped.total("scalar_ops"), w.total("scalar_ops"))
+
+
+@given(st.integers(1, 50), st.floats(0.1, 10.0))
+def test_workvector_scaling(n, factor):
+    rng = np.random.default_rng(n)
+    w = WorkVector(n, seq_words=rng.random(n))
+    assert np.isclose(w.scaled(factor).total("seq_words"), w.total("seq_words") * factor)

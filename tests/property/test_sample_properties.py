@@ -1,0 +1,52 @@
+"""Property-based tests for sampling and subgraph extraction."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.sample import ego_network, induced_subgraph
+from repro.graph.validate import check_symmetric, validate_csr
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=80
+)
+vertex_sets = st.lists(st.integers(0, 20), min_size=1, max_size=21)
+
+
+@given(edge_lists, vertex_sets)
+def test_induced_subgraph_always_valid(edges, vertices):
+    g = csr_from_pairs(edges, num_vertices=21)
+    sub, old_ids = induced_subgraph(g, np.array(vertices))
+    validate_csr(sub)
+    check_symmetric(sub)
+    assert sub.num_vertices == len(np.unique(vertices))
+    # Every subgraph edge exists in the original under the id map.
+    src = sub.edge_sources()
+    for eo in range(sub.num_directed_edges):
+        u = int(old_ids[src[eo]])
+        v = int(old_ids[sub.dst[eo]])
+        assert g.has_edge(u, v)
+
+
+@given(edge_lists, vertex_sets)
+def test_induced_subgraph_edge_count_never_grows(edges, vertices):
+    g = csr_from_pairs(edges, num_vertices=21)
+    sub, _ = induced_subgraph(g, np.array(vertices))
+    assert sub.num_edges <= g.num_edges
+
+
+@given(edge_lists, st.integers(0, 20), st.integers(0, 3))
+def test_ego_network_contains_center_and_radius_monotone(edges, center, radius):
+    g = csr_from_pairs(edges, num_vertices=21)
+    _, ids_r = ego_network(g, center, radius)
+    _, ids_r1 = ego_network(g, center, radius + 1)
+    assert center in ids_r.tolist()
+    assert set(ids_r.tolist()) <= set(ids_r1.tolist())
+
+
+@given(edge_lists, st.integers(0, 20))
+def test_ego_radius_one_is_closed_neighborhood(edges, center):
+    g = csr_from_pairs(edges, num_vertices=21)
+    _, ids = ego_network(g, center, 1)
+    expected = set(g.neighbors(center).tolist()) | {center}
+    assert set(ids.tolist()) == expected

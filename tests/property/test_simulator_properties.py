@@ -1,0 +1,64 @@
+"""Property-based tests for the architecture simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.datasets import load_dataset
+from repro.simarch import simulate
+
+# One shared small graph: hypothesis varies the knobs, not the data.
+GRAPH = load_dataset("tw", scale=0.15, reordered=True, cache=False)
+
+
+@given(st.sampled_from(["M", "MPS", "BMP", "BMP-RF", "MPS-AVX512"]))
+def test_simulation_deterministic(algorithm):
+    a = simulate(GRAPH, algorithm, "cpu", threads=8)
+    b = simulate(GRAPH, algorithm, "cpu", threads=8)
+    assert a.seconds == b.seconds
+    assert a.breakdown == b.breakdown
+
+
+@given(st.integers(1, 5))  # up to 32 threads (cap is 56)
+def test_more_threads_never_slower_compute_bound(exp):
+    t1 = 2 ** (exp - 1)
+    t2 = 2**exp
+    a = simulate(GRAPH, "MPS", "cpu", threads=t1).seconds
+    b = simulate(GRAPH, "MPS", "cpu", threads=t2).seconds
+    assert b <= a * 1.01
+
+
+@given(st.sampled_from([1, 2, 4, 8, 16, 32]))
+def test_gpu_warps_knob_safe(warps):
+    r = simulate(GRAPH, "BMP-RF", "gpu", warps_per_block=warps)
+    assert r.seconds > 0
+    assert 0 < r.config["occupancy"] <= 1.0
+
+
+@given(st.integers(1, 12))
+def test_gpu_passes_monotone_overhead(passes):
+    """At or above the clean-pass count, more passes cost more."""
+    base = simulate(GRAPH, "MPS", "gpu", passes=passes)
+    more = simulate(GRAPH, "MPS", "gpu", passes=passes + 1)
+    if not base.config["thrashing"] and not more.config["thrashing"]:
+        assert more.seconds >= base.seconds - 1e-12
+
+
+@given(st.sampled_from(["ddr", "flat", "cache"]))
+def test_mcdram_modes_all_valid(mode):
+    r = simulate(GRAPH, "MPS-AVX512", "knl", threads=64, mcdram_mode=mode)
+    assert r.seconds > 0
+    flat = simulate(GRAPH, "MPS-AVX512", "knl", threads=64, mcdram_mode="flat")
+    assert flat.seconds <= r.seconds * 1.0001  # flat is never beaten
+
+
+@given(st.floats(100.0, 100000.0))
+def test_hw_scale_safe(scale):
+    r = simulate(GRAPH, "BMP-RF", "cpu", threads=4, hw_scale=scale)
+    assert r.seconds > 0
+
+
+@given(st.integers(1, 2048))
+def test_task_size_never_changes_exactness_only_time(task_size):
+    r = simulate(GRAPH, "MPS", "cpu", threads=8, task_size=task_size)
+    assert r.seconds > 0
+    assert r.config["task_size"] == task_size

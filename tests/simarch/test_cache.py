@@ -1,0 +1,80 @@
+"""Unit tests for the cache simulator and the analytic miss-rate model."""
+
+import numpy as np
+import pytest
+
+from repro.simarch.cache import (
+    CacheSimulator,
+    analytic_miss_rate,
+    bitmap_working_set_miss_rate,
+)
+
+
+def test_cold_miss_then_hit():
+    c = CacheSimulator(1024, line_bytes=64, ways=2)
+    assert not c.access(0)
+    assert c.access(0)
+    assert c.access(63)  # same line
+    assert not c.access(64)  # next line
+
+
+def test_lru_eviction_within_set():
+    c = CacheSimulator(64 * 2, line_bytes=64, ways=2)  # one set, two ways
+    c.access(0)
+    c.access(64)
+    c.access(0)  # refresh 0
+    c.access(128)  # evicts 64 (LRU)
+    assert c.access(0)
+    assert not c.access(64)
+
+
+def test_working_set_fits_all_hits():
+    c = CacheSimulator(8192, line_bytes=64, ways=8)
+    addresses = np.arange(0, 4096, 64)
+    c.access_many(addresses)  # cold
+    c.reset_stats()
+    rng = np.random.default_rng(0)
+    c.access_many(rng.choice(addresses, 500))
+    assert c.miss_rate < 0.05
+
+
+def test_tiny_cache_thrashes():
+    c = CacheSimulator(512, line_bytes=64, ways=8)
+    rng = np.random.default_rng(1)
+    c.access_many(rng.integers(0, 1 << 20, 400) * 64)
+    assert c.miss_rate > 0.9
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        CacheSimulator(64, line_bytes=64, ways=8)
+
+
+def test_analytic_extremes():
+    assert analytic_miss_rate(0, 1024) == 0.0
+    assert analytic_miss_rate(1024, 0) == 1.0
+    assert analytic_miss_rate(100, 10_000) == pytest.approx(0.02)  # floor
+    assert analytic_miss_rate(10_000, 100) == pytest.approx(0.99)
+
+
+def test_analytic_matches_trace_driven_simulation():
+    """The analytic curve must track the real LRU simulator."""
+    rng = np.random.default_rng(7)
+    cache_bytes = 4096
+    for ws_lines in (32, 128, 512):
+        working_set = np.arange(ws_lines) * 64
+        sim = CacheSimulator(cache_bytes, 64, ways=8)
+        trace = rng.choice(working_set, 3000)
+        sim.access_many(trace[:1000])  # warm up
+        sim.reset_stats()
+        sim.access_many(trace[1000:])
+        predicted = analytic_miss_rate(ws_lines * 64, cache_bytes)
+        assert abs(sim.miss_rate - predicted) < 0.15, (
+            f"ws={ws_lines}: sim {sim.miss_rate:.2f} vs analytic {predicted:.2f}"
+        )
+
+
+def test_bitmap_working_set_scales_with_contexts():
+    single = bitmap_working_set_miss_rate(1000, 1, 8000)
+    many = bitmap_working_set_miss_rate(1000, 64, 8000)
+    assert many > single

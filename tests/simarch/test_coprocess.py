@@ -1,0 +1,38 @@
+"""Unit tests for the CPU-GPU co-processing model (Table 5)."""
+
+import pytest
+
+from repro.simarch.coprocess import host_post_processing
+from repro.graph.build import csr_from_pairs
+
+
+def test_coprocessing_hides_searches(medium_graph):
+    slow = host_post_processing(medium_graph, gpu_busy_seconds=1.0, coprocessing=False)
+    fast = host_post_processing(medium_graph, gpu_busy_seconds=1.0, coprocessing=True)
+    assert fast.seconds < slow.seconds
+    # With a long GPU phase the searches fully overlap: only the gather
+    # remains (paper: CP removes >80% of post-processing).
+    assert fast.seconds == pytest.approx(fast.gather_seconds)
+
+
+def test_short_gpu_phase_exposes_remainder(medium_graph):
+    full = host_post_processing(medium_graph, gpu_busy_seconds=0.0, coprocessing=True)
+    assert full.seconds == pytest.approx(full.gather_seconds + full.search_seconds)
+
+
+def test_search_dominates_gather(medium_graph):
+    """The binary searches are the expensive part — why CP matters."""
+    p = host_post_processing(medium_graph, 0.0, coprocessing=False)
+    assert p.search_seconds > p.gather_seconds
+
+
+def test_empty_graph():
+    g = csr_from_pairs([], num_vertices=2)
+    p = host_post_processing(g, 1.0, coprocessing=True)
+    assert p.seconds == 0.0
+
+
+def test_scales_with_edges(medium_graph, small_graph):
+    big = host_post_processing(medium_graph, 0.0, coprocessing=False)
+    small = host_post_processing(small_graph, 0.0, coprocessing=False)
+    assert big.seconds > small.seconds

@@ -1,0 +1,112 @@
+"""Unit tests for the simulation engine and the paper's headline findings."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph.datasets import load_dataset
+from repro.simarch import best_configuration, simulate
+from repro.simarch.engine import resolve_spec
+from repro.simarch.specs import CPUSpec, GPUSpec, KNLSpec
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        name: load_dataset(name, reordered=True)
+        for name in ("tw", "fr")
+    }
+
+
+def test_resolve_spec_names():
+    assert isinstance(resolve_spec("cpu"), CPUSpec)
+    assert isinstance(resolve_spec("knl"), KNLSpec)
+    assert isinstance(resolve_spec("GPU"), GPUSpec)
+    with pytest.raises(SimulationError):
+        resolve_spec("tpu")
+
+
+def test_resolve_spec_passthrough():
+    spec = resolve_spec("cpu")
+    assert resolve_spec(spec) is spec
+
+
+def test_simulate_returns_breakdown(graphs):
+    r = simulate(graphs["tw"], "BMP-RF", "cpu")
+    assert r.seconds > 0
+    assert set(r.breakdown) >= {"compute", "latency", "bandwidth"}
+    assert r.config["threads"] == 56
+    assert "BMP" in str(r)
+
+
+def test_gpu_config_surface(graphs):
+    r = simulate(graphs["tw"], "BMP-RF", "gpu", warps_per_block=8)
+    assert r.config["warps_per_block"] == 8
+    assert "paging" in r.breakdown
+
+
+def test_algorithm_instance_accepted(graphs):
+    from repro.algorithms import get_algorithm
+
+    algo = get_algorithm("MPS", skew_threshold=10)
+    r = simulate(graphs["tw"], algo, "cpu", threads=4)
+    assert "t=10" in r.algorithm
+
+
+# ---------------- headline findings (§5.3 / §5.4) ---------------- #
+
+def test_finding_cpu_favors_bmp_on_skewed(graphs):
+    bmp = simulate(graphs["tw"], "BMP-RF", "cpu").seconds
+    mps = simulate(graphs["tw"], "MPS-AVX2", "cpu").seconds
+    assert bmp < mps
+
+
+def test_finding_knl_favors_mps(graphs):
+    for ds in ("tw", "fr"):
+        mps = simulate(graphs[ds], "MPS-AVX512", "knl").seconds
+        bmp = simulate(graphs[ds], "BMP-RF", "knl", threads=64).seconds
+        assert mps < bmp * 1.2  # MPS wins or ties on the KNL
+
+
+def test_finding_gpu_favors_bmp_on_skewed(graphs):
+    bmp = simulate(graphs["tw"], "BMP-RF", "gpu").seconds
+    mps = simulate(graphs["tw"], "MPS", "gpu").seconds
+    assert bmp < mps
+
+
+def test_finding_best_is_gpu_bmp_on_skewed(graphs):
+    """WI/TW-like graphs: GPU-BMP is the overall winner (Fig. 10)."""
+    results = {
+        "cpu": best_configuration(graphs["tw"], "cpu").seconds,
+        "knl": best_configuration(graphs["tw"], "knl").seconds,
+        "gpu": best_configuration(graphs["tw"], "gpu").seconds,
+    }
+    assert min(results, key=results.get) == "gpu"
+
+
+def test_finding_best_is_knl_mps_on_uniform(graphs):
+    """FR-like graphs: KNL-MPS is the overall winner (Fig. 10)."""
+    results = {
+        "cpu": best_configuration(graphs["fr"], "cpu").seconds,
+        "knl": best_configuration(graphs["fr"], "knl").seconds,
+        "gpu": best_configuration(graphs["fr"], "gpu").seconds,
+    }
+    assert min(results, key=results.get) == "knl"
+
+
+def test_finding_gpu_mps_is_the_loser(graphs):
+    """Paper: 'MPS on the GPU is always the slowest'."""
+    t = graphs["tw"]
+    gpu_mps = simulate(t, "MPS", "gpu").seconds
+    others = [
+        simulate(t, "BMP-RF", "cpu").seconds,
+        simulate(t, "MPS-AVX512", "knl").seconds,
+        simulate(t, "BMP-RF", "gpu").seconds,
+    ]
+    assert all(gpu_mps > x for x in others)
+
+
+def test_hw_scale_changes_capacities(graphs):
+    small = simulate(graphs["tw"], "BMP-RF", "gpu", hw_scale=100.0)
+    large = simulate(graphs["tw"], "BMP-RF", "gpu", hw_scale=10000.0)
+    # Less scaled-down memory → fewer estimated passes.
+    assert small.config["estimated_passes"] <= large.config["estimated_passes"]

@@ -1,0 +1,109 @@
+"""Unit tests for the GPU execution model — the paper's GPU shapes."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import SimulationError
+from repro.graph.datasets import load_dataset, memory_scale
+from repro.simarch.engine import simulate
+from repro.simarch.gpu import bitmap_pool_bytes, blocks_per_sm, simulate_gpu
+from repro.simarch.specs import PAPER_GPU, scaled_specs
+
+GPU = scaled_specs(PAPER_GPU)
+
+
+@pytest.fixture(scope="module")
+def tw():
+    return load_dataset("tw", reordered=True)
+
+
+@pytest.fixture(scope="module")
+def fr():
+    return load_dataset("fr", reordered=True)
+
+
+def test_blocks_per_sm_paper_default():
+    """Paper: 4 warps/block (128 threads) → 16 concurrent blocks per SM."""
+    assert blocks_per_sm(PAPER_GPU, 4) == 16
+    assert blocks_per_sm(PAPER_GPU, 32) == 2
+    assert blocks_per_sm(PAPER_GPU, 1) == 16  # capped by max_blocks_per_sm
+
+
+def test_blocks_per_sm_bounds():
+    with pytest.raises(SimulationError):
+        blocks_per_sm(PAPER_GPU, 0)
+    with pytest.raises(SimulationError):
+        blocks_per_sm(PAPER_GPU, 65)
+
+
+def test_bitmap_pool_matches_paper_arithmetic():
+    """Paper §5.2.2: 30 SMs x 16 blocks = 480 bitmaps."""
+    pool = bitmap_pool_bytes(PAPER_GPU, 41_652_230, 4)  # paper TW |V|
+    assert pool == pytest.approx(480 * 41_652_230 / 8)
+
+
+def test_result_fields(tw):
+    r = simulate_gpu(tw, get_algorithm("BMP"), GPU)
+    assert r.seconds > 0
+    assert r.passes >= 1
+    assert 0 < r.occupancy <= 1.0
+    assert r.kernel_seconds <= r.seconds
+
+
+def test_gpu_favors_bmp_on_skewed(tw):
+    """Paper finding: GPU favors BMP; the PS kernel's irregular gathers
+    make MPS the loser.  Strongest on the skewed datasets (WI, TW)."""
+    bmp = simulate_gpu(tw, get_algorithm("BMP"), GPU).seconds
+    mps = simulate_gpu(tw, get_algorithm("MPS"), GPU).seconds
+    assert bmp < mps
+
+
+def test_coprocessing_reduces_post_time(tw):
+    cp = simulate_gpu(tw, get_algorithm("BMP"), GPU, coprocessing=True)
+    no_cp = simulate_gpu(tw, get_algorithm("BMP"), GPU, coprocessing=False)
+    assert cp.post_seconds < no_cp.post_seconds
+    # Paper Table 5: CP removes > 80% of post-processing.
+    assert cp.post_seconds < 0.35 * no_cp.post_seconds
+
+
+def test_fig8_more_passes_cost_slightly_more(tw):
+    ms = memory_scale("tw", tw)
+    times = [
+        simulate(tw, "BMP-RF", "gpu", passes=p, hw_scale=ms).seconds
+        for p in (1, 2, 4, 8)
+    ]
+    assert times == sorted(times)
+    assert times[-1] < times[0] * 2.0  # "increases slightly"
+
+
+def test_fig8_fr_thrashes_below_estimate(fr):
+    ms = memory_scale("fr", fr)
+    est = simulate(fr, "BMP-RF", "gpu", hw_scale=ms).config["estimated_passes"]
+    assert est >= 2  # paper: FR does not fit in one pass
+    ok = simulate(fr, "BMP-RF", "gpu", passes=est, hw_scale=ms)
+    thrash = simulate(fr, "BMP-RF", "gpu", passes=1, hw_scale=ms)
+    assert not ok.config["thrashing"]
+    assert thrash.config["thrashing"]
+    assert thrash.seconds > 3 * ok.seconds
+
+
+def test_fig9_bmp_improves_with_block_size_then_flattens(tw):
+    t1 = simulate_gpu(tw, get_algorithm("BMP"), GPU, warps_per_block=1).seconds
+    t4 = simulate_gpu(tw, get_algorithm("BMP"), GPU, warps_per_block=4).seconds
+    t32 = simulate_gpu(tw, get_algorithm("BMP"), GPU, warps_per_block=32).seconds
+    assert t4 <= t1
+    assert t32 <= t4 * 1.1  # flattens, never much worse
+
+
+def test_occupancy_drops_with_one_warp_blocks(tw):
+    r1 = simulate_gpu(tw, get_algorithm("BMP"), GPU, warps_per_block=1)
+    r4 = simulate_gpu(tw, get_algorithm("BMP"), GPU, warps_per_block=4)
+    assert r1.occupancy < r4.occupancy
+
+
+def test_rf_with_shared_memory_helps(tw):
+    rf = get_algorithm("BMP-RF", range_scale=16)
+    plain = get_algorithm("BMP")
+    t_rf = simulate_gpu(tw, rf, GPU).seconds
+    t_plain = simulate_gpu(tw, plain, GPU).seconds
+    assert t_rf <= t_plain

@@ -1,0 +1,73 @@
+"""Tests for the Algorithm 6 bitmap pool and GPU block execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels.batch import count_all_edges_matmul
+from repro.simarch.gpupool import BitmapPool, run_gpu_bmp_reference
+
+
+def test_acquire_release_cycle():
+    pool = BitmapPool(sms=2, blocks_per_sm=2, cardinality=64)
+    a = pool.acquire(0)
+    b = pool.acquire(0)
+    assert {a, b} == {0, 1}  # SM 0's slot range
+    with pytest.raises(SimulationError, match="oversubscribed"):
+        pool.acquire(0)
+    c = pool.acquire(1)
+    assert c == 2  # SM 1's range starts after SM 0's
+    pool.release(a)
+    assert pool.acquire(0) == a  # slot is reusable
+
+
+def test_release_requires_clean_bitmap():
+    pool = BitmapPool(1, 1, 64)
+    slot = pool.acquire(0)
+    pool.bitmaps[slot].set_many(np.array([3]))
+    with pytest.raises(SimulationError, match="dirty"):
+        pool.release(slot)
+    pool.bitmaps[slot].clear_many(np.array([3]))
+    pool.release(slot)
+
+
+def test_double_release_rejected():
+    pool = BitmapPool(1, 2, 64)
+    slot = pool.acquire(0)
+    pool.bitmaps[slot]  # untouched, clean
+    pool.release(slot)
+    with pytest.raises(SimulationError, match="twice"):
+        pool.release(slot)
+
+
+def test_invalid_geometry():
+    with pytest.raises(SimulationError):
+        BitmapPool(0, 4, 64)
+    pool = BitmapPool(2, 2, 64)
+    with pytest.raises(SimulationError):
+        pool.acquire(5)
+
+
+def test_pool_memory_matches_paper_formula():
+    """Paper §5.2.2: pool bytes = SMs x n_C x |V|/8."""
+    pool = BitmapPool(sms=30, blocks_per_sm=16, cardinality=4096)
+    assert pool.memory_bytes() == 30 * 16 * 4096 / 8
+
+
+def test_gpu_reference_exact(medium_graph):
+    stats = run_gpu_bmp_reference(medium_graph, sms=3, blocks_per_sm=2)
+    assert np.array_equal(stats.counts, count_all_edges_matmul(medium_graph))
+
+
+def test_gpu_reference_respects_concurrency_cap(medium_graph):
+    stats = run_gpu_bmp_reference(medium_graph, sms=2, blocks_per_sm=3)
+    assert stats.max_concurrent_blocks <= 2 * 3
+    assert stats.blocks_executed == int((medium_graph.degrees > 0).sum())
+
+
+def test_gpu_reference_single_slot(small_graph, small_graph_counts):
+    """Fully serialized blocks still compute exact counts."""
+    stats = run_gpu_bmp_reference(small_graph, sms=1, blocks_per_sm=1)
+    for (u, v), expected in small_graph_counts.items():
+        assert stats.counts[small_graph.edge_offset(u, v)] == expected
+    assert stats.max_concurrent_blocks == 1

@@ -1,0 +1,87 @@
+"""Cross-matrix simulator tests: every dataset × processor × algorithm.
+
+Shape assertions live in test_engine/test_multicore/test_gpu; this module
+checks *consistency* of the model everywhere: totals positive, the max()
+composition holds, breakdowns carry the right components, and structural
+toggles (symmetry inclusion, reorder cost, co-processing) act in the
+right direction on every input.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.simarch import simulate
+from repro.simarch.multicore import simulate_multicore
+from repro.simarch.specs import PAPER_CPU, PAPER_KNL, scaled_specs
+
+CPU = scaled_specs(PAPER_CPU)
+KNL = scaled_specs(PAPER_KNL)
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        name: load_dataset(name, scale=SCALE, reordered=True, cache=False)
+        for name in dataset_names()
+    }
+
+
+@pytest.mark.parametrize("ds", dataset_names())
+@pytest.mark.parametrize("proc", ["cpu", "knl", "gpu"])
+@pytest.mark.parametrize("algo", ["MPS", "BMP-RF"])
+def test_every_combination_runs(graphs, ds, proc, algo):
+    kwargs = {} if proc == "gpu" else {"threads": 8}
+    r = simulate(graphs[ds], algo, proc, **kwargs)
+    assert r.seconds > 0
+    assert all(v >= 0 for v in r.breakdown.values())
+
+
+@pytest.mark.parametrize("ds", dataset_names())
+def test_multicore_max_composition(graphs, ds):
+    r = simulate_multicore(graphs[ds], get_algorithm("BMP"), CPU, threads=8)
+    core = max(r.compute_seconds, r.latency_seconds, r.bandwidth_seconds)
+    assert r.seconds == pytest.approx(core + r.reorder_seconds)
+
+
+@pytest.mark.parametrize("ds", ["tw", "fr"])
+def test_symmetry_inclusion_adds_work(graphs, ds):
+    with_sym = simulate_multicore(
+        graphs[ds], get_algorithm("MPS"), CPU, threads=8, include_symmetry=True
+    ).seconds
+    without = simulate_multicore(
+        graphs[ds], get_algorithm("MPS"), CPU, threads=8, include_symmetry=False
+    ).seconds
+    assert with_sym >= without
+
+
+@pytest.mark.parametrize("proc", ["cpu", "knl"])
+def test_reorder_charged_to_bmp_only(graphs, proc):
+    spec = CPU if proc == "cpu" else KNL
+    bmp = simulate_multicore(graphs["tw"], get_algorithm("BMP"), spec, threads=8)
+    mps = simulate_multicore(graphs["tw"], get_algorithm("MPS"), spec, threads=8)
+    assert bmp.reorder_seconds > 0
+    assert mps.reorder_seconds == 0
+
+
+@pytest.mark.parametrize("ds", dataset_names())
+def test_gpu_coprocessing_never_hurts(graphs, ds):
+    on = simulate(graphs[ds], "BMP-RF", "gpu", coprocessing=True).seconds
+    off = simulate(graphs[ds], "BMP-RF", "gpu", coprocessing=False).seconds
+    assert on <= off + 1e-15
+
+
+@pytest.mark.parametrize("ds", dataset_names())
+def test_knl_ddr_never_beats_flat(graphs, ds):
+    flat = simulate(graphs[ds], "MPS-AVX512", "knl", threads=64, mcdram_mode="flat").seconds
+    ddr = simulate(graphs[ds], "MPS-AVX512", "knl", threads=64, mcdram_mode="ddr").seconds
+    assert flat <= ddr * 1.0001
+
+
+def test_best_configuration_matches_manual(graphs):
+    from repro.simarch import best_configuration
+
+    manual = simulate(graphs["tw"], "BMP-RF", "gpu", coprocessing=True).seconds
+    assert best_configuration(graphs["tw"], "gpu").seconds == pytest.approx(manual)

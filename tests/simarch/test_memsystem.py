@@ -1,0 +1,78 @@
+"""Unit tests for the memory-system timing model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simarch.memsystem import (
+    cpu_tier,
+    knl_tier,
+    latency_time_s,
+    saturated_bandwidth,
+    stream_time_s,
+)
+from repro.simarch.specs import PAPER_CPU, PAPER_KNL
+
+
+def test_saturation_curve():
+    assert saturated_bandwidth(100.0, 4, 10.0) == 40.0
+    assert saturated_bandwidth(100.0, 20, 10.0) == 100.0
+
+
+def test_saturation_invalid_threads():
+    with pytest.raises(SimulationError):
+        saturated_bandwidth(100.0, 0, 10.0)
+
+
+def test_stream_time():
+    assert stream_time_s(80e9, 80.0) == pytest.approx(1.0)
+    with pytest.raises(SimulationError):
+        stream_time_s(1.0, 0.0)
+
+
+def test_latency_time_overlap():
+    base = latency_time_s(1e6, 100.0, mlp=1, contexts=1)
+    overlapped = latency_time_s(1e6, 100.0, mlp=10, contexts=10)
+    assert overlapped == pytest.approx(base / 100)
+    with pytest.raises(SimulationError):
+        latency_time_s(1, 100.0, mlp=0, contexts=1)
+
+
+def test_cpu_tier():
+    t = cpu_tier(PAPER_CPU)
+    assert t.bandwidth_gbs == PAPER_CPU.dram.bandwidth_gbs
+    assert t.label == "DDR4"
+
+
+def test_knl_ddr_mode():
+    t = knl_tier(PAPER_KNL, "ddr", working_set_bytes=1.0)
+    assert t.bandwidth_gbs == PAPER_KNL.dram.bandwidth_gbs
+
+
+def test_knl_flat_fits():
+    t = knl_tier(PAPER_KNL, "flat", working_set_bytes=1e9)
+    assert t.bandwidth_gbs == PAPER_KNL.mcdram.bandwidth_gbs
+    assert "flat" in t.label
+
+
+def test_knl_flat_overflow_blends():
+    cap = PAPER_KNL.mcdram.capacity_bytes
+    t = knl_tier(PAPER_KNL, "flat", working_set_bytes=cap * 2)
+    assert PAPER_KNL.dram.bandwidth_gbs < t.bandwidth_gbs < PAPER_KNL.mcdram.bandwidth_gbs
+
+
+def test_knl_cache_mode_discounted():
+    fits = knl_tier(PAPER_KNL, "cache", working_set_bytes=1e9)
+    flat = knl_tier(PAPER_KNL, "flat", working_set_bytes=1e9)
+    assert fits.bandwidth_gbs < flat.bandwidth_gbs  # movement overhead
+    assert fits.latency_ns > flat.latency_ns
+
+
+def test_knl_cache_mode_thrash():
+    t = knl_tier(PAPER_KNL, "cache", working_set_bytes=1e12)
+    assert t.bandwidth_gbs == PAPER_KNL.dram.bandwidth_gbs
+    assert "thrash" in t.label
+
+
+def test_unknown_mode():
+    with pytest.raises(SimulationError):
+        knl_tier(PAPER_KNL, "turbo", 1.0)

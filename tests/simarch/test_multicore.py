@@ -1,0 +1,124 @@
+"""Unit tests for the CPU/KNL execution model — the paper's CPU/KNL shapes."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import SimulationError
+from repro.graph.datasets import load_dataset
+from repro.simarch.multicore import simulate_multicore
+from repro.simarch.specs import PAPER_CPU, PAPER_KNL, scaled_specs
+
+CPU = scaled_specs(PAPER_CPU)
+KNL = scaled_specs(PAPER_KNL)
+
+
+@pytest.fixture(scope="module")
+def tw():
+    return load_dataset("tw", reordered=True)
+
+
+@pytest.fixture(scope="module")
+def fr():
+    return load_dataset("fr", reordered=True)
+
+
+def _t(graph, name, spec, **kw):
+    kw.setdefault("task_size", 32)
+    return simulate_multicore(graph, get_algorithm(name), spec, **kw).seconds
+
+
+def test_thread_bounds(tw):
+    with pytest.raises(SimulationError):
+        _t(tw, "M", CPU, threads=0)
+    with pytest.raises(SimulationError):
+        _t(tw, "M", CPU, threads=CPU.max_threads + 1)
+
+
+def test_breakdown_fields(tw):
+    r = simulate_multicore(tw, get_algorithm("BMP"), CPU, threads=4)
+    assert r.seconds > 0
+    assert r.reorder_seconds > 0  # BMP pays the reorder
+    assert r.tier_label == "DDR4"
+    assert 0 < r.efficiency <= 1.0
+
+
+def test_mps_skips_reorder_cost(tw):
+    r = simulate_multicore(tw, get_algorithm("MPS"), CPU, threads=4)
+    assert r.reorder_seconds == 0.0
+
+
+# ---- paper shape assertions (Figure 3 / 4 / 5 / 6 / 7, Table 4) ---- #
+
+def test_fig3_skew_handling_on_tw(tw):
+    """Skewed graph: MPS and BMP both beat plain merge by a lot."""
+    m = _t(tw, "M", CPU, threads=1, mcdram_mode="ddr")
+    mps = _t(tw, "MPS-SCALAR", CPU, threads=1, mcdram_mode="ddr")
+    bmp = _t(tw, "BMP", CPU, threads=1, mcdram_mode="ddr")
+    assert m / mps > 1.5
+    assert m / bmp > 8.0
+
+
+def test_fig3_no_gain_on_uniform_fr(fr):
+    """Uniform graph: pivot-skip ~ plain merge (paper: MPS ≈ M on FR)."""
+    m = _t(fr, "M", CPU, threads=1, mcdram_mode="ddr")
+    mps = _t(fr, "MPS-SCALAR", CPU, threads=1, mcdram_mode="ddr")
+    assert 0.7 < m / mps < 1.5
+
+
+def test_fig4_vectorization_speedup(tw):
+    scalar = _t(tw, "MPS-SCALAR", KNL, threads=1, mcdram_mode="ddr")
+    vec = _t(tw, "MPS-AVX512", KNL, threads=1, mcdram_mode="ddr")
+    assert scalar / vec > 1.5  # paper: 2.5-2.6x on the KNL
+
+
+def test_fig4_avx512_beats_avx2(fr):
+    avx2 = simulate_multicore(fr, get_algorithm("MPS-AVX2"), CPU, threads=1).seconds
+    # Compare lane effect on the same spec to isolate vector width.
+    wide = simulate_multicore(
+        fr, get_algorithm("MPS", lane_width=16), CPU, threads=1
+    ).seconds
+    assert wide <= avx2
+
+
+def test_fig5_mps_scales_better_than_bmp_on_cpu(tw):
+    mps_speedup = _t(tw, "MPS", CPU, threads=1) / _t(tw, "MPS", CPU, threads=56)
+    bmp_speedup = _t(tw, "BMP", CPU, threads=1) / _t(tw, "BMP", CPU, threads=56)
+    assert mps_speedup > bmp_speedup
+
+
+def test_fig5_knl_bmp_slows_beyond_64_threads(tw):
+    t64 = _t(tw, "BMP", KNL, threads=64)
+    t256 = _t(tw, "BMP", KNL, threads=256)
+    assert t256 > t64  # paper: "BMP slows down" at 128/256
+
+
+def test_fig5_knl_mps_keeps_scaling_past_64(tw):
+    t64 = _t(tw, "MPS-AVX512", KNL, threads=64)
+    t128 = _t(tw, "MPS-AVX512", KNL, threads=128)
+    assert t128 < t64
+
+
+def test_fig7_flat_beats_ddr(tw, fr):
+    for g in (tw, fr):
+        ddr = _t(g, "MPS-AVX512", KNL, threads=256, mcdram_mode="ddr")
+        flat = _t(g, "MPS-AVX512", KNL, threads=256, mcdram_mode="flat")
+        assert 1.2 < ddr / flat < 5.0  # paper: 1.6x-1.8x
+
+
+def test_fig7_cache_close_to_flat_but_not_faster(tw):
+    flat = _t(tw, "BMP-RF", KNL, threads=64, mcdram_mode="flat")
+    cache = _t(tw, "BMP-RF", KNL, threads=64, mcdram_mode="cache")
+    assert flat <= cache <= flat * 1.5
+
+
+def test_table4_cpu_parallel_speedups(tw):
+    """Paper: V+P gives 79-84x over sequential scalar MPS on the CPU."""
+    seq = _t(tw, "MPS-SCALAR", CPU, threads=1)
+    par = _t(tw, "MPS-AVX2", CPU, threads=56)
+    assert seq / par > 30
+
+
+def test_static_schedule_never_beats_dynamic(tw):
+    dyn = _t(tw, "MPS", CPU, threads=28)
+    stat = _t(tw, "MPS", CPU, threads=28, static_schedule=True)
+    assert stat >= dyn * 0.99

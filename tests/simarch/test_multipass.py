@@ -1,0 +1,78 @@
+"""Unit tests for the multi-pass planner (paper §4.2.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.simarch.multipass import (
+    PassPlan,
+    estimate_passes,
+    page_fault_time_s,
+    plan_passes,
+)
+from repro.simarch.specs import PAPER_GPU, scaled_specs
+
+GPU = scaled_specs(PAPER_GPU)
+
+
+def test_estimator_formula():
+    """ceil(Mem_CSR / (Mem_global - Mem_reserved - Mem_BA)) exactly."""
+    assert estimate_passes(10.0, 12.0, 1.0, 1.0) == 1
+    assert estimate_passes(25.0, 12.0, 1.0, 1.0) == math.ceil(25 / 10)
+    assert estimate_passes(100.0, 12.0, 1.0, 1.0) == 10
+
+
+def test_estimator_paper_scale_friendster():
+    """FR at paper scale needs several passes (Fig. 8: fails below 3)."""
+    csr = 29e9  # dst + cnt + offsets for 1.8B edges
+    bitmaps = 480 * 124_836_180 / 8
+    passes = estimate_passes(csr, 12 * 1024**3, 500 * 1024**2, bitmaps)
+    assert passes >= 3
+
+
+def test_estimator_capacity_error():
+    with pytest.raises(CapacityError):
+        estimate_passes(1.0, 10.0, 6.0, 5.0)
+
+
+def test_plan_defaults_to_estimate():
+    plan = plan_passes(GPU, csr_bytes=GPU.global_mem.capacity_bytes * 3, bitmap_pool_bytes=0)
+    assert plan.passes == plan.estimated_passes
+    assert not plan.thrashing
+
+
+def test_plan_thrashes_below_estimate():
+    csr = GPU.global_mem.capacity_bytes * 3
+    plan = plan_passes(GPU, csr, 0, passes=1)
+    assert plan.thrashing
+    clean = plan_passes(GPU, csr, 0)
+    assert plan.fault_pages > 3 * clean.fault_pages
+
+
+def test_extra_passes_add_mild_refaults():
+    csr = GPU.global_mem.capacity_bytes / 2
+    p1 = plan_passes(GPU, csr, 0, passes=1)
+    p4 = plan_passes(GPU, csr, 0, passes=4)
+    assert p1.fault_pages < p4.fault_pages < p1.fault_pages * 2
+
+
+def test_invalid_passes():
+    with pytest.raises(CapacityError):
+        plan_passes(GPU, 1e6, 0, passes=0)
+
+
+def test_fault_time_components():
+    plan = PassPlan(
+        passes=1,
+        estimated_passes=1,
+        available_bytes=1e6,
+        per_pass_bytes=1e5,
+        fault_pages=100.0,
+        thrashing=False,
+    )
+    t = page_fault_time_s(GPU, plan)
+    expected = 100 * GPU.page_fault_us * 1e-6 + 100 * GPU.page_bytes / (
+        GPU.host_link_gbs * 1e9
+    )
+    assert t == pytest.approx(expected)

@@ -1,0 +1,22 @@
+"""Unit tests for simulation-result reporting."""
+
+from repro.graph.datasets import load_dataset
+from repro.simarch import simulate
+from repro.simarch.report import format_sim_result
+
+
+def test_multicore_report_fields():
+    g = load_dataset("lj", scale=0.1, reordered=True, cache=False)
+    text = format_sim_result(simulate(g, "MPS", "cpu", threads=8))
+    assert "modeled" in text
+    assert "compute" in text and "bandwidth" in text
+    assert "threads" in text
+    assert "#" in text  # the proportional bars
+
+
+def test_gpu_report_fields():
+    g = load_dataset("lj", scale=0.1, reordered=True, cache=False)
+    text = format_sim_result(simulate(g, "BMP-RF", "gpu"))
+    assert "paging" in text
+    assert "warps_per_block" in text
+    assert "occupancy" in text

@@ -1,0 +1,73 @@
+"""Unit tests for hardware specs and capacity scaling."""
+
+import pytest
+
+from repro.simarch.specs import (
+    DEFAULT_HW_SCALE,
+    PAPER_CPU,
+    PAPER_GPU,
+    PAPER_KNL,
+    scaled_specs,
+)
+
+
+def test_paper_cpu_matches_section_5_1():
+    assert PAPER_CPU.cores == 28  # two 14-core Xeons
+    assert PAPER_CPU.freq_ghz == 2.4
+    assert PAPER_CPU.llc.size_bytes == 35 * 1024 * 1024
+    assert PAPER_CPU.lane_width == 8  # AVX2
+
+
+def test_paper_knl_matches_section_5_1():
+    assert PAPER_KNL.cores == 64
+    assert PAPER_KNL.freq_ghz == 1.3
+    assert PAPER_KNL.mcdram.capacity_bytes == 16 * 1024**3
+    assert PAPER_KNL.l2.size_bytes == 1024 * 1024
+    assert PAPER_KNL.lane_width == 16  # AVX-512
+    assert PAPER_KNL.max_threads == 256
+
+
+def test_paper_gpu_matches_section_5_1():
+    assert PAPER_GPU.sms == 30
+    assert PAPER_GPU.max_threads_per_sm == 2048
+    assert PAPER_GPU.global_mem.capacity_bytes == 12 * 1024**3
+    assert PAPER_GPU.max_warps_per_sm == 64
+
+
+def test_scaling_divides_capacities_only():
+    s = scaled_specs(PAPER_CPU, 1000.0)
+    assert s.llc.size_bytes == pytest.approx(PAPER_CPU.llc.size_bytes / 1000)
+    assert s.dram.capacity_bytes == pytest.approx(PAPER_CPU.dram.capacity_bytes / 1000)
+    # Rates untouched:
+    assert s.freq_ghz == PAPER_CPU.freq_ghz
+    assert s.dram.bandwidth_gbs == PAPER_CPU.dram.bandwidth_gbs
+    assert s.dram.latency_ns == PAPER_CPU.dram.latency_ns
+    assert s.cores == PAPER_CPU.cores
+
+
+def test_scaling_knl_both_tiers():
+    s = scaled_specs(PAPER_KNL, 100.0)
+    assert s.mcdram.capacity_bytes == pytest.approx(16 * 1024**3 / 100)
+    assert s.dram.capacity_bytes == pytest.approx(96 * 1024**3 / 100)
+    assert s.mcdram.bandwidth_gbs == PAPER_KNL.mcdram.bandwidth_gbs
+
+
+def test_scaling_gpu_keeps_page_granule():
+    s = scaled_specs(PAPER_GPU, 1000.0)
+    assert s.page_bytes == PAPER_GPU.page_bytes
+    assert s.global_mem.capacity_bytes == pytest.approx(12 * 1024**3 / 1000)
+    assert s.shared_mem_per_sm == PAPER_GPU.shared_mem_per_sm
+
+
+def test_scaling_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        scaled_specs(PAPER_CPU, 0)
+
+
+def test_scaling_rejects_unknown_type():
+    with pytest.raises(TypeError):
+        scaled_specs(object(), 10)
+
+
+def test_default_scale_matches_datasets():
+    assert DEFAULT_HW_SCALE == 1000.0

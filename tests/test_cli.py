@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_datasets(capsys):
+    code, out = run(capsys, "datasets")
+    assert code == 0
+    for name in ("lj", "or", "wi", "tw", "fr"):
+        assert name in out
+
+
+def test_stats_dataset(capsys):
+    code, out = run(capsys, "stats", "tw", "--scale", "0.1")
+    assert code == 0
+    assert "|V|" in out and "skewed edges" in out
+
+
+def test_stats_edge_list_file(capsys, tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+    code, out = run(capsys, "stats", str(path))
+    assert code == 0
+    assert "|E| (undirected) : 3" in out
+
+
+def test_count_with_verify_and_output(capsys, tmp_path):
+    out_path = tmp_path / "counts.npz"
+    code, out = run(
+        capsys, "count", "lj", "--scale", "0.05", "--verify",
+        "--top", "2", "--output", str(out_path),
+    )
+    assert code == 0
+    assert "verification     : passed" in out
+    assert "triangles" in out
+    with np.load(out_path) as data:
+        assert len(data["counts"]) > 0
+
+
+def test_count_backends(capsys):
+    code, out = run(capsys, "count", "lj", "--scale", "0.05", "--backend", "bitmap")
+    assert code == 0
+
+
+def test_simulate_cpu(capsys):
+    code, out = run(capsys, "simulate", "tw", "--scale", "0.2",
+                    "--processor", "cpu", "--algorithm", "MPS", "--threads", "8")
+    assert code == 0
+    assert "modeled" in out and "breakdown" in out and "threads" in out
+
+
+def test_simulate_gpu(capsys):
+    code, out = run(capsys, "simulate", "tw", "--scale", "0.2",
+                    "--processor", "gpu", "--warps", "8")
+    assert code == 0
+    assert "warps_per_block  : 8" in out
+
+
+def test_experiment_list_and_run(capsys):
+    code, out = run(capsys, "experiment", "list")
+    assert code == 0
+    assert "fig10" in out and "table4" in out
+    code, out = run(capsys, "experiment", "table2", "--scale", "0.2")
+    assert code == 0
+    assert "skew_%" in out
+
+
+def test_experiment_unknown(capsys):
+    code = main(["experiment", "fig99"])
+    assert code == 2
+
+
+def test_recommend(capsys):
+    code, out = run(capsys, "recommend", "fr", "--scale", "0.1")
+    assert code == 0
+    assert "KNL" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_experiment_chart(capsys):
+    code, out = run(capsys, "experiment", "fig9", "--scale", "0.2", "--chart")
+    assert code == 0
+    assert "A = MPS" in out and "B = BMP" in out
+
+
+def test_experiment_chart_ignored_for_tables(capsys):
+    code, out = run(capsys, "experiment", "table3", "--scale", "0.2", "--chart")
+    assert code == 0
+    assert "A =" not in out
+
+
+def test_cluster_command(capsys):
+    code, out = run(capsys, "cluster", "lj", "--scale", "0.1", "--eps", "0.45")
+    assert code == 0
+    assert "clusters" in out and "outliers" in out
+
+
+def test_linkpred_command(capsys):
+    code, out = run(capsys, "linkpred", "lj", "--scale", "0.1", "--top", "3")
+    assert code == 0
+    assert "candidate links" in out and "score=" in out
+
+
+def test_linkpred_explicit_vertex(capsys):
+    code, out = run(capsys, "linkpred", "lj", "--scale", "0.1",
+                    "--vertex", "0", "--method", "common")
+    assert code == 0

@@ -1,0 +1,41 @@
+"""Unit tests for the exception hierarchy and the top-level package."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AlgorithmError,
+    CapacityError,
+    EdgeNotFoundError,
+    GraphFormatError,
+    ReproError,
+    SimulationError,
+    UnknownAlgorithmError,
+    VerificationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [GraphFormatError, AlgorithmError, SimulationError, CapacityError, VerificationError],
+)
+def test_hierarchy(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_edge_not_found_carries_endpoints():
+    e = EdgeNotFoundError(3, 7)
+    assert e.u == 3 and e.v == 7
+    assert isinstance(e, KeyError)
+
+
+def test_unknown_algorithm_lists_known():
+    e = UnknownAlgorithmError("zap", ("M", "MPS"))
+    assert "zap" in str(e) and "MPS" in str(e)
+
+
+def test_package_exports():
+    assert repro.__version__
+    assert "ICPP 2019" in repro.PAPER
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,72 @@
+"""Unit tests for OpCounts and WorkVector."""
+
+import numpy as np
+import pytest
+
+from repro.types import WORK_FIELDS, OpCounts, WorkVector
+
+
+def test_opcounts_defaults_zero():
+    c = OpCounts()
+    assert c.total_instructions == 0
+    assert c.total_words == 0
+
+
+def test_opcounts_iadd():
+    c = OpCounts(comparisons=2)
+    c += OpCounts(comparisons=3, vector_ops=1, lane_width=16)
+    assert c.comparisons == 5
+    assert c.vector_ops == 1
+    assert c.lane_width == 16
+
+
+def test_opcounts_scalar_instructions_aggregates():
+    c = OpCounts(comparisons=1, advances=2, gallop_steps=3, binary_steps=4,
+                 bitmap_set=5, bitmap_test=6, bitmap_clear=7, filter_test=8)
+    assert c.scalar_instructions == 36
+    c.vector_ops = 4
+    assert c.total_instructions == 40
+
+
+def test_opcounts_as_dict_roundtrip():
+    c = OpCounts(matches=3, seq_words=9)
+    d = c.as_dict()
+    assert d["matches"] == 3 and d["seq_words"] == 9
+
+
+def test_workvector_defaults():
+    w = WorkVector(4)
+    for f in WORK_FIELDS:
+        assert np.array_equal(w[f], np.zeros(4))
+
+
+def test_workvector_shape_checks():
+    with pytest.raises(ValueError):
+        WorkVector(3, scalar_ops=np.zeros(2))
+    with pytest.raises(TypeError):
+        WorkVector(3, warp_ops=np.zeros(3))
+    w = WorkVector(3)
+    with pytest.raises(KeyError):
+        w["bogus"] = np.zeros(3)
+    with pytest.raises(ValueError):
+        w["scalar_ops"] = np.zeros(4)
+
+
+def test_workvector_add():
+    a = WorkVector(2, scalar_ops=np.array([1.0, 2.0]))
+    b = WorkVector(2, scalar_ops=np.array([3.0, 4.0]))
+    assert np.array_equal((a + b)["scalar_ops"], [4.0, 6.0])
+    with pytest.raises(ValueError):
+        a + WorkVector(3)
+
+
+def test_workvector_totals():
+    w = WorkVector(3, seq_words=np.array([1.0, 2.0, 3.0]))
+    assert w.total("seq_words") == 6.0
+    assert w.totals()["seq_words"] == 6.0
+
+
+def test_workvector_group_by_shape_check():
+    w = WorkVector(3)
+    with pytest.raises(ValueError):
+        w.group_by(np.zeros(2, dtype=int), 2)
