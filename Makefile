@@ -1,12 +1,19 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples experiments all clean
+.PHONY: install test verify bench examples experiments all clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Tier-1 suite under both multiprocessing start methods — the spawn leg
+# exercises the shared-memory parallel backend the way macOS/Windows would
+# (mirrors the CI matrix in .github/workflows/ci.yml).
+verify:
+	PYTHONPATH=src MP_START_METHOD=fork python -m pytest -x -q
+	PYTHONPATH=src MP_START_METHOD=spawn python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

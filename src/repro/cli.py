@@ -57,14 +57,24 @@ def _cmd_count(args) -> int:
     from repro.core import count_common_neighbors, verify_counts
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
+    backend = args.backend
+    if backend == "auto" and (args.workers is not None or args.stats):
+        backend = "parallel"
     result = count_common_neighbors(
-        graph, algorithm=args.algorithm, backend=args.backend
+        graph,
+        algorithm=args.algorithm,
+        backend=backend,
+        num_workers=args.workers,
+        chunks_per_worker=args.chunks_per_worker,
+        collect_stats=args.stats,
     )
     if args.verify:
         verify_counts(result)
         print("verification     : passed")
     print(f"graph            : {graph}")
     print(f"triangles        : {result.triangle_count()}")
+    if args.stats and result.parallel_stats is not None:
+        print(result.parallel_stats.format())
     print("top edges (u, v, common neighbors):")
     for u, v, c in result.top_edges(args.top):
         print(f"  ({u}, {v})  {c}")
@@ -234,6 +244,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(p)
     p.add_argument("--algorithm", default="auto")
     p.add_argument("--backend", default="auto", choices=["auto", "matmul", "bitmap", "merge", "parallel"])
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the parallel backend "
+                        "(implies --backend parallel)")
+    p.add_argument("--chunks-per-worker", type=int, default=4,
+                   help="over-decomposition knob |T| for dynamic scheduling")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-worker telemetry (implies --backend parallel)")
     p.add_argument("--top", type=int, default=5, help="print the k hottest edges")
     p.add_argument("--verify", action="store_true", help="verify against a reference")
     p.add_argument("--output", help="save counts to a .npz file")

@@ -46,6 +46,8 @@ def count_common_neighbors(
     algorithm: str = "auto",
     backend: str = "auto",
     num_workers: int | None = None,
+    chunks_per_worker: int = 4,
+    collect_stats: bool = False,
 ) -> EdgeCounts:
     """Count ``|N(u) ∩ N(v)|`` for every edge of ``graph``.
 
@@ -62,10 +64,21 @@ def count_common_neighbors(
     backend:
         Execution backend for the exact counts: ``matmul`` (SciPy sparse,
         fastest), ``bitmap`` (the paper-faithful structure), ``parallel``
-        (multiprocessing), ``merge`` (reference), or ``auto``.
+        (shared-memory multiprocessing), ``merge`` (reference), or
+        ``auto``.
+    chunks_per_worker:
+        Over-decomposition knob for the parallel backend (the paper's
+        ``|T|`` trade-off).
+    collect_stats:
+        When true and the backend is ``parallel``, per-worker telemetry is
+        attached to the result as ``EdgeCounts.parallel_stats``.
     """
     return CommonNeighborCounter(
-        algorithm=algorithm, backend=backend, num_workers=num_workers
+        algorithm=algorithm,
+        backend=backend,
+        num_workers=num_workers,
+        chunks_per_worker=chunks_per_worker,
+        collect_stats=collect_stats,
     ).count(graph)
 
 
@@ -77,10 +90,14 @@ class CommonNeighborCounter:
         algorithm: str = "auto",
         backend: str = "auto",
         num_workers: int | None = None,
+        chunks_per_worker: int = 4,
+        collect_stats: bool = False,
     ):
         self.algorithm = algorithm
         self.backend = backend
         self.num_workers = num_workers
+        self.chunks_per_worker = chunks_per_worker
+        self.collect_stats = collect_stats
 
     # ------------------------------------------------------------------ #
     def count(self, graph: CSRGraph) -> EdgeCounts:
@@ -100,7 +117,15 @@ class CommonNeighborCounter:
             )
         fn = _BACKENDS[backend]
         if backend == "parallel":
-            counts = fn(graph, self.num_workers)
+            if self.collect_stats:
+                counts, stats = fn(
+                    graph,
+                    self.num_workers,
+                    self.chunks_per_worker,
+                    return_stats=True,
+                )
+                return EdgeCounts(graph, counts, parallel_stats=stats)
+            counts = fn(graph, self.num_workers, self.chunks_per_worker)
         else:
             counts = fn(graph)
         return EdgeCounts(graph, counts)

@@ -16,9 +16,9 @@ class EdgeCounts:
     directions of every edge carry the same value (symmetric assignment).
     """
 
-    __slots__ = ("graph", "counts")
+    __slots__ = ("graph", "counts", "parallel_stats")
 
-    def __init__(self, graph: CSRGraph, counts: np.ndarray):
+    def __init__(self, graph: CSRGraph, counts: np.ndarray, parallel_stats=None):
         counts = np.asarray(counts)
         if counts.shape != (graph.num_directed_edges,):
             raise ValueError(
@@ -27,6 +27,9 @@ class EdgeCounts:
             )
         self.graph = graph
         self.counts = counts
+        #: :class:`repro.parallel.metrics.ParallelStats` when the counts
+        #: came from the parallel backend with telemetry enabled.
+        self.parallel_stats = parallel_stats
 
     def __getitem__(self, edge: tuple[int, int]) -> int:
         """``counts[u, v]`` — count for the edge ``(u, v)``."""

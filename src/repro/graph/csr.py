@@ -148,6 +148,44 @@ class CSRGraph:
         return self.offsets.nbytes + self.dst.nbytes
 
     # ------------------------------------------------------------------ #
+    # raw-buffer export / attach (shared-memory backends)
+    # ------------------------------------------------------------------ #
+    def buffer_spec(self) -> dict:
+        """Shape/dtype metadata needed to rebuild the graph from raw buffers.
+
+        The returned dict is plain data (picklable), so it can travel to a
+        worker process alongside shared-memory block names and be fed back
+        into :meth:`from_buffers`.
+        """
+        return {
+            "offsets": {"shape": self.offsets.shape, "dtype": str(self.offsets.dtype)},
+            "dst": {"shape": self.dst.shape, "dtype": str(self.dst.dtype)},
+        }
+
+    @classmethod
+    def from_buffers(cls, offsets_buf, dst_buf, spec: dict) -> "CSRGraph":
+        """Zero-copy view of CSR arrays living in caller-owned buffers.
+
+        ``offsets_buf``/``dst_buf`` are any objects exposing the buffer
+        protocol (``memoryview`` of a shared-memory block, ``bytearray``,
+        mmap, ...); ``spec`` is a :meth:`buffer_spec` dict.  The arrays are
+        *views*: the caller must keep the buffers alive for the lifetime of
+        the returned graph.  Validation is skipped — the exporter already
+        held a validated graph.
+        """
+        offsets = np.ndarray(
+            tuple(spec["offsets"]["shape"]),
+            dtype=np.dtype(spec["offsets"]["dtype"]),
+            buffer=offsets_buf,
+        )
+        dst = np.ndarray(
+            tuple(spec["dst"]["shape"]),
+            dtype=np.dtype(spec["dst"]["dtype"]),
+            buffer=dst_buf,
+        )
+        return cls(offsets, dst, validate=False)
+
+    # ------------------------------------------------------------------ #
     # conversions / dunder
     # ------------------------------------------------------------------ #
     def to_networkx(self):

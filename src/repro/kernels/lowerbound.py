@@ -53,21 +53,28 @@ def galloping_lower_bound(
     Skips of size ``2^4, 2^5, …`` from ``lo`` until an element ``>= target``
     is found (or the end is passed), then binary-searches the bracketed
     range, exactly as described in the paper.
+
+    Accounting: each probe of ``arr`` is charged exactly one gallop step
+    and one random word.  When the first skip already lands at or beyond
+    ``hi`` (``hi - lo <= 2^4``) the whole range goes straight to binary
+    search with **no** gallop charge — no array element was touched.
     """
-    gallop_steps = 0
     if lo >= hi:
         return lo
+    probes = 0
     prev = lo
     step = 1 << GALLOP_START_EXP
     probe = lo + step
-    while probe < hi and arr[probe] < target:
-        gallop_steps += 1
+    while probe < hi:
+        probes += 1
+        if arr[probe] >= target:
+            break
         prev = probe
         step <<= 1
         probe = lo + step
     if counts is not None:
-        counts.gallop_steps += gallop_steps + 1
-        counts.rand_words += gallop_steps + 1
+        counts.gallop_steps += probes
+        counts.rand_words += probes
     return binary_lower_bound(arr, prev, min(probe, hi), target, counts)
 
 

@@ -20,7 +20,13 @@ from repro.parallel.scheduler import (
     simulate_static,
     chunk_work,
 )
-from repro.parallel.threadpool import count_all_edges_parallel
+from repro.parallel.metrics import ChunkStat, ParallelStats, WorkerTelemetry
+from repro.parallel.sharedmem import AttachedCSR, SharedCSRHandle, SharedGraph
+from repro.parallel.threadpool import (
+    ParallelCounter,
+    count_all_edges_parallel,
+    resolve_start_method,
+)
 from repro.parallel.skeleton import run_parallel_skeleton, SkeletonStats
 
 __all__ = [
@@ -32,7 +38,15 @@ __all__ = [
     "simulate_dynamic",
     "simulate_static",
     "chunk_work",
+    "ChunkStat",
+    "ParallelStats",
+    "WorkerTelemetry",
+    "AttachedCSR",
+    "SharedCSRHandle",
+    "SharedGraph",
+    "ParallelCounter",
     "count_all_edges_parallel",
+    "resolve_start_method",
     "run_parallel_skeleton",
     "SkeletonStats",
 ]

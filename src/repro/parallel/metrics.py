@@ -1,0 +1,175 @@
+"""Per-worker telemetry for the real parallel counting backend.
+
+Every chunk a worker pulls off the dynamic queue comes back with a
+:class:`ChunkStat` — who ran it, which vertex range, how many edge counts
+it produced, how long it took, and the kernel :class:`~repro.types.OpCounts`
+it charged.  :class:`ParallelStats` aggregates a request's chunk stats
+into per-worker utilization, throughput, and a measured load-imbalance
+figure that can be validated directly against the event-driven
+:func:`~repro.parallel.scheduler.simulate_dynamic` model (paper §4's
+``|T|`` trade-off, now observable on real wall-clock data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.scheduler import Schedule, simulate_dynamic
+from repro.types import OpCounts
+
+__all__ = ["ChunkStat", "WorkerTelemetry", "ParallelStats"]
+
+
+@dataclass(frozen=True)
+class ChunkStat:
+    """One dynamically-scheduled chunk, as measured by the worker."""
+
+    worker_pid: int
+    lo: int
+    hi: int
+    edges: int
+    seconds: float
+    ops: OpCounts | None = None
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """Aggregated view of one worker process across a request."""
+
+    pid: int
+    chunks: int
+    edges: int
+    busy_seconds: float
+
+    @property
+    def edges_per_sec(self) -> float:
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.edges / self.busy_seconds
+
+
+@dataclass
+class ParallelStats:
+    """Telemetry for one ``count_all_edges`` request.
+
+    ``effective_workers`` may be smaller than ``requested_workers`` when
+    the backend fell back (single CPU, shared-memory setup failure);
+    ``fallback_reason`` records why, and the backend also raises a
+    ``RuntimeWarning`` so the degradation is never silent.
+    """
+
+    requested_workers: int
+    effective_workers: int
+    start_method: str
+    wall_seconds: float
+    chunk_stats: list[ChunkStat] = field(default_factory=list)
+    fallback_reason: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_stats)
+
+    @property
+    def total_edges(self) -> int:
+        """Computed ``u < v`` edge counts (before symmetric assignment)."""
+        return sum(c.edges for c in self.chunk_stats)
+
+    @property
+    def edges_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_edges / self.wall_seconds
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-side compute time across all chunks."""
+        return float(sum(c.seconds for c in self.chunk_stats))
+
+    def per_worker(self) -> list[WorkerTelemetry]:
+        """One :class:`WorkerTelemetry` per participating worker pid."""
+        agg: dict[int, list[ChunkStat]] = {}
+        for c in self.chunk_stats:
+            agg.setdefault(c.worker_pid, []).append(c)
+        return [
+            WorkerTelemetry(
+                pid=pid,
+                chunks=len(cs),
+                edges=sum(c.edges for c in cs),
+                busy_seconds=float(sum(c.seconds for c in cs)),
+            )
+            for pid, cs in sorted(agg.items())
+        ]
+
+    def aggregate_ops(self) -> OpCounts:
+        """Sum of the kernel op counts charged by every chunk."""
+        total = OpCounts()
+        for c in self.chunk_stats:
+            if c.ops is not None:
+                total += c.ops
+        return total
+
+    @property
+    def imbalance(self) -> float:
+        """Measured load imbalance: ``max(busy) / mean(busy) - 1``.
+
+        The mean is taken over ``effective_workers`` (idle workers count
+        as zero busy time), mirroring the scheduler simulator's
+        ``makespan / ideal - 1`` definition.
+        """
+        busy = [w.busy_seconds for w in self.per_worker()]
+        if not busy:
+            return 0.0
+        mean = sum(busy) / max(self.effective_workers, 1)
+        if mean <= 0:
+            return 0.0
+        return max(busy) / mean - 1.0
+
+    def chunk_seconds(self) -> np.ndarray:
+        """Measured per-chunk costs in queue (submission) order."""
+        order = sorted(self.chunk_stats, key=lambda c: c.lo)
+        return np.array([c.seconds for c in order], dtype=np.float64)
+
+    def simulated_schedule(self, dequeue_overhead: float = 0.0) -> Schedule:
+        """Replay the measured chunk costs through the dynamic-schedule
+        simulator — the bridge between real telemetry and the model that
+        feeds Figures 5-10."""
+        return simulate_dynamic(
+            self.chunk_seconds(), max(self.effective_workers, 1), dequeue_overhead
+        )
+
+    # ------------------------------------------------------------------ #
+    # presentation
+    # ------------------------------------------------------------------ #
+    def format(self) -> str:
+        """Human-readable telemetry block (the CLI's ``--stats`` output)."""
+        lines = [
+            f"workers          : {self.effective_workers} effective / "
+            f"{self.requested_workers} requested ({self.start_method})",
+            f"chunks           : {self.num_chunks}",
+            f"wall time        : {self.wall_seconds:.4f} s "
+            f"({self.edges_per_sec:,.0f} edges/s)",
+        ]
+        if self.fallback_reason:
+            lines.append(f"fallback         : {self.fallback_reason}")
+        for w in self.per_worker():
+            lines.append(
+                f"worker {w.pid:<9d} : {w.chunks} chunks, {w.edges} edges, "
+                f"{w.busy_seconds:.4f} s busy ({w.edges_per_sec:,.0f} edges/s)"
+            )
+        if self.chunk_stats:
+            sched = self.simulated_schedule()
+            lines.append(
+                f"imbalance        : measured {100 * self.imbalance:.1f}%, "
+                f"simulated dynamic {100 * sched.imbalance:.1f}%"
+            )
+            ops = self.aggregate_ops()
+            lines.append(
+                f"kernel ops       : {ops.bitmap_set} set, {ops.bitmap_test} test, "
+                f"{ops.bitmap_clear} clear, {ops.matches} matches"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Shared-memory CSR export/attach for spawn-safe parallel counting.
+
+The fork-only backend relied on copy-on-write inheritance of the CSR
+arrays, which silently degrades to sequential execution on spawn-only
+platforms (macOS, Windows).  This module makes data placement explicit,
+the way the distributed triangle-counting literature does: the parent
+exports ``offsets``/``dst`` once into named ``multiprocessing.shared_memory``
+blocks, and every worker — regardless of start method — reattaches the
+same physical pages zero-copy through a small picklable
+:class:`SharedCSRHandle`.
+
+Lifecycle: the parent owns the blocks (:class:`SharedGraph`, a context
+manager) and unlinks them exactly once; workers only attach and let
+process exit drop their mappings.  Worker-side ``close()``/``unlink()``
+is deliberately avoided: with the resource tracker shared between parent
+and children, a child unregistering would corrupt the parent's tracking
+(observed on CPython 3.11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SharedCSRHandle", "AttachedCSR", "SharedGraph"]
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable reference to a CSR graph living in shared memory.
+
+    Carries the shared-memory block names plus the :meth:`CSRGraph.buffer_spec`
+    metadata; :meth:`attach` turns it back into a zero-copy graph in any
+    process that can open the blocks.
+    """
+
+    offsets_name: str
+    dst_name: str
+    spec: dict = field(compare=False)
+
+    def attach(self) -> "AttachedCSR":
+        return AttachedCSR(self)
+
+
+class AttachedCSR:
+    """A worker-side zero-copy view of an exported graph.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory` objects
+    alive for as long as the graph is used.  ``close()`` drops the view —
+    only call it after releasing every external reference to ``graph`` and
+    its arrays.
+    """
+
+    def __init__(self, handle: SharedCSRHandle):
+        self._shm_offsets = shared_memory.SharedMemory(name=handle.offsets_name)
+        self._shm_dst = shared_memory.SharedMemory(name=handle.dst_name)
+        self.graph: CSRGraph | None = CSRGraph.from_buffers(
+            self._shm_offsets.buf, self._shm_dst.buf, handle.spec
+        )
+
+    def close(self) -> None:
+        """Release the mapping (the exporter still owns the blocks)."""
+        self.graph = None
+        for shm in (self._shm_offsets, self._shm_dst):
+            try:
+                shm.close()
+            except BufferError:  # a live view still references the buffer
+                pass
+
+
+class SharedGraph:
+    """Parent-side owner of the shared-memory copy of a graph.
+
+    Creating one copies the CSR arrays into fresh shared-memory blocks
+    (the only copy made; every attach afterwards is zero-copy).  Use as a
+    context manager, or call :meth:`unlink` when all consumers are done.
+    """
+
+    def __init__(self, graph: CSRGraph):
+        spec = graph.buffer_spec()
+        # POSIX shared memory rejects zero-length segments; pad so empty
+        # graphs still travel through the same code path.
+        self._shm_offsets = shared_memory.SharedMemory(
+            create=True, size=max(1, graph.offsets.nbytes)
+        )
+        self._shm_dst = shared_memory.SharedMemory(
+            create=True, size=max(1, graph.dst.nbytes)
+        )
+        self._unlinked = False
+        try:
+            self._copy_in(self._shm_offsets, graph.offsets)
+            self._copy_in(self._shm_dst, graph.dst)
+        except BaseException:
+            self.unlink()
+            raise
+        self.handle = SharedCSRHandle(
+            offsets_name=self._shm_offsets.name,
+            dst_name=self._shm_dst.name,
+            spec=spec,
+        )
+
+    @staticmethod
+    def _copy_in(shm: shared_memory.SharedMemory, arr: np.ndarray) -> None:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        del view  # drop the exported pointer so close() cannot fail
+
+    def nbytes(self) -> int:
+        return self._shm_offsets.size + self._shm_dst.size
+
+    def unlink(self) -> None:
+        """Close and remove the blocks.  Idempotent."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for shm in (self._shm_offsets, self._shm_dst):
+            try:
+                shm.close()
+                shm.unlink()
+            except (BufferError, FileNotFoundError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedGraph(offsets={self.handle.offsets_name}, "
+            f"dst={self.handle.dst_name}, bytes={self.nbytes()})"
+        )

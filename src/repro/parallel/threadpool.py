@@ -1,43 +1,64 @@
 """Real parallel execution of all-edge counting via ``multiprocessing``.
 
-This is the substitute for the paper's OpenMP execution: the vertex range
-is split into coarse chunks, each worker process counts its chunk with the
-vectorized BMP-structured path (NumPy releases the GIL-equivalent cost by
-running in separate processes), and the parent stitches the per-chunk
-results and applies the symmetric assignment.
+This is the substitute for the paper's OpenMP execution.  The vertex range
+is split into ``num_workers x chunks_per_worker`` chunks of roughly equal
+adjacency volume (the over-decomposition knob mirroring the paper's
+``|T|``), the chunks go onto a shared dynamic queue, and a **persistent
+pool of worker processes** pulls them until the queue drains — exactly the
+``schedule(dynamic)`` behavior §4 tunes.
 
-On fork-based platforms the graph is inherited copy-on-write, so no
-serialization of the CSR arrays happens per task.
+Unlike the original fork-only backend, the CSR arrays are exported once
+into named shared memory (:mod:`repro.parallel.sharedmem`) and reattached
+zero-copy in every worker, so the pool works under *any* start method —
+``fork``, ``spawn``, or ``forkserver`` — instead of silently degrading to
+sequential execution on spawn-only platforms.  A :class:`ParallelCounter`
+keeps its workers alive across requests; ``count_all_edges_parallel``
+wraps it for one-shot use.  Every chunk reports per-worker telemetry
+(:mod:`repro.parallel.metrics`).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
+import traceback
+import warnings
+from queue import Empty
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.kernels.batch import symmetric_assign
+from repro.parallel.metrics import ChunkStat, ParallelStats
+from repro.parallel.sharedmem import SharedCSRHandle, SharedGraph
+from repro.types import OpCounts
 
-__all__ = ["count_all_edges_parallel", "count_vertex_range"]
+__all__ = [
+    "ParallelCounter",
+    "count_all_edges_parallel",
+    "count_vertex_range",
+    "resolve_start_method",
+]
 
-# Worker-global graph reference, installed by the initializer (fork) so the
-# CSR arrays are shared copy-on-write rather than pickled per task.
-_WORKER_GRAPH: CSRGraph | None = None
+#: Environment override for the pool's start method (used by the CI matrix
+#: to pin both the fork and the spawn leg).
+START_METHOD_ENV = "MP_START_METHOD"
 
-
-def _init_worker(graph: CSRGraph) -> None:
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = graph
+_STOP = None  # queue sentinel
 
 
 def count_vertex_range(
-    graph: CSRGraph, lo: int, hi: int
+    graph: CSRGraph,
+    lo: int,
+    hi: int,
+    counts: OpCounts | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Counts for all ``u < v`` edges whose source ``u`` lies in [lo, hi).
 
-    Returns ``(edge_offsets, counts)`` for the computed entries.
+    Returns ``(edge_offsets, counts)`` for the computed entries.  When an
+    :class:`OpCounts` is passed, the BMP-structure work (bitmap set/test/
+    clear, word traffic, matches) is charged to it.
     """
     offsets = graph.offsets
     dst = graph.dst
@@ -66,15 +87,19 @@ def count_vertex_range(
         out_off.append(np.arange(a + first, b, dtype=np.int64))
         out_cnt.append(sums.astype(np.int64))
         mark[nbrs] = False
+        if counts is not None:
+            deg = int(b - a)
+            gathered = int(len(flat))
+            counts.bitmap_set += deg
+            counts.bitmap_clear += deg
+            counts.bitmap_test += gathered
+            counts.rand_words += gathered  # bitmap probes are random touches
+            counts.seq_words += deg + gathered  # streamed adjacency reads
+            counts.matches += int(sums.sum())
 
     if not out_off:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     return np.concatenate(out_off), np.concatenate(out_cnt)
-
-
-def _worker_task(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-    assert _WORKER_GRAPH is not None, "worker initializer did not run"
-    return count_vertex_range(_WORKER_GRAPH, bounds[0], bounds[1])
 
 
 def _vertex_chunks(graph: CSRGraph, num_chunks: int) -> list[tuple[int, int]]:
@@ -93,34 +118,297 @@ def _vertex_chunks(graph: CSRGraph, num_chunks: int) -> list[tuple[int, int]]:
     ]
 
 
+def resolve_start_method(start_method: str | None = None) -> str:
+    """Pick the pool's start method.
+
+    Priority: explicit argument > ``MP_START_METHOD`` environment variable
+    > ``fork`` when available (cheapest) > the platform default.  Unknown
+    or unavailable methods raise ``ValueError`` so a CI matrix leg can
+    never silently test the wrong path.
+    """
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    available = mp.get_all_start_methods()
+    if method is None:
+        return "fork" if "fork" in available else mp.get_start_method()
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} not available on this platform "
+            f"(have {available})"
+        )
+    return method
+
+
+def _worker_main(handle: SharedCSRHandle, task_q, result_q) -> None:
+    """Worker loop: attach the shared CSR once, then serve chunk tasks."""
+    attached = handle.attach()
+    graph = attached.graph
+    pid = os.getpid()
+    while True:
+        task = task_q.get()
+        if task is _STOP:
+            break
+        lo, hi = task
+        try:
+            ops = OpCounts()
+            t0 = time.perf_counter()
+            eo, vals = count_vertex_range(graph, lo, hi, ops)
+            dt = time.perf_counter() - t0
+        except BaseException:  # pragma: no cover - defensive
+            result_q.put(("err", traceback.format_exc()))
+            continue
+        stat = ChunkStat(pid, lo, hi, len(eo), dt, ops)
+        result_q.put(("ok", eo, vals, stat))
+
+
+class ParallelCounter:
+    """Persistent shared-memory counting service (context manager).
+
+    Exports the graph to shared memory and starts ``num_workers`` worker
+    processes **once**; every subsequent :meth:`count_all_edges` request
+    reuses the same workers and the same zero-copy CSR pages — no pool
+    construction, no graph pickling, no fork-time luck.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve requests for.
+    num_workers:
+        Worker process count; default ``os.cpu_count()``.  ``1`` runs
+        in-process (no pool, no shared memory).
+    chunks_per_worker:
+        Over-decomposition factor (the paper's ``|T|`` knob): more chunks
+        per worker means better dynamic load balance at slightly higher
+        queue overhead.  Can be overridden per request.
+    start_method:
+        ``fork``/``spawn``/``forkserver``; see :func:`resolve_start_method`.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_workers: int | None = None,
+        chunks_per_worker: int = 4,
+        start_method: str | None = None,
+    ):
+        self.graph = graph
+        self.requested_workers = max(
+            1, int(num_workers) if num_workers is not None else (os.cpu_count() or 1)
+        )
+        self._explicit_single = num_workers is not None and int(num_workers) == 1
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self._start_method_arg = start_method
+        self.start_method = "in-process"
+        self.effective_workers = 1
+        self.fallback_reason: str | None = None
+        self._shared: SharedGraph | None = None
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ParallelCounter":
+        """Export the graph and launch the persistent workers."""
+        if self._started:
+            return self
+        self._started = True
+        method = resolve_start_method(self._start_method_arg)
+
+        if self.requested_workers == 1:
+            if not self._explicit_single:
+                self.fallback_reason = "only one CPU available"
+            return self._finish_start_sequential()
+
+        try:
+            self._shared = SharedGraph(self.graph)
+            ctx = mp.get_context(method)
+            self._task_q = ctx.Queue()
+            self._result_q = ctx.Queue()
+            procs = []
+            for _ in range(self.requested_workers):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(self._shared.handle, self._task_q, self._result_q),
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+            self._procs = procs
+        except (OSError, ValueError, ImportError) as exc:
+            self._teardown_pool()
+            self.fallback_reason = f"shared-memory pool setup failed: {exc}"
+            return self._finish_start_sequential()
+
+        self.start_method = method
+        self.effective_workers = self.requested_workers
+        return self
+
+    def _finish_start_sequential(self) -> "ParallelCounter":
+        self.start_method = "in-process"
+        self.effective_workers = 1
+        if self.fallback_reason is not None:
+            requested = (
+                f" of {self.requested_workers} requested"
+                if self.requested_workers > 1
+                else ""
+            )
+            warnings.warn(
+                f"parallel backend running sequentially "
+                f"({self.fallback_reason}); effective workers = 1{requested}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return self
+
+    @property
+    def is_parallel(self) -> bool:
+        return bool(self._procs)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the persistent worker processes (empty when in-process)."""
+        return [p.pid for p in self._procs]
+
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory blocks."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        if self._task_q is not None:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(_STOP)
+                except (OSError, ValueError):  # pragma: no cover
+                    break
+        for p in self._procs:
+            p.join(timeout=10)
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+                p.join(timeout=5)
+        self._procs = []
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.close()
+                q.join_thread()
+        self._task_q = self._result_q = None
+        if self._shared is not None:
+            self._shared.unlink()
+            self._shared = None
+
+    def __enter__(self) -> "ParallelCounter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # requests
+    # ------------------------------------------------------------------ #
+    def count_all_edges(
+        self,
+        chunks_per_worker: int | None = None,
+        with_stats: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, ParallelStats]:
+        """All-edge common neighbor counts, aligned with ``graph.dst``.
+
+        With ``with_stats=True`` also returns the request's
+        :class:`~repro.parallel.metrics.ParallelStats`.
+        """
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise RuntimeError("ParallelCounter is closed")
+        cpw = self.chunks_per_worker if chunks_per_worker is None else max(
+            1, int(chunks_per_worker)
+        )
+        chunks = _vertex_chunks(self.graph, self.effective_workers * cpw)
+        cnt = np.zeros(self.graph.num_directed_edges, dtype=np.int64)
+        t0 = time.perf_counter()
+
+        if self.is_parallel:
+            chunk_stats = self._run_pool(chunks, cnt)
+        else:
+            chunk_stats = self._run_inline(chunks, cnt)
+
+        wall = time.perf_counter() - t0
+        counts = symmetric_assign(self.graph, cnt)
+        if not with_stats:
+            return counts
+        stats = ParallelStats(
+            requested_workers=self.requested_workers,
+            effective_workers=self.effective_workers,
+            start_method=self.start_method,
+            wall_seconds=wall,
+            chunk_stats=chunk_stats,
+            fallback_reason=self.fallback_reason,
+        )
+        return counts, stats
+
+    def _run_pool(self, chunks, cnt) -> list[ChunkStat]:
+        for bounds in chunks:
+            self._task_q.put(bounds)
+        chunk_stats: list[ChunkStat] = []
+        pending = len(chunks)
+        while pending:
+            try:
+                msg = self._result_q.get(timeout=1.0)
+            except Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    codes = [p.exitcode for p in dead]
+                    raise RuntimeError(
+                        f"{len(dead)} parallel worker(s) died "
+                        f"(exit codes {codes}) with {pending} chunks pending"
+                    )
+                continue
+            if msg[0] == "err":
+                raise RuntimeError(f"parallel worker failed:\n{msg[1]}")
+            _, eo, vals, stat = msg
+            cnt[eo] = vals
+            chunk_stats.append(stat)
+            pending -= 1
+        return chunk_stats
+
+    def _run_inline(self, chunks, cnt) -> list[ChunkStat]:
+        pid = os.getpid()
+        chunk_stats: list[ChunkStat] = []
+        for lo, hi in chunks:
+            ops = OpCounts()
+            t0 = time.perf_counter()
+            eo, vals = count_vertex_range(self.graph, lo, hi, ops)
+            dt = time.perf_counter() - t0
+            cnt[eo] = vals
+            chunk_stats.append(ChunkStat(pid, lo, hi, len(eo), dt, ops))
+        return chunk_stats
+
+
 def count_all_edges_parallel(
     graph: CSRGraph,
     num_workers: int | None = None,
     chunks_per_worker: int = 4,
-) -> np.ndarray:
-    """All-edge counts using a pool of worker processes.
+    *,
+    start_method: str | None = None,
+    return_stats: bool = False,
+) -> np.ndarray | tuple[np.ndarray, ParallelStats]:
+    """One-shot all-edge counts using a transient :class:`ParallelCounter`.
 
-    ``chunks_per_worker > 1`` gives the pool dynamic load balancing — the
-    same over-decomposition trade-off the paper tunes with ``|T|``.
-    Falls back to in-process execution when only one worker is available
-    or the platform lacks ``fork``.
+    ``chunks_per_worker > 1`` gives the dynamic queue load balancing — the
+    same over-decomposition trade-off the paper tunes with ``|T|``.  Works
+    under every ``multiprocessing`` start method (shared-memory CSR
+    export); any fallback to sequential execution emits a
+    ``RuntimeWarning``.  For repeated requests on the same graph, keep a
+    :class:`ParallelCounter` open instead.
     """
-    if num_workers is None:
-        num_workers = os.cpu_count() or 1
-    num_workers = max(1, int(num_workers))
-
-    chunks = _vertex_chunks(graph, num_workers * chunks_per_worker)
-    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
-
-    if num_workers == 1 or "fork" not in mp.get_all_start_methods():
-        results = [count_vertex_range(graph, lo, hi) for lo, hi in chunks]
-    else:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(
-            processes=num_workers, initializer=_init_worker, initargs=(graph,)
-        ) as pool:
-            results = pool.map(_worker_task, chunks)
-
-    for eo, vals in results:
-        cnt[eo] = vals
-    return symmetric_assign(graph, cnt)
+    with ParallelCounter(
+        graph,
+        num_workers=num_workers,
+        chunks_per_worker=chunks_per_worker,
+        start_method=start_method,
+    ) as counter:
+        return counter.count_all_edges(with_stats=return_stats)

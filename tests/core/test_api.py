@@ -28,6 +28,25 @@ def test_all_algorithms_agree(medium_graph, algorithm):
     assert np.array_equal(ref.counts, got.counts)
 
 
+def test_parallel_backend_with_stats(medium_graph):
+    result = count_common_neighbors(
+        medium_graph, backend="parallel", num_workers=2, collect_stats=True
+    )
+    assert np.array_equal(result.counts, count_all_edges_matmul(medium_graph))
+    stats = result.parallel_stats
+    assert stats is not None
+    assert stats.effective_workers == 2
+    assert stats.num_chunks > 0
+    assert stats.total_edges == int(
+        np.count_nonzero(medium_graph.edge_sources() < medium_graph.dst)
+    )
+
+
+def test_non_parallel_backend_has_no_stats(medium_graph):
+    result = count_common_neighbors(medium_graph, backend="matmul")
+    assert result.parallel_stats is None
+
+
 def test_unknown_backend(medium_graph):
     with pytest.raises(AlgorithmError):
         count_common_neighbors(medium_graph, backend="gpu-magic")

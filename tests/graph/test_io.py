@@ -49,6 +49,81 @@ def test_read_rejects_negative_ids(tmp_path):
         read_edge_list(path)
 
 
+def test_read_error_reports_exact_line_number(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n0 1\n1 2\n\nbad line here\n2 3\n")
+    with pytest.raises(GraphFormatError, match=r"g\.txt:5: non-integer"):
+        read_edge_list(path)
+
+
+def test_read_short_line_deep_in_file(tmp_path):
+    path = tmp_path / "g.txt"
+    lines = [f"{i} {i + 1}" for i in range(50)]
+    lines.insert(30, "7")  # line 31 has a single column
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(GraphFormatError, match=r"g\.txt:31: expected"):
+        read_edge_list(path)
+
+
+def test_read_negative_id_reports_line(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n2 -3\n")
+    with pytest.raises(GraphFormatError, match=r"g\.txt:3: negative"):
+        read_edge_list(path)
+
+
+def test_read_comment_heavy_file(tmp_path):
+    path = tmp_path / "g.txt"
+    rows = []
+    for i in range(200):
+        rows.append(f"# comment block {i}")
+        rows.append("")
+        rows.append(f"{i} {i + 1}")
+        rows.append(f"# trailing {i}")
+    path.write_text("\n".join(rows) + "\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 200
+
+
+def test_read_ragged_extra_columns(tmp_path):
+    # Mixed column counts defeat the vectorized parser; the fallback must
+    # still accept the lines and ignore the extras.
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 9 9 9\n1 2\n2 3 0.5\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 3
+
+
+def test_read_streams_across_blocks(tmp_path, monkeypatch):
+    # Force tiny read blocks so a modest file spans many of them; counts
+    # and line numbering must be unaffected.
+    import repro.graph.io as io_mod
+
+    monkeypatch.setattr(io_mod, "_BLOCK_BYTES", 64)
+    path = tmp_path / "g.txt"
+    edges = [(i, i + 1) for i in range(500)]
+    path.write_text("\n".join(f"{u} {v}" for u, v in edges) + "\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 500
+
+    bad = tmp_path / "bad.txt"
+    lines = [f"{u} {v}" for u, v in edges]
+    lines.insert(400, "oops nope")
+    bad.write_text("\n".join(lines) + "\n")
+    with pytest.raises(GraphFormatError, match=r"bad\.txt:401: non-integer"):
+        read_edge_list(bad)
+
+
+def test_read_gzip_malformed_reports_line(tmp_path):
+    import gzip
+
+    path = tmp_path / "g.txt.gz"
+    with gzip.open(path, "wt") as fh:
+        fh.write("0 1\nno pe\n")
+    with pytest.raises(GraphFormatError, match=r":2: non-integer"):
+        read_edge_list(path)
+
+
 def test_read_empty_file(tmp_path):
     path = tmp_path / "g.txt"
     path.write_text("# nothing\n")

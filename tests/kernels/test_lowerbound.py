@@ -54,6 +54,44 @@ def test_galloping_counts_on_long_array():
     assert c.binary_steps <= 20
 
 
+def test_galloping_short_range_charges_no_gallop_probe():
+    """Regression: when ``hi - lo <= 2^4`` the gallop loop exits before
+    touching the array, so it must charge zero gallop steps / random words
+    (the old accounting over-priced short tails by one probe)."""
+    arr = np.arange(10)  # shorter than the 2**4 initial skip
+    c = OpCounts()
+    idx = galloping_lower_bound(arr, 0, len(arr), 7, c)
+    assert idx == 7
+    assert c.gallop_steps == 0
+    # Binary search over [0, 10) for 7 probes mids 5, 8, 7, 6.
+    assert c.binary_steps == 4
+    assert c.rand_words == c.binary_steps  # only binary probes touched memory
+
+
+def test_galloping_overshoot_charges_only_real_probes():
+    """Regression: a gallop that exits because the next skip passes ``hi``
+    charges exactly the probes that read the array — not the failed
+    bounds check."""
+    arr = np.arange(40)
+    c = OpCounts()
+    idx = galloping_lower_bound(arr, 0, len(arr), 100, c)
+    assert idx == 40
+    # Probes at lo+16 (16 < 100) and lo+32 (32 < 100); lo+64 >= hi is
+    # never read.
+    assert c.gallop_steps == 2
+    assert c.rand_words == 2 + c.binary_steps
+
+
+def test_galloping_hit_still_charges_final_probe():
+    """The probe that discovers ``arr[probe] >= target`` is a real read
+    and stays charged."""
+    arr = np.arange(1000)
+    c = OpCounts()
+    galloping_lower_bound(arr, 0, len(arr), 10, c)
+    # First probe at 16 already satisfies arr[16] >= 10.
+    assert c.gallop_steps == 1
+
+
 def test_galloping_faster_than_binary_for_near_targets():
     """Galloping shines when the answer is near the start (skew case)."""
     arr = np.arange(100000)

@@ -1,0 +1,85 @@
+"""Unit tests for the shared-memory CSR export/attach layer."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.csr import CSRGraph
+from repro.parallel.sharedmem import SharedGraph
+
+
+def test_buffer_spec_roundtrip(medium_graph):
+    spec = medium_graph.buffer_spec()
+    off = bytearray(medium_graph.offsets.tobytes())
+    dst = bytearray(medium_graph.dst.tobytes())
+    rebuilt = CSRGraph.from_buffers(off, dst, spec)
+    assert rebuilt == medium_graph
+
+
+def test_from_buffers_is_zero_copy(medium_graph):
+    spec = medium_graph.buffer_spec()
+    dst = bytearray(medium_graph.dst.tobytes())
+    off = bytearray(medium_graph.offsets.tobytes())
+    g = CSRGraph.from_buffers(off, dst, spec)
+    # Mutating the backing buffer is visible through the graph view.
+    first = int(g.dst[0])
+    np.ndarray(g.dst.shape, dtype=g.dst.dtype, buffer=dst)[0] = first + 1
+    assert int(g.dst[0]) == first + 1
+
+
+def test_shared_graph_attach_roundtrip(medium_graph):
+    with SharedGraph(medium_graph) as shared:
+        attached = shared.handle.attach()
+        assert attached.graph == medium_graph
+        # The attached view must not alias the original arrays.
+        assert attached.graph.dst.base is not medium_graph.dst
+        attached.close()
+
+
+def test_shared_graph_two_attachments_share_pages(medium_graph):
+    with SharedGraph(medium_graph) as shared:
+        a = shared.handle.attach()
+        b = shared.handle.attach()
+        original = int(a.graph.dst[0])
+        a.graph.dst[0] = original + 7
+        assert int(b.graph.dst[0]) == original + 7
+        a.graph.dst[0] = original
+        a.close()
+        b.close()
+
+
+def test_handle_is_picklable(medium_graph):
+    with SharedGraph(medium_graph) as shared:
+        handle = pickle.loads(pickle.dumps(shared.handle))
+        assert handle.offsets_name == shared.handle.offsets_name
+        assert handle.dst_name == shared.handle.dst_name
+        attached = handle.attach()
+        assert attached.graph == medium_graph
+        attached.close()
+
+
+def test_empty_graph_export(caplog):
+    g = csr_from_pairs([], num_vertices=4)
+    with SharedGraph(g) as shared:
+        attached = shared.handle.attach()
+        assert attached.graph.num_vertices == 4
+        assert attached.graph.num_edges == 0
+        attached.close()
+
+
+def test_unlink_is_idempotent(small_graph):
+    shared = SharedGraph(small_graph)
+    name = shared.handle.offsets_name
+    shared.unlink()
+    shared.unlink()  # second call is a no-op
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_nbytes_covers_csr(medium_graph):
+    with SharedGraph(medium_graph) as shared:
+        assert shared.nbytes() >= medium_graph.memory_bytes()

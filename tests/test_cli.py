@@ -51,6 +51,19 @@ def test_count_backends(capsys):
     assert code == 0
 
 
+def test_count_workers_stats(capsys):
+    code, out = run(
+        capsys, "count", "lj", "--scale", "0.05",
+        "--workers", "2", "--stats", "--chunks-per-worker", "2",
+    )
+    assert code == 0
+    assert "triangles" in out
+    # --workers/--stats route through the parallel backend and print the
+    # per-worker telemetry block.
+    assert "workers          : 2 effective / 2 requested" in out
+    assert "chunks" in out and "imbalance" in out and "kernel ops" in out
+
+
 def test_simulate_cpu(capsys):
     code, out = run(capsys, "simulate", "tw", "--scale", "0.2",
                     "--processor", "cpu", "--algorithm", "MPS", "--threads", "8")
