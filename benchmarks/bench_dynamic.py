@@ -1,0 +1,104 @@
+"""Incremental maintenance vs. from-scratch recount.
+
+Sweeps update-batch sizes (as a fraction of |E|) on the bundled sample
+graphs and compares the wall-clock cost of :meth:`DynamicCounter.apply`
+against a full :func:`count_common_neighbors` recount.  The locality
+argument behind the dynamic subsystem says an inserted/deleted edge
+(u, v) only perturbs counts on edges incident to N(u) ∩ N(v), so a small
+batch should be far cheaper than recounting every edge.
+
+Acceptance: incremental beats from-scratch by ≥10× for batches of at
+most 1% of |E|.  Larger batches are reported for context; past the
+recount-fraction threshold DynamicCounter falls back to a recount
+itself, so the ratio approaches 1.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicCounter, count_common_neighbors
+from repro.graph.datasets import load_dataset
+
+DATASETS = ("lj", "or")
+BATCH_FRACTIONS = (0.001, 0.005, 0.01, 0.05)
+REQUIRED_SPEEDUP = 10.0
+RESULTS: dict[str, list[tuple[float, int, str, float, float, float]]] = {}
+
+
+@pytest.fixture(scope="module", params=DATASETS)
+def prepared(request):
+    graph = load_dataset(request.param, cache=False)
+    baseline = count_common_neighbors(graph)
+    return request.param, graph, baseline
+
+
+def _mixed_batch(graph, rng, size):
+    """Half fresh insertions, half deletions of existing edges."""
+    n = graph.num_vertices
+    n_del = size // 2
+    src = graph.edge_sources()
+    upper = np.flatnonzero(src < graph.dst)
+    picked = rng.choice(upper, size=min(n_del, len(upper)), replace=False)
+    deletions = np.stack([src[picked], graph.dst[picked]], axis=1)
+    insertions = rng.integers(0, n, size=(size - len(deletions), 2))
+    insertions = insertions[insertions[:, 0] != insertions[:, 1]]
+    return insertions, deletions
+
+
+@pytest.mark.parametrize("fraction", BATCH_FRACTIONS)
+def test_incremental_vs_scratch(benchmark, prepared, fraction):
+    name, graph, baseline = prepared
+    seed = sum(map(ord, name)) * 100_000 + int(fraction * 10_000)
+    rng = np.random.default_rng(seed)
+    batch = max(1, int(fraction * graph.num_edges))
+    insertions, deletions = _mixed_batch(graph, rng, batch)
+
+    scratch_times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        count_common_neighbors(graph)
+        scratch_times.append(time.perf_counter() - t0)
+    scratch = min(scratch_times)
+
+    incremental_times = []
+
+    def apply_batch():
+        counter = DynamicCounter(graph, initial=baseline)
+        t1 = time.perf_counter()
+        result = counter.apply(insertions=insertions, deletions=deletions)
+        incremental_times.append(time.perf_counter() - t1)
+        return result
+
+    result = benchmark.pedantic(apply_batch, rounds=3, iterations=1)
+    incremental = min(incremental_times)
+    speedup = scratch / incremental
+    RESULTS.setdefault(name, []).append(
+        (fraction, batch, result.mode, scratch * 1e3, incremental * 1e3, speedup)
+    )
+    print(
+        f"\n{name}: |E|={graph.num_edges} batch={batch} ({fraction:.1%}) "
+        f"mode={result.mode} scratch={scratch * 1e3:.1f}ms "
+        f"incremental={incremental * 1e3:.1f}ms speedup={speedup:.1f}x"
+    )
+    if fraction <= 0.01:
+        assert result.mode == "incremental"
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{name}: batch of {fraction:.1%} of |E| only {speedup:.1f}x faster "
+            f"than from-scratch recount (need {REQUIRED_SPEEDUP}x)"
+        )
+
+
+def test_report(prepared):
+    """Render the sweep table for the dataset after its rows complete."""
+    name, graph, _ = prepared
+    rows = RESULTS.get(name, [])
+    if not rows:
+        pytest.skip("no sweep rows collected")
+    print(f"\n{name} (|E|={graph.num_edges})")
+    print(f"{'fraction':>9} {'batch':>7} {'mode':>12} "
+          f"{'scratch_ms':>11} {'incr_ms':>9} {'speedup':>8}")
+    for fraction, batch, mode, scratch_ms, incr_ms, speedup in rows:
+        print(f"{fraction:>9.3%} {batch:>7} {mode:>12} "
+              f"{scratch_ms:>11.1f} {incr_ms:>9.1f} {speedup:>7.1f}x")

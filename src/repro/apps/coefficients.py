@@ -25,9 +25,20 @@ __all__ = [
 
 
 def triangles_per_vertex(result: EdgeCounts) -> np.ndarray:
-    """Number of triangles through each vertex."""
+    """Number of triangles through each vertex.
+
+    Raises :class:`ValueError` when any per-vertex sum is odd — possible
+    only for corrupted (asymmetric) counts.  A bare ``assert`` would
+    vanish under ``python -O``.
+    """
     sums = result.per_vertex_sum()
-    assert np.all(sums % 2 == 0)
+    if not np.all(sums % 2 == 0):
+        bad = int(np.flatnonzero(sums % 2)[0])
+        raise ValueError(
+            f"per-vertex count sums must be even (triangles are counted "
+            f"twice per vertex); vertex {bad} has odd sum {int(sums[bad])} "
+            f"— counts are corrupted or asymmetric"
+        )
     return sums // 2
 
 

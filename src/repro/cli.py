@@ -4,6 +4,7 @@ Commands
 --------
 ``stats``       Table 1/2 statistics for a dataset stand-in or edge-list file.
 ``count``       Exact all-edge counting (optionally saving the counts).
+``update``      Apply edge insertions/deletions with live count maintenance.
 ``simulate``    Modeled run on one of the paper's three processors.
 ``experiment``  Regenerate one paper table/figure (table1..table7, fig3..fig10).
 ``recommend``   The paper's processor guidance for a graph.
@@ -80,6 +81,61 @@ def _cmd_count(args) -> int:
         print(f"  ({u}, {v})  {c}")
     if args.output:
         np.savez_compressed(args.output, counts=result.counts)
+        print(f"counts saved     : {args.output}")
+    return 0
+
+
+def _cmd_update(args) -> int:
+    import time
+
+    from repro.core import DynamicCounter
+    from repro.graph.io import read_edge_pairs
+
+    if not args.edges and not args.delete:
+        print("update: provide --edges and/or --delete", file=sys.stderr)
+        return 2
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    ins = read_edge_pairs(args.edges) if args.edges else np.empty((0, 2), np.int64)
+    dels = read_edge_pairs(args.delete) if args.delete else np.empty((0, 2), np.int64)
+
+    t0 = time.perf_counter()
+    counter = DynamicCounter(
+        graph,
+        backend=args.backend,
+        num_workers=args.workers,
+        chunks_per_worker=args.chunks_per_worker,
+        recount_fraction=args.recount_fraction,
+    )
+    build_s = time.perf_counter() - t0
+
+    batch = args.batch_size if args.batch_size else max(len(ins) + len(dels), 1)
+    inserted = deleted = skipped = 0
+    t0 = time.perf_counter()
+    for lo in range(0, len(ins), batch):
+        r = counter.apply(insertions=ins[lo : lo + batch])
+        inserted += r.inserted
+        skipped += r.skipped
+    for lo in range(0, len(dels), batch):
+        r = counter.apply(deletions=dels[lo : lo + batch])
+        deleted += r.deleted
+        skipped += r.skipped
+    update_s = time.perf_counter() - t0
+
+    print(f"graph            : {graph}")
+    print(f"initial build    : {build_s * 1e3:.1f} ms")
+    print(f"inserted         : {inserted}")
+    print(f"deleted          : {deleted}")
+    print(f"skipped (no-op)  : {skipped}")
+    print(f"update time      : {update_s * 1e3:.1f} ms")
+    print(f"batch recounts   : {counter.recounts}")
+    print(f"compactions      : {counter.overlay.compactions}")
+    print(f"|E| now          : {counter.num_edges}")
+    print(f"triangles        : {counter.triangle_count()}")
+    if args.verify:
+        counter.verify()
+        print("verification     : passed")
+    if args.output:
+        counter.snapshot().save(args.output)
         print(f"counts saved     : {args.output}")
     return 0
 
@@ -255,6 +311,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true", help="verify against a reference")
     p.add_argument("--output", help="save counts to a .npz file")
     p.set_defaults(fn=_cmd_count)
+
+    p = sub.add_parser(
+        "update", help="apply edge insertions/deletions with live counts"
+    )
+    add_graph_args(p)
+    p.add_argument("--edges", help="edge-list file of edges to insert")
+    p.add_argument("--delete", help="edge-list file of edges to delete")
+    p.add_argument("--batch-size", type=int, default=0,
+                   help="apply updates in batches of this size (default: one batch)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "matmul", "bitmap", "merge", "parallel"],
+                   help="backend for the initial build and batch recounts")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for parallel batch recounts")
+    p.add_argument("--chunks-per-worker", type=int, default=4)
+    p.add_argument("--recount-fraction", type=float, default=0.1,
+                   help="batches above this fraction of |E| recount instead "
+                        "of applying per-edge deltas")
+    p.add_argument("--verify", action="store_true",
+                   help="recount from scratch and check equality afterwards")
+    p.add_argument("--output", help="save the final counts to a .npz file")
+    p.set_defaults(fn=_cmd_update)
 
     p = sub.add_parser("simulate", help="modeled run on cpu/knl/gpu")
     add_graph_args(p)

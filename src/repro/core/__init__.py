@@ -6,6 +6,7 @@ from repro.core.api import (
     count_pairs,
     recommend_processor,
 )
+from repro.core.dynamic import DynamicCounter
 from repro.core.result import EdgeCounts
 from repro.core.verify import verify_counts, brute_force_counts
 
@@ -14,6 +15,7 @@ __all__ = [
     "count_common_neighbors",
     "count_pairs",
     "recommend_processor",
+    "DynamicCounter",
     "EdgeCounts",
     "verify_counts",
     "brute_force_counts",

@@ -40,6 +40,17 @@ _BACKENDS = {
     "parallel": count_all_edges_parallel,
 }
 
+#: Backends that execute each algorithm family's structure, keyed by the
+#: registered :attr:`Algorithm.name`.  ``merge`` walks sorted adjacency
+#: lists (the M/MPS family); ``bitmap`` and ``parallel`` both run the
+#: per-vertex BMP mark-and-probe structure.  ``matmul`` is an algebraic
+#: path with no per-edge kernel, so it honors no explicit algorithm.
+_ALGORITHM_BACKENDS = {
+    "M": frozenset({"merge"}),
+    "MPS": frozenset({"merge"}),
+    "BMP": frozenset({"bitmap", "parallel"}),
+}
+
 
 def count_common_neighbors(
     graph: CSRGraph,
@@ -60,7 +71,11 @@ def count_common_neighbors(
         (``M``, ``MPS``, ``BMP``, ``BMP-RF``, ...).  All algorithms
         produce identical counts — the choice affects the *work model*
         used by :meth:`CommonNeighborCounter.simulate`, and BMP routes the
-        computation through the degree-descending reorder.
+        computation through the degree-descending reorder.  Combining an
+        explicit algorithm with an explicit backend is allowed only when
+        the backend executes that algorithm's structure (see
+        :meth:`CommonNeighborCounter.count`); incompatible pairs raise
+        :class:`~repro.errors.AlgorithmError`.
     backend:
         Execution backend for the exact counts: ``matmul`` (SciPy sparse,
         fastest), ``bitmap`` (the paper-faithful structure), ``parallel``
@@ -101,12 +116,30 @@ class CommonNeighborCounter:
 
     # ------------------------------------------------------------------ #
     def count(self, graph: CSRGraph) -> EdgeCounts:
-        """Exact counts with the configured algorithm/backend."""
+        """Exact counts with the configured algorithm/backend.
+
+        Honored combinations: an explicit algorithm with ``backend="auto"``
+        runs that algorithm's own counting path; an explicit backend with
+        ``algorithm="auto"`` runs the backend.  When *both* are explicit
+        the backend executes only if it implements the algorithm's
+        structure — ``M``/``MPS`` (and variants) pair with ``merge``,
+        ``BMP``/``BMP-RF`` pair with ``bitmap`` or ``parallel`` — and any
+        other combination raises :class:`AlgorithmError` rather than
+        silently discarding the algorithm choice.
+        """
         algorithm = self.algorithm
         if algorithm != "auto":
             algo = get_algorithm(algorithm)
             if self.backend == "auto":
                 return EdgeCounts(graph, algo.count(graph))
+            honored = _ALGORITHM_BACKENDS.get(algo.name, frozenset())
+            if self.backend not in honored:
+                raise AlgorithmError(
+                    f"backend {self.backend!r} does not execute algorithm "
+                    f"{algorithm!r}; honored backends for {algo.name}: "
+                    f"{sorted(honored) or 'none'} (use backend='auto' to run "
+                    f"the algorithm's own path)"
+                )
 
         backend = self.backend
         if backend == "auto":

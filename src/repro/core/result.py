@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["EdgeCounts"]
+__all__ = ["EdgeCounts", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """SHA-256 over the CSR ``offsets`` and ``dst`` bytes."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(graph.offsets).tobytes())
+    h.update(np.ascontiguousarray(graph.dst).tobytes())
+    return h.hexdigest()
 
 
 class EdgeCounts:
@@ -44,11 +54,16 @@ class EdgeCounts:
         return int(self.counts.sum()) // 6
 
     def per_vertex_sum(self) -> np.ndarray:
-        """Sum of counts over each vertex's incident edges."""
+        """Sum of counts over each vertex's incident edges.
+
+        Accumulates in int64 (``np.add.at``) — a float64 ``bincount``
+        weight pass loses exactness once partial sums cross 2^53 on dense
+        graphs.
+        """
         src = self.graph.edge_sources()
-        return np.bincount(
-            src, weights=self.counts, minlength=self.graph.num_vertices
-        ).astype(np.int64)
+        out = np.zeros(self.graph.num_vertices, dtype=np.int64)
+        np.add.at(out, src, self.counts.astype(np.int64, copy=False))
+        return out
 
     def top_edges(self, k: int = 10) -> list[tuple[int, int, int]]:
         """The ``k`` edges with the highest counts, as ``(u, v, cnt)``.
@@ -78,22 +93,39 @@ class EdgeCounts:
         return values.astype(np.int64), freq.astype(np.int64)
 
     def save(self, path) -> None:
-        """Persist counts plus a graph fingerprint to ``.npz``."""
+        """Persist counts plus a graph fingerprint to ``.npz``.
+
+        The fingerprint covers the sizes *and* a content hash of the CSR
+        arrays, so counts cannot be loaded against a same-sized but
+        different graph.
+        """
         np.savez_compressed(
             path,
             counts=self.counts,
             num_vertices=self.graph.num_vertices,
             num_directed_edges=self.graph.num_directed_edges,
+            graph_sha256=graph_fingerprint(self.graph),
         )
 
     @classmethod
     def load(cls, graph: CSRGraph, path) -> "EdgeCounts":
-        """Load counts saved by :meth:`save`, checking the fingerprint."""
+        """Load counts saved by :meth:`save`, checking the fingerprint.
+
+        Files written before the content hash existed (no ``graph_sha256``
+        entry) fall back to the size-only check.
+        """
         with np.load(path) as data:
             if int(data["num_vertices"]) != graph.num_vertices or int(
                 data["num_directed_edges"]
             ) != graph.num_directed_edges:
                 raise ValueError(f"{path} was saved for a different graph")
+            if "graph_sha256" in data and str(
+                data["graph_sha256"]
+            ) != graph_fingerprint(graph):
+                raise ValueError(
+                    f"{path} was saved for a different graph "
+                    f"(same sizes, different CSR content)"
+                )
             return cls(graph, data["counts"])
 
     def __repr__(self) -> str:

@@ -1,0 +1,25 @@
+"""Dynamic-graph subsystem: incremental all-edge count maintenance.
+
+The paper computes the counts as a one-shot batch job, but a serving
+deployment mutates the graph (new follows, deleted edges) far faster than
+a full recount can run.  Following the locality argument of streaming
+triangle counting (Tangwongsan et al., PAPERS.md), inserting or deleting
+one edge ``(u, v)`` only perturbs the counts of edges incident to ``u``,
+``v`` and their common neighbors — an
+``O(d_u + d_v + Σ_{w ∈ N(u)∩N(v)} d_w)`` delta instead of an
+``O(|E|·d)`` recount.
+
+* :mod:`repro.dynamic.overlay` — :class:`AdjacencyOverlay`, a mutable
+  adjacency view layered over the frozen CSR with threshold-triggered
+  compaction.
+* :mod:`repro.dynamic.delta` — the incremental kernel applying per-edge
+  count deltas through the existing bitmap intersection kernel, with
+  :class:`repro.types.OpCounts` accounting.
+
+The user-facing facade is :class:`repro.core.dynamic.DynamicCounter`.
+"""
+
+from repro.dynamic.overlay import AdjacencyOverlay
+from repro.dynamic.delta import DeltaKernel, UpdateResult
+
+__all__ = ["AdjacencyOverlay", "DeltaKernel", "UpdateResult"]

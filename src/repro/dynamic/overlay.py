@@ -1,0 +1,224 @@
+"""Updatable adjacency overlay on top of the frozen CSR.
+
+:class:`repro.graph.csr.CSRGraph` is immutable by design — every kernel
+and backend assumes sorted, packed adjacency arrays.  The overlay keeps
+that frozen *base* untouched and records mutations as sorted per-vertex
+delta lists (insertions and deletions), merging them with the CSR row on
+access.  Reads stay ``O(d_u + δ_u)``; writes are ``O(log δ_u)`` bisects.
+
+When the accumulated delta grows past ``compaction_threshold`` times the
+base adjacency volume the overlay rebuilds a fresh CSR and resets the
+deltas, so merge overhead is amortized and batch backends (which want the
+packed arrays) always operate on a recent snapshot.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+
+__all__ = ["AdjacencyOverlay", "DEFAULT_COMPACTION_THRESHOLD"]
+
+#: Rebuild the CSR once the delta lists hold more than this fraction of
+#: the base's directed entries (25% keeps merge overhead bounded while
+#: amortizing the O(|V| + |E|) rebuild over many updates).
+DEFAULT_COMPACTION_THRESHOLD = 0.25
+
+#: Below this many directed base entries the threshold is measured against
+#: this floor instead, so tiny graphs do not recompact on every update.
+_MIN_COMPACTION_ENTRIES = 64
+
+
+class AdjacencyOverlay:
+    """Mutable undirected adjacency: frozen CSR base + sorted delta lists.
+
+    Invariants (maintained by :meth:`insert_edge` / :meth:`delete_edge`):
+
+    * ``_adds[u]`` holds neighbors of ``u`` absent from the base row;
+    * ``_dels[u]`` holds neighbors of ``u`` present in the base row;
+    * both lists are sorted and mirror-consistent (``v ∈ _adds[u]`` iff
+      ``u ∈ _adds[v]``), so the overlay always describes an undirected
+      simple graph.
+    """
+
+    __slots__ = (
+        "base",
+        "compaction_threshold",
+        "compactions",
+        "_adds",
+        "_dels",
+        "_num_directed",
+    )
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        compaction_threshold: float = DEFAULT_COMPACTION_THRESHOLD,
+    ):
+        if compaction_threshold <= 0:
+            raise ValueError("compaction_threshold must be positive")
+        self.base = base
+        self.compaction_threshold = float(compaction_threshold)
+        self.compactions = 0
+        self._adds: dict[int, list[int]] = {}
+        self._dels: dict[int, list[int]] = {}
+        self._num_directed = base.num_directed_edges
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self.base.num_vertices
+
+    @property
+    def num_directed_edges(self) -> int:
+        return self._num_directed
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_directed // 2
+
+    @property
+    def delta_entries(self) -> int:
+        """Total directed entries across all add and delete lists."""
+        return sum(len(x) for x in self._adds.values()) + sum(
+            len(x) for x in self._dels.values()
+        )
+
+    def degree(self, u: int) -> int:
+        return (
+            self.base.degree(u)
+            + len(self._adds.get(u, ()))
+            - len(self._dels.get(u, ()))
+        )
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted merged neighbor array of ``u`` (base ⊕ deltas)."""
+        row = self.base.neighbors(u)
+        dels = self._dels.get(u)
+        adds = self._adds.get(u)
+        if dels is None and adds is None:
+            return row
+        if dels:
+            keep = np.ones(len(row), dtype=bool)
+            keep[np.searchsorted(row, np.asarray(dels, dtype=row.dtype))] = False
+            row = row[keep]
+        if adds:
+            merged = np.concatenate([row, np.asarray(adds, dtype=row.dtype)])
+            merged.sort(kind="stable")
+            return merged
+        return row
+
+    def has_edge(self, u: int, v: int) -> bool:
+        adds = self._adds.get(u)
+        if adds and _in_sorted(adds, v):
+            return True
+        dels = self._dels.get(u)
+        if dels and _in_sorted(dels, v):
+            return False
+        return self.base.has_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def _check_pair(self, u: int, v: int) -> None:
+        n = self.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise IndexError(f"vertex ids ({u}, {v}) out of range [0, {n})")
+        if u == v:
+            raise ValueError(f"self-loop ({u}, {u}) not allowed")
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert undirected ``(u, v)``; False if it already exists."""
+        self._check_pair(u, v)
+        if self.has_edge(u, v):
+            return False
+        for a, b in ((u, v), (v, u)):
+            dels = self._dels.get(a)
+            if dels and _in_sorted(dels, b):
+                _remove_sorted(dels, b)
+                if not dels:
+                    del self._dels[a]
+            else:
+                bisect.insort(self._adds.setdefault(a, []), b)
+        self._num_directed += 2
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete undirected ``(u, v)``; False if it does not exist."""
+        self._check_pair(u, v)
+        if not self.has_edge(u, v):
+            return False
+        for a, b in ((u, v), (v, u)):
+            adds = self._adds.get(a)
+            if adds and _in_sorted(adds, b):
+                _remove_sorted(adds, b)
+                if not adds:
+                    del self._adds[a]
+            else:
+                bisect.insort(self._dels.setdefault(a, []), b)
+        self._num_directed -= 2
+        return True
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    @property
+    def needs_compaction(self) -> bool:
+        budget = max(
+            self.compaction_threshold * self.base.num_directed_edges,
+            self.compaction_threshold * _MIN_COMPACTION_ENTRIES,
+        )
+        return self.delta_entries > budget
+
+    def to_csr(self, *, validate: bool = False) -> CSRGraph:
+        """Materialize the current adjacency as a fresh packed CSR."""
+        if not self._adds and not self._dels:
+            return self.base
+        rows = [self.neighbors(u) for u in range(self.num_vertices)]
+        offsets = np.zeros(self.num_vertices + 1, dtype=OFFSET_DTYPE)
+        np.cumsum([len(r) for r in rows], out=offsets[1:])
+        dst = (
+            np.concatenate(rows).astype(VERTEX_DTYPE, copy=False)
+            if rows
+            else np.empty(0, dtype=VERTEX_DTYPE)
+        )
+        return CSRGraph(offsets, dst, validate=validate)
+
+    def compact(self) -> CSRGraph:
+        """Rebuild the base CSR from base ⊕ deltas and reset the deltas."""
+        if self._adds or self._dels:
+            self.base = self.to_csr()
+            self._adds = {}
+            self._dels = {}
+            self.compactions += 1
+        return self.base
+
+    def maybe_compact(self) -> bool:
+        """Compact when past the threshold; returns whether it happened."""
+        if self.needs_compaction:
+            self.compact()
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyOverlay(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"delta={self.delta_entries}, compactions={self.compactions})"
+        )
+
+
+def _in_sorted(lst: list[int], x: int) -> bool:
+    i = bisect.bisect_left(lst, x)
+    return i < len(lst) and lst[i] == x
+
+
+def _remove_sorted(lst: list[int], x: int) -> None:
+    del lst[bisect.bisect_left(lst, x)]

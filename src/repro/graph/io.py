@@ -18,6 +18,7 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "read_edge_list",
+    "read_edge_pairs",
     "write_edge_list",
     "save_csr",
     "load_csr",
@@ -125,6 +126,34 @@ def read_edge_list(
         src = np.empty(0, dtype=np.int64)
         dst = np.empty(0, dtype=np.int64)
     return edges_to_csr(src, dst, num_vertices)
+
+
+def read_edge_pairs(
+    path: str | os.PathLike, *, comments: str = "#"
+) -> np.ndarray:
+    """Read raw ``(u, v)`` pairs from an edge-list file, no CSR building.
+
+    Same text format (and streaming parser) as :func:`read_edge_list`, but
+    the pairs come back as an ``(m, 2)`` int64 array in file order —
+    no symmetrization, deduplication, or self-loop dropping.  This is the
+    input format of update batches (``repro update``), where order and
+    multiplicity carry meaning (a duplicate insert is a recorded no-op).
+    """
+    blocks: list[np.ndarray] = []
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as fh:
+        lineno = 1
+        while True:
+            lines = fh.readlines(_BLOCK_BYTES)
+            if not lines:
+                break
+            pairs = _parse_block(path, lines, lineno, comments)
+            lineno += len(lines)
+            if len(pairs):
+                blocks.append(pairs)
+    if not blocks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
 
 
 def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:

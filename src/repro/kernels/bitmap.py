@@ -38,9 +38,15 @@ class Bitmap:
             raise IndexError("bitmap ids out of range")
         return ids
 
-    def set_many(self, ids: np.ndarray, counts: OpCounts | None = None) -> None:
-        """Set the bits of ``ids`` (duplicates allowed; idempotent)."""
-        ids = self._check(ids)
+    def set_many(
+        self, ids: np.ndarray, counts: OpCounts | None = None, *, checked: bool = True
+    ) -> None:
+        """Set the bits of ``ids`` (duplicates allowed; idempotent).
+
+        ``checked=False`` skips the bounds scan — for hot paths whose ids
+        provably come from adjacency arrays already in ``[0, cardinality)``.
+        """
+        ids = self._check(ids) if checked else np.asarray(ids, dtype=np.int64)
         word_idx = ids >> 6
         bits = _ONE << (ids & 63).astype(np.uint64)
         np.bitwise_or.at(self.words, word_idx, bits)
@@ -48,9 +54,11 @@ class Bitmap:
             counts.bitmap_set += len(ids)
             counts.rand_words += len(ids)
 
-    def clear_many(self, ids: np.ndarray, counts: OpCounts | None = None) -> None:
+    def clear_many(
+        self, ids: np.ndarray, counts: OpCounts | None = None, *, checked: bool = True
+    ) -> None:
         """Clear the bits of ``ids`` (the paper's flip-based clearing)."""
-        ids = self._check(ids)
+        ids = self._check(ids) if checked else np.asarray(ids, dtype=np.int64)
         word_idx = ids >> 6
         bits = _ONE << (ids & 63).astype(np.uint64)
         np.bitwise_and.at(self.words, word_idx, ~bits)
@@ -64,9 +72,11 @@ class Bitmap:
             raise IndexError("bitmap id out of range")
         return bool((self.words[vid >> 6] >> np.uint64(vid & 63)) & _ONE)
 
-    def test_many(self, ids: np.ndarray, counts: OpCounts | None = None) -> np.ndarray:
+    def test_many(
+        self, ids: np.ndarray, counts: OpCounts | None = None, *, checked: bool = True
+    ) -> np.ndarray:
         """Vectorized membership probes; returns a bool array."""
-        ids = self._check(ids)
+        ids = self._check(ids) if checked else np.asarray(ids, dtype=np.int64)
         shifts = (ids & 63).astype(np.uint64)
         result = (self.words[ids >> 6] >> shifts) & _ONE
         if counts is not None:

@@ -82,7 +82,11 @@ def intersect_range_filtered(
     passed = arr[in_range]
     if counts is not None:
         counts.filter_test += len(arr)
-        counts.seq_words += len(arr)
+        # The probing array streams through exactly once.  Elements that
+        # pass the filter are charged their seq_word inside ``test_many``
+        # below; only the filtered-out remainder is charged here — a
+        # blanket ``len(arr)`` charge would double-count the passers.
+        counts.seq_words += len(arr) - len(passed)
         counts.filter_skip += len(arr) - len(passed)
     hits = rf.big.test_many(passed, counts)
     matches = int(np.count_nonzero(hits))

@@ -60,6 +60,17 @@ def test_triangle_free_graph():
     assert average_clustering(counted) == 0.0
 
 
+def test_corrupted_counts_raise_value_error(small_graph):
+    """The parity invariant must raise (not assert — survives python -O)."""
+    from repro.core.result import EdgeCounts
+
+    counted = count_common_neighbors(small_graph)
+    broken = counted.counts.copy()
+    broken[0] += 1  # asymmetric corruption: per-vertex sums turn odd
+    with pytest.raises(ValueError, match="even"):
+        triangles_per_vertex(EdgeCounts(small_graph, broken))
+
+
 def test_degree_one_vertices_get_zero(small_graph):
     counted = count_common_neighbors(small_graph)
     coeff = local_clustering_coefficient(counted)

@@ -52,6 +52,33 @@ def test_unknown_backend(medium_graph):
         count_common_neighbors(medium_graph, backend="gpu-magic")
 
 
+@pytest.mark.parametrize(
+    "algorithm,backend",
+    [("M", "merge"), ("MPS", "merge"), ("BMP", "bitmap"), ("BMP-RF", "bitmap"),
+     ("BMP", "parallel")],
+)
+def test_compatible_algorithm_backend_pairs_honored(
+    small_graph, small_graph_counts, algorithm, backend
+):
+    result = count_common_neighbors(small_graph, algorithm=algorithm, backend=backend)
+    for (u, v), expected in small_graph_counts.items():
+        assert result[u, v] == expected
+
+
+@pytest.mark.parametrize(
+    "algorithm,backend",
+    [("MPS", "matmul"), ("M", "bitmap"), ("BMP", "merge"), ("BMP-RF", "matmul"),
+     ("MPS", "parallel")],
+)
+def test_incompatible_algorithm_backend_pairs_raise(
+    medium_graph, algorithm, backend
+):
+    """Regression: an explicit algorithm used to be silently discarded
+    whenever an explicit backend was also given."""
+    with pytest.raises(AlgorithmError, match="does not execute"):
+        count_common_neighbors(medium_graph, algorithm=algorithm, backend=backend)
+
+
 def test_counter_simulate(medium_graph):
     counter = CommonNeighborCounter(algorithm="MPS")
     r = counter.simulate(medium_graph, "cpu", threads=4)

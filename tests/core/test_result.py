@@ -78,11 +78,33 @@ def test_histogram_accounts_every_edge(counted, small_graph):
     assert hist == {0: 1, 1: 3, 2: 6}
 
 
+def test_per_vertex_sum_exact_past_float53(small_graph):
+    """int64 accumulation: float64 weights lose exactness past 2^53."""
+    big = np.full(small_graph.num_directed_edges, 2**53 + 1, dtype=np.int64)
+    sums = EdgeCounts(small_graph, big).per_vertex_sum()
+    assert sums.dtype == np.int64
+    expected = small_graph.degrees.astype(np.int64) * (2**53 + 1)
+    assert np.array_equal(sums, expected)
+
+
 def test_save_load_roundtrip(tmp_path, counted, small_graph):
     path = tmp_path / "counts.npz"
     counted.save(path)
     loaded = EdgeCounts.load(small_graph, path)
     assert np.array_equal(loaded.counts, counted.counts)
+
+
+@pytest.mark.parametrize("dtype", [np.int64, np.int32, np.uint32])
+def test_save_load_preserves_dtype(tmp_path, small_graph, dtype):
+    counts = EdgeCounts(
+        small_graph,
+        np.arange(small_graph.num_directed_edges, dtype=dtype),
+    )
+    path = tmp_path / "counts.npz"
+    counts.save(path)
+    loaded = EdgeCounts.load(small_graph, path)
+    assert loaded.counts.dtype == dtype
+    assert np.array_equal(loaded.counts, counts.counts)
 
 
 def test_load_rejects_wrong_graph(tmp_path, counted):
@@ -91,3 +113,47 @@ def test_load_rejects_wrong_graph(tmp_path, counted):
     other = csr_from_pairs([(0, 1)], num_vertices=3)
     with pytest.raises(ValueError, match="different graph"):
         EdgeCounts.load(other, path)
+
+
+def test_fingerprint_rejects_same_sized_different_graph(tmp_path):
+    """Equal |V| and |E| but different structure must be rejected."""
+    a = csr_from_pairs([(0, 1), (2, 3)], num_vertices=4)
+    b = csr_from_pairs([(0, 2), (1, 3)], num_vertices=4)
+    assert a.num_vertices == b.num_vertices
+    assert a.num_directed_edges == b.num_directed_edges
+    counts = count_common_neighbors(a)
+    path = tmp_path / "counts.npz"
+    counts.save(path)
+    with pytest.raises(ValueError, match="different graph"):
+        EdgeCounts.load(b, path)
+
+
+def test_legacy_file_without_fingerprint_still_loads(tmp_path, counted, small_graph):
+    path = tmp_path / "counts.npz"
+    np.savez_compressed(
+        path,
+        counts=counted.counts,
+        num_vertices=small_graph.num_vertices,
+        num_directed_edges=small_graph.num_directed_edges,
+    )
+    loaded = EdgeCounts.load(small_graph, path)
+    assert np.array_equal(loaded.counts, counted.counts)
+
+
+def test_saved_counts_seed_dynamic_counter(tmp_path, counted, small_graph):
+    from repro.core import DynamicCounter
+
+    path = tmp_path / "counts.npz"
+    counted.save(path)
+    counter = DynamicCounter(small_graph, initial=EdgeCounts.load(small_graph, path))
+    assert counter[0, 1] == counted[0, 1]
+    counter.apply(insertions=[(4, 6)])
+    assert counter.verify()
+
+
+def test_dynamic_counter_rejects_foreign_initial(tmp_path, counted):
+    from repro.core import DynamicCounter
+
+    other = csr_from_pairs([(0, 1), (1, 2)], num_vertices=8)
+    with pytest.raises(ValueError, match="different graph"):
+        DynamicCounter(other, initial=counted)

@@ -1,0 +1,120 @@
+"""Unit tests for the incremental delta kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_common_neighbors
+from repro.dynamic import AdjacencyOverlay, DeltaKernel
+from repro.dynamic.delta import edge_key
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import small_test_graph
+from repro.types import OpCounts
+
+
+def make_kernel(graph):
+    counts = count_common_neighbors(graph)
+    src = graph.edge_sources()
+    mask = src < graph.dst
+    d = dict(
+        zip(
+            zip(src[mask].tolist(), graph.dst[mask].tolist()),
+            counts.counts[mask].tolist(),
+        )
+    )
+    return DeltaKernel(AdjacencyOverlay(graph), d)
+
+
+def reference(overlay):
+    """Ground-truth counts dict via a from-scratch recount."""
+    graph = overlay.to_csr()
+    counts = count_common_neighbors(graph)
+    src = graph.edge_sources()
+    mask = src < graph.dst
+    return dict(
+        zip(
+            zip(src[mask].tolist(), graph.dst[mask].tolist()),
+            counts.counts[mask].tolist(),
+        )
+    )
+
+
+def test_edge_key_canonical():
+    assert edge_key(3, 5) == edge_key(5, 3) == (3, 5)
+
+
+def test_common_members_matches_intersect1d():
+    k = make_kernel(small_test_graph())
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        u, v = rng.integers(0, 7, 2).tolist()
+        if u == v:
+            continue
+        got = k.common_members(u, v)
+        exp = np.intersect1d(k.overlay.neighbors(u), k.overlay.neighbors(v))
+        assert np.array_equal(np.sort(got), exp)
+
+
+def test_insert_creates_triangle():
+    # path 0-1, 1-2: inserting 0-2 closes one triangle.
+    g = csr_from_pairs([(0, 1), (1, 2)], num_vertices=3)
+    k = make_kernel(g)
+    assert k.insert(0, 2)
+    assert k.counts[(0, 2)] == 1
+    assert k.counts[(0, 1)] == 1
+    assert k.counts[(1, 2)] == 1
+    assert k.counts == reference(k.overlay)
+
+
+def test_delete_breaks_triangle():
+    g = csr_from_pairs([(0, 1), (1, 2), (0, 2)], num_vertices=3)
+    k = make_kernel(g)
+    assert k.delete(0, 2)
+    assert (0, 2) not in k.counts
+    assert k.counts[(0, 1)] == 0
+    assert k.counts[(1, 2)] == 0
+    assert k.counts == reference(k.overlay)
+
+
+def test_insert_then_delete_roundtrip():
+    k = make_kernel(small_test_graph())
+    before = dict(k.counts)
+    assert k.insert(0, 6)
+    assert k.delete(0, 6)
+    assert k.counts == before
+
+
+def test_noop_insert_and_delete_leave_counts_alone():
+    k = make_kernel(small_test_graph())
+    before = dict(k.counts)
+    assert not k.insert(0, 1)  # exists
+    assert not k.delete(0, 7)  # absent
+    assert k.counts == before
+
+
+def test_opcounts_charged():
+    k = make_kernel(small_test_graph())
+    ops = OpCounts()
+    assert k.insert(0, 6, ops)
+    # One bitmap build/probe/clear cycle must have been charged.
+    assert ops.bitmap_set > 0
+    assert ops.bitmap_test > 0
+    assert ops.bitmap_clear == ops.bitmap_set
+    assert ops.rand_words > 0
+
+
+def test_random_single_edge_updates_stay_exact():
+    rng = np.random.default_rng(9)
+    g = csr_from_pairs(
+        [(int(a), int(b)) for a, b in rng.integers(0, 20, (40, 2)) if a != b],
+        num_vertices=20,
+    )
+    k = make_kernel(g)
+    for _ in range(120):
+        u, v = rng.integers(0, 20, 2).tolist()
+        if u == v:
+            continue
+        if k.overlay.has_edge(u, v):
+            k.delete(u, v)
+        else:
+            k.insert(u, v)
+        assert k.counts == reference(k.overlay)

@@ -1,0 +1,110 @@
+"""Unit tests for the updatable adjacency overlay."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.overlay import AdjacencyOverlay
+from repro.graph.build import csr_from_pairs, csr_to_undirected_pairs
+from repro.graph.generators import small_test_graph
+from repro.graph.validate import validate_csr
+
+
+@pytest.fixture
+def overlay():
+    return AdjacencyOverlay(small_test_graph())
+
+
+def test_passthrough_before_any_update(overlay):
+    base = overlay.base
+    assert overlay.num_edges == base.num_edges
+    for u in range(base.num_vertices):
+        assert np.array_equal(overlay.neighbors(u), base.neighbors(u))
+    assert overlay.to_csr() is base
+
+
+def test_insert_merges_sorted(overlay):
+    assert overlay.insert_edge(0, 6)
+    assert overlay.has_edge(0, 6) and overlay.has_edge(6, 0)
+    nbrs = overlay.neighbors(0)
+    assert np.array_equal(nbrs, np.sort(nbrs))
+    assert 6 in nbrs.tolist()
+    assert overlay.degree(0) == overlay.base.degree(0) + 1
+
+
+def test_insert_duplicate_is_noop(overlay):
+    before = overlay.num_edges
+    assert not overlay.insert_edge(0, 1)  # already in base
+    overlay.insert_edge(0, 6)
+    assert not overlay.insert_edge(6, 0)  # already in overlay
+    assert overlay.num_edges == before + 1
+
+
+def test_delete_base_edge(overlay):
+    assert overlay.delete_edge(0, 1)
+    assert not overlay.has_edge(0, 1) and not overlay.has_edge(1, 0)
+    assert 1 not in overlay.neighbors(0).tolist()
+    assert not overlay.delete_edge(0, 1)  # second delete is a no-op
+
+
+def test_delete_then_reinsert_cancels(overlay):
+    overlay.delete_edge(0, 1)
+    overlay.insert_edge(0, 1)
+    assert overlay.has_edge(0, 1)
+    assert overlay.delta_entries == 0
+
+
+def test_insert_then_delete_cancels(overlay):
+    overlay.insert_edge(0, 6)
+    overlay.delete_edge(0, 6)
+    assert not overlay.has_edge(0, 6)
+    assert overlay.delta_entries == 0
+
+
+def test_rejects_self_loops_and_bad_ids(overlay):
+    with pytest.raises(ValueError):
+        overlay.insert_edge(3, 3)
+    with pytest.raises(IndexError):
+        overlay.insert_edge(0, overlay.num_vertices)
+    with pytest.raises(IndexError):
+        overlay.delete_edge(-1, 0)
+
+
+def test_compaction_threshold_triggers_rebuild():
+    base = csr_from_pairs([(0, 1)], num_vertices=8)
+    ov = AdjacencyOverlay(base, compaction_threshold=0.1)
+    for v in range(2, 8):
+        ov.insert_edge(0, v)
+        ov.maybe_compact()
+    assert ov.compactions >= 1
+    assert ov.delta_entries <= ov.compaction_threshold * ov.base.num_directed_edges + 64
+
+
+def test_compact_is_equivalent_to_rebuild():
+    rng = np.random.default_rng(7)
+    base = csr_from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=12)
+    ov = AdjacencyOverlay(base)
+    pairs = {(0, 1), (1, 2), (2, 3), (3, 0)}
+    for _ in range(60):
+        u, v = sorted(rng.integers(0, 12, 2).tolist())
+        if u == v:
+            continue
+        if (u, v) in pairs:
+            ov.delete_edge(u, v)
+            pairs.remove((u, v))
+        else:
+            ov.insert_edge(u, v)
+            pairs.add((u, v))
+    compacted = ov.compact()
+    validate_csr(compacted)
+    assert ov.delta_entries == 0
+    expected = csr_from_pairs(sorted(pairs), num_vertices=12)
+    assert compacted == expected
+    # reads after compaction still see the same adjacency
+    u, v = csr_to_undirected_pairs(expected)
+    for a, b in zip(u.tolist(), v.tolist()):
+        assert ov.has_edge(a, b)
+
+
+def test_invalid_threshold():
+    with pytest.raises(ValueError):
+        AdjacencyOverlay(small_test_graph(), compaction_threshold=0.0)

@@ -50,6 +50,50 @@ def test_filter_passes_counted():
     assert c.filter_skip == 1
 
 
+def test_opcounts_regression_mixed_hit_miss():
+    """Pins the corrected accounting: the probing stream is charged once.
+
+    Regression for the double charge where the stream was charged
+    ``len(arr)`` up front and the filter passers again inside the
+    big-bitmap probe.
+    """
+    rf = RangeFilteredBitmap(1024, range_scale=64)
+    rf.set_many(np.array([100]))
+    probe = np.array([64, 100, 127, 900])  # 3 pass range 1, 1 skipped
+    c = OpCounts()
+    assert intersect_range_filtered(rf, probe, c) == 1
+    assert c.seq_words == 4  # one sequential word per probed element, exactly
+    assert c.filter_test == 4
+    assert c.filter_skip == 1
+    assert c.bitmap_test == 3  # only the passers touch the big bitmap
+    assert c.rand_words == 3
+    assert c.matches == 1
+
+
+def test_opcounts_regression_all_skip():
+    rf = RangeFilteredBitmap(1024, range_scale=64)
+    rf.set_many(np.array([5]))
+    probe = np.arange(512, 520)  # all in empty ranges
+    c = OpCounts()
+    assert intersect_range_filtered(rf, probe, c) == 0
+    assert c.seq_words == len(probe)
+    assert c.filter_skip == len(probe)
+    assert c.rand_words == 0
+    assert c.bitmap_test == 0
+
+
+def test_opcounts_regression_all_pass():
+    rf = RangeFilteredBitmap(256, range_scale=256)  # one range: all pass
+    rf.set_many(np.array([10, 20]))
+    probe = np.array([10, 15, 20])
+    c = OpCounts()
+    assert intersect_range_filtered(rf, probe, c) == 2
+    assert c.seq_words == 3  # charged once, inside the big-bitmap probe
+    assert c.filter_skip == 0
+    assert c.bitmap_test == 3
+    assert c.rand_words == 3
+
+
 def test_clear_resets_both_levels():
     rf = RangeFilteredBitmap(256, range_scale=16)
     ids = np.array([1, 100, 200])

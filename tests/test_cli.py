@@ -64,6 +64,49 @@ def test_count_workers_stats(capsys):
     assert "chunks" in out and "imbalance" in out and "kernel ops" in out
 
 
+def test_update_insert_and_delete(capsys, tmp_path):
+    g = tmp_path / "g.txt"
+    g.write_text("0 1\n1 2\n2 3\n3 0\n")
+    ins = tmp_path / "ins.txt"
+    ins.write_text("0 2\n1 3\n0 2\n")  # last line duplicates the first
+    dels = tmp_path / "del.txt"
+    dels.write_text("2 3\n")
+    out_path = tmp_path / "counts.npz"
+    code, out = run(
+        capsys, "update", str(g), "--edges", str(ins), "--delete", str(dels),
+        "--verify", "--output", str(out_path),
+    )
+    assert code == 0
+    assert "inserted         : 2" in out
+    assert "deleted          : 1" in out
+    assert "skipped (no-op)  : 1" in out
+    assert "verification     : passed" in out
+    assert "|E| now          : 5" in out
+    with np.load(out_path) as data:
+        assert len(data["counts"]) == 10
+
+
+def test_update_batched(capsys, tmp_path):
+    g = tmp_path / "g.txt"
+    g.write_text("0 1\n1 2\n2 3\n3 4\n4 0\n")
+    ins = tmp_path / "ins.txt"
+    ins.write_text("0 2\n0 3\n1 3\n1 4\n2 4\n")
+    code, out = run(
+        capsys, "update", str(g), "--edges", str(ins), "--batch-size", "2",
+        "--verify",
+    )
+    assert code == 0
+    assert "inserted         : 5" in out
+    assert "verification     : passed" in out
+
+
+def test_update_requires_an_update_file(capsys, tmp_path):
+    g = tmp_path / "g.txt"
+    g.write_text("0 1\n")
+    code = main(["update", str(g)])
+    assert code == 2
+
+
 def test_simulate_cpu(capsys):
     code, out = run(capsys, "simulate", "tw", "--scale", "0.2",
                     "--processor", "cpu", "--algorithm", "MPS", "--threads", "8")
