@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test verify bench examples experiments all clean
+.PHONY: install test verify bench bench-smoke examples experiments all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,12 @@ verify:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick backend sweep with plan stats; writes BENCH_counting.json
+# (mirrors the bench-smoke CI leg).
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_counting_backends.py \
+		--quick --json BENCH_counting.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -4,6 +4,7 @@ Commands
 --------
 ``stats``       Table 1/2 statistics for a dataset stand-in or edge-list file.
 ``count``       Exact all-edge counting (optionally saving the counts).
+``plan``        Inspect the hybrid planner's kernel buckets for a graph.
 ``update``      Apply edge insertions/deletions with live count maintenance.
 ``simulate``    Modeled run on one of the paper's three processors.
 ``experiment``  Regenerate one paper table/figure (table1..table7, fig3..fig10).
@@ -82,6 +83,32 @@ def _cmd_count(args) -> int:
     if args.output:
         np.savez_compressed(args.output, counts=result.counts)
         print(f"counts saved     : {args.output}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.plan import get_plan, plan_cache_stats
+
+    graph = _load_graph(args.graph, args.scale, reordered=False)
+    plan = get_plan(graph, skew_threshold=args.skew_threshold)
+    print(f"graph            : {graph}")
+    print(plan.format())
+    if args.execute:
+        from repro.plan import execute_plan
+
+        _, report = execute_plan(graph, plan)
+        for t in report.timings:
+            print(
+                f"ran    {t.name:7s}: {t.edges:>8d} edges in "
+                f"{t.measured_ms:9.2f} ms (predicted {t.predicted_ns / 1e6:9.2f} ms)"
+            )
+        print(f"symmetric assign : {report.fuse_seconds * 1e3:.2f} ms")
+        print(f"total            : {report.total_seconds * 1e3:.2f} ms")
+    cache = plan_cache_stats()
+    print(
+        f"plan cache       : {cache.hits} hits, {cache.misses} misses, "
+        f"{cache.size} cached"
+    )
     return 0
 
 
@@ -299,7 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("count", help="exact all-edge counting")
     add_graph_args(p)
     p.add_argument("--algorithm", default="auto")
-    p.add_argument("--backend", default="auto", choices=["auto", "matmul", "bitmap", "merge", "parallel"])
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "hybrid", "matmul", "bitmap", "merge", "parallel"])
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the parallel backend "
                         "(implies --backend parallel)")
@@ -313,6 +341,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_count)
 
     p = sub.add_parser(
+        "plan", help="inspect the hybrid planner's kernel buckets"
+    )
+    add_graph_args(p)
+    p.add_argument("--skew-threshold", type=float, default=50.0,
+                   help="degree-skew ratio above which edges become "
+                        "galloping candidates")
+    p.add_argument("--execute", action="store_true",
+                   help="also run the plan and print measured bucket times")
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser(
         "update", help="apply edge insertions/deletions with live counts"
     )
     add_graph_args(p)
@@ -321,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=0,
                    help="apply updates in batches of this size (default: one batch)")
     p.add_argument("--backend", default="auto",
-                   choices=["auto", "matmul", "bitmap", "merge", "parallel"],
+                   choices=["auto", "hybrid", "matmul", "bitmap", "merge", "parallel"],
                    help="backend for the initial build and batch recounts")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for parallel batch recounts")

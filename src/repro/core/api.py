@@ -25,6 +25,7 @@ from repro.kernels.batch import (
     count_all_edges_merge,
 )
 from repro.parallel.threadpool import count_all_edges_parallel
+from repro.plan import count_all_edges_hybrid
 
 __all__ = [
     "count_common_neighbors",
@@ -38,6 +39,7 @@ _BACKENDS = {
     "bitmap": count_all_edges_bitmap,
     "merge": count_all_edges_merge,
     "parallel": count_all_edges_parallel,
+    "hybrid": count_all_edges_hybrid,
 }
 
 #: Backends that execute each algorithm family's structure, keyed by the
@@ -77,10 +79,12 @@ def count_common_neighbors(
         :meth:`CommonNeighborCounter.count`); incompatible pairs raise
         :class:`~repro.errors.AlgorithmError`.
     backend:
-        Execution backend for the exact counts: ``matmul`` (SciPy sparse,
-        fastest), ``bitmap`` (the paper-faithful structure), ``parallel``
-        (shared-memory multiprocessing), ``merge`` (reference), or
-        ``auto``.
+        Execution backend for the exact counts: ``hybrid`` (cost-model
+        planner splits edges across galloping / bitmap / matmul kernels),
+        ``matmul`` (SciPy sparse), ``bitmap`` (the paper-faithful
+        structure), ``parallel`` (shared-memory multiprocessing with
+        work-weighted chunks), ``merge`` (reference), or ``auto``
+        (routes through the hybrid planner).
     chunks_per_worker:
         Over-decomposition knob for the parallel backend (the paper's
         ``|T|`` trade-off).
@@ -143,7 +147,10 @@ class CommonNeighborCounter:
 
         backend = self.backend
         if backend == "auto":
-            backend = "matmul"
+            # The planner prices every edge with the cost model and routes
+            # each bucket to its cheapest kernel — "auto" means "let the
+            # cost model decide", not "one fixed backend".
+            backend = "hybrid"
         if backend not in _BACKENDS:
             raise AlgorithmError(
                 f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"

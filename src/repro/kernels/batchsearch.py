@@ -1,0 +1,128 @@
+"""Batched lower-bound search: many independent searches per NumPy dispatch.
+
+The scalar ``LowerBound`` kernels in :mod:`repro.kernels.lowerbound` run
+one search at a time — fine for instrumentation, hopeless as a production
+path in CPython.  This module is their *batched* counterpart: every lane
+(one element of one skewed intersection) advances through the same
+bisection rounds in lockstep, the way the paper's GPU executes PS across a
+warp.  One round is a handful of whole-array NumPy operations, so the
+per-element interpreter overhead is amortized over the entire batch.
+
+:func:`count_edges_galloping` builds on it to intersect *many* degree-skewed
+edges at once: for each edge the smaller endpoint's neighbor list is
+searched inside the larger endpoint's adjacency segment of ``graph.dst``,
+``O(d_small · log d_large)`` work per edge — the pivot-skip economics that
+make MPS win on skewed graphs, without a per-edge Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "batched_lower_bound",
+    "count_edges_galloping",
+]
+
+#: Flat search lanes processed per dispatch; bounds the working-set memory
+#: of the lockstep arrays (~7 int64 temporaries per lane).
+LANE_BLOCK = 1 << 21
+
+
+def batched_lower_bound(
+    haystack: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Vectorized lower bound over many ``[lo[i], hi[i])`` segments.
+
+    For each lane ``i`` returns the smallest index ``j`` in
+    ``[lo[i], hi[i])`` with ``haystack[j] >= targets[i]`` (``hi[i]`` when no
+    such element).  Each segment must be sorted ascending; segments may
+    overlap and differ in length.  All lanes bisect in lockstep:
+    ``ceil(log2(max segment length))`` rounds of whole-array operations.
+    """
+    lo = np.asarray(lo, dtype=np.int64).copy()
+    hi = np.asarray(hi, dtype=np.int64).copy()
+    if len(lo) == 0:
+        return lo
+    span = int((hi - lo).max())
+    if span <= 0:
+        return lo
+    mid = np.empty_like(lo)
+    for _ in range(span.bit_length()):
+        active = lo < hi
+        np.add(lo, hi, out=mid)
+        mid >>= 1
+        # Inactive lanes park on index 0 — harmless gather, result masked.
+        np.multiply(mid, active, out=mid)
+        go_right = haystack[mid] < targets
+        lo = np.where(active & go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    return lo
+
+
+def _segment_starts(lens: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: start of each segment in the flat layout."""
+    return np.cumsum(lens) - lens
+
+
+def _flat_gather_index(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenation of ``[starts[i], starts[i] + lens[i])`` as one vector."""
+    total = int(lens.sum())
+    flat = np.arange(total, dtype=np.int64)
+    flat += np.repeat(starts - _segment_starts(lens), lens)
+    return flat
+
+
+def count_edges_galloping(
+    graph: CSRGraph, edge_offsets: np.ndarray
+) -> np.ndarray:
+    """Common neighbor counts for the given ``u < v`` edge offsets.
+
+    The intersection of each edge runs as a batch of lower-bound searches:
+    every element of the smaller endpoint's neighbor list is located inside
+    the larger endpoint's adjacency segment, then hits are segment-summed
+    per edge.  Intended for the planner's degree-skewed bucket, where
+    ``d_small · log2(d_large)`` beats both the bitmap gather
+    (``O(d_large)``) and the SpGEMM row share.
+
+    Returns an int64 array aligned with ``edge_offsets``.
+    """
+    edge_offsets = np.asarray(edge_offsets, dtype=np.int64)
+    out = np.zeros(len(edge_offsets), dtype=np.int64)
+    if len(edge_offsets) == 0:
+        return out
+
+    offsets = graph.offsets
+    dst = graph.dst
+    deg = graph.degrees
+    u = np.searchsorted(offsets, edge_offsets, side="right") - 1
+    v = dst[edge_offsets].astype(np.int64)
+    swap = deg[v] < deg[u]
+    small = np.where(swap, v, u)
+    large = np.where(swap, u, v)
+    lens = deg[small]
+
+    # Block over edges so the flat lane arrays stay memory-bounded.
+    csum = np.cumsum(lens)
+    blk_lo = 0
+    while blk_lo < len(edge_offsets):
+        base = int(csum[blk_lo] - lens[blk_lo])
+        blk_hi = int(np.searchsorted(csum, base + LANE_BLOCK, side="right"))
+        blk_hi = min(max(blk_hi, blk_lo + 1), len(edge_offsets))
+        sl = slice(blk_lo, blk_hi)
+        blk_lens = lens[sl]
+        targets = dst[_flat_gather_index(offsets[small[sl]], blk_lens)]
+        hay_lo = np.repeat(offsets[large[sl]], blk_lens)
+        hay_hi = np.repeat(offsets[large[sl] + 1], blk_lens)
+        pos = batched_lower_bound(dst, hay_lo, hay_hi, targets)
+        found = pos < hay_hi
+        found &= dst[np.minimum(pos, len(dst) - 1)] == targets
+        if len(found):
+            out[sl] = np.add.reduceat(found, _segment_starts(blk_lens))
+        blk_lo = blk_hi
+    return out

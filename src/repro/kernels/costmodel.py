@@ -31,6 +31,7 @@ __all__ = [
     "pivot_skip_work",
     "mps_work",
     "bmp_work",
+    "matmul_work",
     "symmetry_work",
     "skew_mask",
     "measure_work_sample",
@@ -232,6 +233,26 @@ def bmp_work(
     w["rand_words"] = distinct_lines * pass_prob + BMP_BUILD_OPS_PER_EDGE
     w["bitmap_words"] = distinct_lines * pass_prob + BMP_BUILD_OPS_PER_EDGE
     w["seq_words"] = probes
+    return w
+
+
+# --------------------------------------------------------------------- #
+# algebraic family
+# --------------------------------------------------------------------- #
+def matmul_work(es: EdgeSet) -> WorkVector:
+    """SpGEMM flop share of one ``u < v`` edge in ``(A·A) ⊙ A``.
+
+    Row ``u`` of the product is the merge of the rows of every
+    ``w ∈ N(u)``; the undirected edge ``(u, v)`` therefore contributes row
+    ``v`` (``d_v`` multiply-adds) to ``u``'s product and row ``u``
+    (``d_u``) to ``v``'s — ``d_u + d_v`` flops of marginal work, each a
+    streaming touch of the operand rows.  Summed over all edges this
+    reproduces the exact SpGEMM total ``Σ_w d_w²``.
+    """
+    flops = es.du + es.dv
+    w = WorkVector(len(es))
+    w["scalar_ops"] = flops
+    w["seq_words"] = flops
     return w
 
 

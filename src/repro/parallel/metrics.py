@@ -24,7 +24,12 @@ __all__ = ["ChunkStat", "WorkerTelemetry", "ParallelStats"]
 
 @dataclass(frozen=True)
 class ChunkStat:
-    """One dynamically-scheduled chunk, as measured by the worker."""
+    """One dynamically-scheduled chunk, as measured by the worker.
+
+    ``predicted_cost`` is the planner's cost estimate for the chunk's
+    vertex range (arbitrary units, comparable across chunks of the same
+    request); ``None`` when the request ran without a plan.
+    """
 
     worker_pid: int
     lo: int
@@ -32,6 +37,7 @@ class ChunkStat:
     edges: int
     seconds: float
     ops: OpCounts | None = None
+    predicted_cost: float | None = None
 
 
 @dataclass(frozen=True)
@@ -134,6 +140,52 @@ class ParallelStats:
         order = sorted(self.chunk_stats, key=lambda c: c.lo)
         return np.array([c.seconds for c in order], dtype=np.float64)
 
+    @property
+    def chunk_imbalance(self) -> float:
+        """Per-chunk work spread: ``max(seconds) / mean(seconds) - 1``.
+
+        Unlike :attr:`imbalance` this is meaningful even with one worker —
+        it measures how evenly the *chunking policy* split the work, which
+        is exactly what work-weighted boundaries are supposed to improve.
+        """
+        secs = self.chunk_seconds()
+        if len(secs) == 0 or secs.mean() <= 0:
+            return 0.0
+        return float(secs.max() / secs.mean() - 1.0)
+
+    @property
+    def predicted_chunk_imbalance(self) -> float | None:
+        """Planner-predicted chunk spread, when a plan drove the chunking."""
+        pred = [
+            c.predicted_cost
+            for c in self.chunk_stats
+            if c.predicted_cost is not None
+        ]
+        if len(pred) != len(self.chunk_stats) or not pred:
+            return None
+        arr = np.asarray(pred, dtype=np.float64)
+        if arr.mean() <= 0:
+            return 0.0
+        return float(arr.max() / arr.mean() - 1.0)
+
+    def prediction_error(self) -> float | None:
+        """Mean relative error of predicted vs measured chunk cost shares.
+
+        Both vectors are normalized to sum to 1 (the planner's units are
+        arbitrary), so this reports how well the plan ranked the chunks —
+        the quantity that decides boundary quality.
+        """
+        stats = [c for c in self.chunk_stats if c.predicted_cost is not None]
+        if len(stats) != len(self.chunk_stats) or not stats:
+            return None
+        pred = np.array([c.predicted_cost for c in stats], dtype=np.float64)
+        meas = np.array([c.seconds for c in stats], dtype=np.float64)
+        if pred.sum() <= 0 or meas.sum() <= 0:
+            return None
+        pred /= pred.sum()
+        meas /= meas.sum()
+        return float(np.abs(pred - meas).mean() / max(meas.mean(), 1e-30))
+
     def simulated_schedule(self, dequeue_overhead: float = 0.0) -> Schedule:
         """Replay the measured chunk costs through the dynamic-schedule
         simulator — the bridge between real telemetry and the model that
@@ -167,6 +219,19 @@ class ParallelStats:
                 f"imbalance        : measured {100 * self.imbalance:.1f}%, "
                 f"simulated dynamic {100 * sched.imbalance:.1f}%"
             )
+            chunk_line = (
+                f"chunk imbalance  : measured {100 * self.chunk_imbalance:.1f}%"
+            )
+            pred_imb = self.predicted_chunk_imbalance
+            if pred_imb is not None:
+                chunk_line += f", plan-predicted {100 * pred_imb:.1f}%"
+            lines.append(chunk_line)
+            err = self.prediction_error()
+            if err is not None:
+                lines.append(
+                    f"plan accuracy    : mean chunk-share error "
+                    f"{100 * err:.1f}% of mean"
+                )
             ops = self.aggregate_ops()
             lines.append(
                 f"kernel ops       : {ops.bitmap_set} set, {ops.bitmap_test} test, "

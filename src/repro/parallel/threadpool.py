@@ -24,12 +24,13 @@ import os
 import time
 import traceback
 import warnings
+from dataclasses import replace
 from queue import Empty
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.kernels.batch import symmetric_assign
+from repro.kernels.batch import count_edges_bitmap, symmetric_assign
 from repro.parallel.metrics import ChunkStat, ParallelStats
 from repro.parallel.sharedmem import SharedCSRHandle, SharedGraph
 from repro.types import OpCounts
@@ -56,50 +57,23 @@ def count_vertex_range(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Counts for all ``u < v`` edges whose source ``u`` lies in [lo, hi).
 
-    Returns ``(edge_offsets, counts)`` for the computed entries.  When an
+    Returns ``(edge_offsets, counts)`` for the computed entries.  Runs the
+    degree-bucketed :func:`~repro.kernels.batch.count_edges_bitmap` kernel
+    over the range's upper edge offsets — groups of source vertices per
+    NumPy dispatch, the same code path as the sequential bitmap backend —
+    into a compact buffer aligned with the offsets.  When an
     :class:`OpCounts` is passed, the BMP-structure work (bitmap set/test/
     clear, word traffic, matches) is charged to it.
     """
     offsets = graph.offsets
     dst = graph.dst
-    n = graph.num_vertices
-    mark = np.zeros(n, dtype=bool)
-    out_off: list[np.ndarray] = []
-    out_cnt: list[np.ndarray] = []
-
-    for u in range(lo, hi):
-        a, b = offsets[u], offsets[u + 1]
-        if b == a:
-            continue
-        nbrs = dst[a:b]
-        first = int(np.searchsorted(nbrs, u + 1))
-        if first == b - a:
-            continue
-        mark[nbrs] = True
-        vs = nbrs[first:].astype(np.int64)
-        starts = offsets[vs]
-        lens = offsets[vs + 1] - starts
-        seg_ends = np.cumsum(lens)
-        flat = np.arange(int(lens.sum()), dtype=np.int64)
-        flat += np.repeat(starts - (seg_ends - lens), lens)
-        hits = mark[dst[flat]]
-        sums = np.add.reduceat(hits, seg_ends - lens)
-        out_off.append(np.arange(a + first, b, dtype=np.int64))
-        out_cnt.append(sums.astype(np.int64))
-        mark[nbrs] = False
-        if counts is not None:
-            deg = int(b - a)
-            gathered = int(len(flat))
-            counts.bitmap_set += deg
-            counts.bitmap_clear += deg
-            counts.bitmap_test += gathered
-            counts.rand_words += gathered  # bitmap probes are random touches
-            counts.seq_words += deg + gathered  # streamed adjacency reads
-            counts.matches += int(sums.sum())
-
-    if not out_off:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    return np.concatenate(out_off), np.concatenate(out_cnt)
+    span = np.arange(int(offsets[lo]), int(offsets[hi]), dtype=np.int64)
+    src = np.searchsorted(offsets, span, side="right") - 1
+    eo = span[src < dst[span]]
+    vals = np.zeros(len(eo), dtype=np.int64)
+    if len(eo):
+        count_edges_bitmap(graph, eo, vals, counts, aligned=True)
+    return eo, vals
 
 
 def _vertex_chunks(graph: CSRGraph, num_chunks: int) -> list[tuple[int, int]]:
@@ -181,6 +155,16 @@ class ParallelCounter:
         queue overhead.  Can be overridden per request.
     start_method:
         ``fork``/``spawn``/``forkserver``; see :func:`resolve_start_method`.
+    plan:
+        ``"auto"`` (default) prices the graph through the hybrid planner
+        (:func:`repro.plan.get_plan`, cached by CSR fingerprint) and cuts
+        chunk boundaries on the cumulative *predicted cost* curve instead
+        of the adjacency-volume curve — the work-balanced partitioning the
+        paper's scaling depends on.  Pass ``None`` for the legacy
+        equal-volume chunking, or an explicit
+        :class:`~repro.plan.ExecutionPlan` to reuse one you already hold.
+        With a plan attached, every :class:`ChunkStat` carries the
+        planner's ``predicted_cost`` next to the measured seconds.
     """
 
     def __init__(
@@ -189,8 +173,10 @@ class ParallelCounter:
         num_workers: int | None = None,
         chunks_per_worker: int = 4,
         start_method: str | None = None,
+        plan="auto",
     ):
         self.graph = graph
+        self.plan = plan
         self.requested_workers = max(
             1, int(num_workers) if num_workers is not None else (os.cpu_count() or 1)
         )
@@ -327,7 +313,8 @@ class ParallelCounter:
         cpw = self.chunks_per_worker if chunks_per_worker is None else max(
             1, int(chunks_per_worker)
         )
-        chunks = _vertex_chunks(self.graph, self.effective_workers * cpw)
+        num_chunks = self.effective_workers * cpw
+        chunks, pred_map = self._make_chunks(num_chunks)
         cnt = np.zeros(self.graph.num_directed_edges, dtype=np.int64)
         t0 = time.perf_counter()
 
@@ -336,6 +323,11 @@ class ParallelCounter:
         else:
             chunk_stats = self._run_inline(chunks, cnt)
 
+        if pred_map:
+            chunk_stats = [
+                replace(s, predicted_cost=pred_map.get((s.lo, s.hi)))
+                for s in chunk_stats
+            ]
         wall = time.perf_counter() - t0
         counts = symmetric_assign(self.graph, cnt)
         if not with_stats:
@@ -349,6 +341,26 @@ class ParallelCounter:
             fallback_reason=self.fallback_reason,
         )
         return counts, stats
+
+    def _make_chunks(
+        self, num_chunks: int
+    ) -> tuple[list[tuple[int, int]], dict[tuple[int, int], float]]:
+        """Chunk boundaries plus (when planned) predicted cost per chunk."""
+        plan = self.plan
+        if plan == "auto":
+            from repro.plan import get_plan
+
+            plan = get_plan(self.graph)
+        if plan is None:
+            return _vertex_chunks(self.graph, num_chunks), {}
+        from repro.plan import weighted_vertex_chunks
+
+        n = self.graph.num_vertices
+        num_chunks = max(1, min(num_chunks, n)) if n else 1
+        bounds, predicted = weighted_vertex_chunks(plan.chunk_cost, num_chunks)
+        if not bounds:
+            return _vertex_chunks(self.graph, num_chunks), {}
+        return bounds, dict(zip(bounds, predicted))
 
     def _run_pool(self, chunks, cnt) -> list[ChunkStat]:
         for bounds in chunks:
@@ -395,6 +407,7 @@ def count_all_edges_parallel(
     *,
     start_method: str | None = None,
     return_stats: bool = False,
+    plan="auto",
 ) -> np.ndarray | tuple[np.ndarray, ParallelStats]:
     """One-shot all-edge counts using a transient :class:`ParallelCounter`.
 
@@ -410,5 +423,6 @@ def count_all_edges_parallel(
         num_workers=num_workers,
         chunks_per_worker=chunks_per_worker,
         start_method=start_method,
+        plan=plan,
     ) as counter:
         return counter.count_all_edges(with_stats=return_stats)

@@ -1,0 +1,40 @@
+"""Cost-model-driven hybrid execution planning.
+
+Connects the simulator-grade cost model (:mod:`repro.kernels.costmodel`)
+to the production hot path: price every ``u < v`` edge, partition into
+kernel buckets (batched galloping / degree-bucketed bitmap / blocked
+SpGEMM), execute each bucket vectorized, and reuse the same per-edge cost
+vector for work-weighted parallel chunk boundaries.
+"""
+
+from repro.plan.chunking import weighted_vertex_chunks
+from repro.plan.executor import (
+    HybridReport,
+    count_all_edges_hybrid,
+    execute_plan,
+)
+from repro.plan.planner import (
+    DEFAULT_SKEW_THRESHOLD,
+    BucketInfo,
+    ExecutionPlan,
+    PlanCacheStats,
+    build_plan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+)
+
+__all__ = [
+    "DEFAULT_SKEW_THRESHOLD",
+    "BucketInfo",
+    "ExecutionPlan",
+    "HybridReport",
+    "PlanCacheStats",
+    "build_plan",
+    "clear_plan_cache",
+    "count_all_edges_hybrid",
+    "execute_plan",
+    "get_plan",
+    "plan_cache_stats",
+    "weighted_vertex_chunks",
+]

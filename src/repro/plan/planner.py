@@ -1,0 +1,320 @@
+"""Cost-model-driven execution planning (plan once, execute vectorized).
+
+The paper's central idea is *adaptive* kernel selection: MPS flips between
+a vectorized merge and pivot-skip per edge by degree skew, and its scaling
+rests on work-balanced (not edge-balanced) partitioning.  This module
+applies the same idea to the production NumPy/SciPy paths: price every
+``u < v`` edge with the closed-form estimators of
+:mod:`repro.kernels.costmodel`, partition the edges into three kernel
+buckets, and remember the decision.
+
+Bucketing rule
+--------------
+* **gallop** — degree-skewed pairs (``d_large/d_small > skew_threshold``)
+  whose pivot-skip estimate undercuts both alternatives run on the batched
+  lower-bound kernel (:mod:`repro.kernels.batchsearch`):
+  ``O(d_small · log d_large)`` per edge.
+* **bitmap / matmul** — the remaining edges are assigned per *source
+  vertex* (both kernels amortize per-row work): a row goes to blocked
+  SpGEMM only when its full product cost ``Σ_{w∈N(u)} d_w`` beats the
+  bitmap gather total of its surviving edges, otherwise to the
+  degree-bucketed BMP kernel.  SpGEMM row cost is all-or-nothing — the
+  product of a row computes every column — which is exactly why the
+  decision cannot be per-edge.
+
+Plans are cached keyed by the same SHA-256 CSR fingerprint that
+:meth:`repro.core.result.EdgeCounts.save` embeds, so repeated counts on an
+identical graph skip pricing and partitioning entirely; a graph whose CSR
+content changed fingerprints differently and misses the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.costmodel import (
+    bmp_work,
+    matmul_work,
+    pivot_skip_work,
+    upper_edges,
+)
+from repro.types import WorkVector
+
+__all__ = [
+    "ExecutionPlan",
+    "BucketInfo",
+    "build_plan",
+    "get_plan",
+    "plan_cache_stats",
+    "clear_plan_cache",
+    "PlanCacheStats",
+    "DEFAULT_SKEW_THRESHOLD",
+]
+
+#: Skew ratio above which an edge becomes a pivot-skip candidate — the
+#: paper's MPS threshold (§3.1, T=50).
+DEFAULT_SKEW_THRESHOLD = 50.0
+
+#: Collapse weights turning a :class:`WorkVector` into one relative cost
+#: per edge.  Branch cost is folded into the scalar weight: the batched
+#: kernels execute branch-free NumPy passes.
+COST_WEIGHTS = {
+    "scalar_ops": 1.0,
+    "vector_ops": 1.0,
+    "branch_ops": 0.0,
+    "rand_words": 1.5,
+    "seq_words": 0.8,
+    "bitmap_words": 0.0,  # subset of rand_words; charging both double-counts
+}
+
+#: Nanoseconds per collapsed cost unit for each production kernel,
+#: calibrated against wall-clock runs of the three paths on the bundled
+#: dataset stand-ins (``benchmarks/bench_counting_backends.py --quick``
+#: reports predicted-vs-measured so drift is visible).  The planner only
+#: needs these to be relatively right within ~2×.
+KERNEL_NS_PER_UNIT = {
+    "gallop": 3.8,
+    "bitmap": 4.0,
+    "matmul": 16.0,
+}
+
+#: Fixed per-edge dispatch overhead (ns) added to the batched NumPy
+#: kernels; biases toss-ups toward the single-dispatch SpGEMM path.
+BATCH_EDGE_OVERHEAD_NS = 15.0
+
+#: Fixed cost (ns) of routing one row through the scattered-row SpGEMM
+#: path: CSR fancy-index extraction plus the edge-id alignment matrices
+#: are paid per row regardless of its flop count, so thin rows measure an
+#: order of magnitude above the per-flop rate.  Keeps the matmul bucket
+#: reserved for rows whose product is genuinely heavy.
+MATMUL_ROW_OVERHEAD_NS = 50_000.0
+
+
+def _collapse(w: WorkVector) -> np.ndarray:
+    """Weighted sum of the work fields: one relative cost per edge."""
+    out = np.zeros(w.n, dtype=np.float64)
+    for name, weight in COST_WEIGHTS.items():
+        if weight:
+            out += weight * w[name]
+    return out
+
+
+@dataclass(frozen=True)
+class BucketInfo:
+    """Planned size and predicted work of one kernel bucket."""
+
+    name: str
+    edges: int
+    predicted_ns: float
+
+    @property
+    def predicted_ms(self) -> float:
+        return self.predicted_ns / 1e6
+
+
+@dataclass
+class ExecutionPlan:
+    """The partition of a graph's ``u < v`` edges into kernel buckets.
+
+    ``edge_cost`` is the chosen-kernel predicted cost (ns) per upper edge
+    in CSR order; ``chunk_cost`` aggregates the *bitmap-structure* cost per
+    source vertex — the parallel backend executes the BMP kernel whatever
+    the hybrid buckets say, so its chunk boundaries weight by that.
+    """
+
+    fingerprint: str
+    skew_threshold: float
+    num_upper_edges: int
+    gallop_edges: np.ndarray
+    bitmap_edges: np.ndarray
+    matmul_edges: np.ndarray
+    matmul_rows: np.ndarray
+    edge_cost: np.ndarray
+    chunk_cost: np.ndarray
+    planning_seconds: float
+    from_cache: bool = False
+
+    def buckets(self) -> list[BucketInfo]:
+        return [
+            BucketInfo("gallop", len(self.gallop_edges), self._bucket_ns("gallop")),
+            BucketInfo("bitmap", len(self.bitmap_edges), self._bucket_ns("bitmap")),
+            BucketInfo("matmul", len(self.matmul_edges), self._bucket_ns("matmul")),
+        ]
+
+    def _bucket_ns(self, name: str) -> float:
+        return float(self._bucket_cost.get(name, 0.0))
+
+    _bucket_cost: dict = field(default_factory=dict)
+
+    @property
+    def predicted_total_ns(self) -> float:
+        return float(sum(self._bucket_cost.values()))
+
+    def format(self) -> str:
+        """Human-readable plan summary (the CLI's ``repro plan`` output)."""
+        total = max(self.num_upper_edges, 1)
+        lines = [
+            f"edges (u < v)    : {self.num_upper_edges}",
+            f"skew threshold   : {self.skew_threshold:g}",
+            f"planning time    : {self.planning_seconds * 1e3:.2f} ms"
+            + (" (cached)" if self.from_cache else ""),
+            f"predicted total  : {self.predicted_total_ns / 1e6:.2f} ms",
+        ]
+        for b in self.buckets():
+            share = 100.0 * b.edges / total
+            lines.append(
+                f"bucket {b.name:7s}: {b.edges:>8d} edges ({share:5.1f}%), "
+                f"predicted {b.predicted_ms:9.2f} ms"
+            )
+        if len(self.matmul_rows):
+            lines.append(f"matmul rows      : {len(self.matmul_rows)}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Planner telemetry: how often pricing/partitioning was skipped."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+
+_PLAN_CACHE: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+_PLAN_CACHE_CAPACITY = 8
+_hits = 0
+_misses = 0
+_evictions = 0
+
+
+def plan_cache_stats() -> PlanCacheStats:
+    return PlanCacheStats(_hits, _misses, _evictions, len(_PLAN_CACHE))
+
+
+def clear_plan_cache() -> None:
+    global _hits, _misses, _evictions
+    _PLAN_CACHE.clear()
+    _hits = _misses = _evictions = 0
+
+
+def build_plan(
+    graph: CSRGraph,
+    skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
+    fingerprint: str | None = None,
+) -> ExecutionPlan:
+    """Price and partition all ``u < v`` edges (no cache interaction)."""
+    from repro.core.result import graph_fingerprint
+
+    t0 = time.perf_counter()
+    if fingerprint is None:
+        fingerprint = graph_fingerprint(graph)
+    es = upper_edges(graph)
+    m = len(es)
+    n = graph.num_vertices
+    empty = np.empty(0, dtype=np.int64)
+    if m == 0:
+        return ExecutionPlan(
+            fingerprint=fingerprint,
+            skew_threshold=skew_threshold,
+            num_upper_edges=0,
+            gallop_edges=empty,
+            bitmap_edges=empty,
+            matmul_edges=empty,
+            matmul_rows=empty,
+            edge_cost=np.empty(0, dtype=np.float64),
+            chunk_cost=np.zeros(n, dtype=np.float64),
+            planning_seconds=time.perf_counter() - t0,
+        )
+
+    c_gallop = (
+        KERNEL_NS_PER_UNIT["gallop"] * _collapse(pivot_skip_work(es))
+        + BATCH_EDGE_OVERHEAD_NS
+    )
+    c_bitmap = (
+        KERNEL_NS_PER_UNIT["bitmap"]
+        * _collapse(bmp_work(es, assume_reordered=False))
+        + BATCH_EDGE_OVERHEAD_NS
+    )
+    c_matmul = KERNEL_NS_PER_UNIT["matmul"] * _collapse(matmul_work(es))
+
+    gallop = (es.skew_ratio > skew_threshold) & (
+        c_gallop < np.minimum(c_bitmap, c_matmul)
+    )
+    rest = ~gallop
+
+    # Row-granularity bitmap-vs-matmul choice over the surviving edges:
+    # SpGEMM computes a row completely or not at all, so compare the full
+    # product cost of each row against the bitmap gather of its remainder.
+    deg = graph.degrees.astype(np.float64)
+    row_flops = np.bincount(
+        graph.edge_sources(), weights=deg[graph.dst], minlength=n
+    )
+    mm_unit = COST_WEIGHTS["scalar_ops"] + COST_WEIGHTS["seq_words"]
+    row_matmul_ns = (
+        KERNEL_NS_PER_UNIT["matmul"] * mm_unit * row_flops
+        + MATMUL_ROW_OVERHEAD_NS
+    )
+    src_rest = es.u[rest]
+    bitmap_ns_per_row = np.bincount(src_rest, weights=c_bitmap[rest], minlength=n)
+    has_rest = np.bincount(src_rest, minlength=n) > 0
+    matmul_row = has_rest & (row_matmul_ns < bitmap_ns_per_row)
+
+    matmul = rest & matmul_row[es.u]
+    bitmap = rest & ~matmul
+
+    edge_cost = np.where(gallop, c_gallop, np.where(bitmap, c_bitmap, c_matmul))
+    chunk_cost = np.bincount(es.u, weights=c_bitmap, minlength=n)
+
+    plan = ExecutionPlan(
+        fingerprint=fingerprint,
+        skew_threshold=skew_threshold,
+        num_upper_edges=m,
+        gallop_edges=es.edge_offsets[gallop],
+        bitmap_edges=es.edge_offsets[bitmap],
+        matmul_edges=es.edge_offsets[matmul],
+        matmul_rows=np.flatnonzero(matmul_row).astype(np.int64),
+        edge_cost=edge_cost,
+        chunk_cost=chunk_cost,
+        planning_seconds=time.perf_counter() - t0,
+    )
+    plan._bucket_cost.update(
+        gallop=float(edge_cost[gallop].sum()),
+        bitmap=float(edge_cost[bitmap].sum()),
+        matmul=float(edge_cost[matmul].sum()),
+    )
+    return plan
+
+
+def get_plan(
+    graph: CSRGraph, skew_threshold: float = DEFAULT_SKEW_THRESHOLD
+) -> ExecutionPlan:
+    """Cached :func:`build_plan`, keyed by the CSR SHA-256 fingerprint.
+
+    A cache hit returns the stored plan with ``from_cache=True`` — the
+    pricing and partitioning passes are skipped entirely.  Any change to
+    the CSR arrays changes the fingerprint, so a stale plan can never be
+    applied to a mutated graph.
+    """
+    from repro.core.result import graph_fingerprint
+
+    global _hits, _misses, _evictions
+    key = (graph_fingerprint(graph), float(skew_threshold))
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        _hits += 1
+        _PLAN_CACHE.move_to_end(key)
+        cached.from_cache = True
+        return cached
+    _misses += 1
+    plan = build_plan(graph, skew_threshold, fingerprint=key[0])
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
+        _PLAN_CACHE.popitem(last=False)
+        _evictions += 1
+    return plan

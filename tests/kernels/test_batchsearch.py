@@ -1,0 +1,107 @@
+"""Batched lockstep lower-bound search and the galloping edge counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import chung_lu_graph, small_test_graph
+from repro.kernels import batchsearch
+from repro.kernels.batch import count_all_edges_matmul
+from repro.kernels.batchsearch import batched_lower_bound, count_edges_galloping
+from repro.kernels.costmodel import upper_edges
+
+
+# --------------------------------------------------------------------- #
+# batched_lower_bound
+# --------------------------------------------------------------------- #
+def test_matches_searchsorted_single_segment():
+    hay = np.array([1, 3, 5, 7, 9], dtype=np.int64)
+    targets = np.array([0, 1, 2, 9, 10], dtype=np.int64)
+    lo = np.zeros(5, dtype=np.int64)
+    hi = np.full(5, 5, dtype=np.int64)
+    got = batched_lower_bound(hay, lo, hi, targets)
+    assert got.tolist() == np.searchsorted(hay, targets).tolist()
+
+
+def test_respects_segment_bounds():
+    # Two overlapping segments of the same haystack.
+    hay = np.array([2, 4, 6, 8, 10, 12], dtype=np.int64)
+    lo = np.array([0, 3], dtype=np.int64)
+    hi = np.array([3, 6], dtype=np.int64)
+    targets = np.array([100, 1], dtype=np.int64)
+    got = batched_lower_bound(hay, lo, hi, targets)
+    assert got.tolist() == [3, 3]  # clamp to hi, clamp to lo
+
+
+def test_empty_lanes_and_empty_input():
+    hay = np.array([5], dtype=np.int64)
+    got = batched_lower_bound(
+        hay,
+        np.array([0], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+        np.array([5], dtype=np.int64),
+    )
+    assert got.tolist() == [0]
+    empty = np.empty(0, dtype=np.int64)
+    assert len(batched_lower_bound(hay, empty, empty, empty)) == 0
+
+
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=60),
+    st.lists(st.integers(0, 200), min_size=1, max_size=20),
+)
+def test_property_matches_per_lane_searchsorted(hay_vals, target_vals):
+    hay = np.sort(np.array(hay_vals, dtype=np.int64))
+    targets = np.array(target_vals, dtype=np.int64)
+    lanes = len(targets)
+    rng = np.random.default_rng(len(hay_vals) * 31 + lanes)
+    lo = rng.integers(0, len(hay) + 1, lanes)
+    hi = np.array([rng.integers(l, len(hay) + 1) for l in lo], dtype=np.int64)
+    got = batched_lower_bound(hay, lo, hi, targets)
+    for i in range(lanes):
+        expect = lo[i] + np.searchsorted(hay[lo[i] : hi[i]], targets[i])
+        assert got[i] == expect
+
+
+# --------------------------------------------------------------------- #
+# count_edges_galloping
+# --------------------------------------------------------------------- #
+def _check_against_matmul(graph, edge_offsets):
+    expected = count_all_edges_matmul(graph)
+    got = count_edges_galloping(graph, edge_offsets)
+    assert np.array_equal(got, expected[edge_offsets])
+
+
+def test_small_graph_all_upper_edges():
+    g = small_test_graph()
+    es = upper_edges(g)
+    _check_against_matmul(g, es.edge_offsets)
+
+
+def test_skewed_graph_and_subsets():
+    g = chung_lu_graph(800, 4000, exponent=2.0, seed=11)
+    es = upper_edges(g)
+    _check_against_matmul(g, es.edge_offsets)
+    # A scattered subset (every third edge) must also be exact.
+    _check_against_matmul(g, es.edge_offsets[::3])
+
+
+def test_tiny_lane_block_forces_many_blocks(monkeypatch):
+    monkeypatch.setattr(batchsearch, "LANE_BLOCK", 8)
+    g = chung_lu_graph(300, 1500, exponent=2.1, seed=3)
+    es = upper_edges(g)
+    _check_against_matmul(g, es.edge_offsets)
+
+
+def test_star_graph():
+    n = 50
+    g = csr_from_pairs([(0, i) for i in range(1, n)])
+    es = upper_edges(g)
+    got = count_edges_galloping(g, es.edge_offsets)
+    assert got.sum() == 0  # star has no triangles
+
+
+def test_empty_offsets():
+    g = small_test_graph()
+    assert len(count_edges_galloping(g, np.empty(0, dtype=np.int64))) == 0

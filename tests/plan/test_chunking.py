@@ -1,0 +1,54 @@
+"""Work-weighted chunk boundaries."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.plan import weighted_vertex_chunks
+
+
+def test_covers_range_without_gaps():
+    cost = np.array([5.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 0.0])
+    bounds, pred = weighted_vertex_chunks(cost, 3)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == len(cost)
+    for (_, a), (b, _) in zip(bounds[:-1], bounds[1:]):
+        assert a == b
+    assert np.isclose(pred.sum(), cost.sum())
+
+
+def test_balances_better_than_equal_split():
+    # One hub vertex carries half the work; equal vertex ranges would put
+    # it with a full share of the rest.
+    cost = np.ones(100)
+    cost[0] = 100.0
+    bounds, pred = weighted_vertex_chunks(cost, 4)
+    assert pred.max() / pred.mean() < 2.0
+    # The hub lands in a chunk of its own (or nearly).
+    assert bounds[0][1] <= 2
+
+
+def test_zero_cost_falls_back_to_equal_ranges():
+    bounds, pred = weighted_vertex_chunks(np.zeros(10), 2)
+    assert bounds == [(0, 5), (5, 10)]
+    assert pred.tolist() == [0.0, 0.0]
+
+
+def test_degenerate_inputs():
+    assert weighted_vertex_chunks(np.empty(0), 4)[0] == []
+    assert weighted_vertex_chunks(np.ones(3), 0)[0] == []
+    bounds, _ = weighted_vertex_chunks(np.ones(2), 8)  # more chunks than work
+    assert bounds[0][0] == 0 and bounds[-1][1] == 2
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+    st.integers(1, 8),
+)
+def test_property_partition_is_exact(costs, k):
+    cost = np.array(costs)
+    bounds, pred = weighted_vertex_chunks(cost, k)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == len(cost)
+    covered = sum(hi - lo for lo, hi in bounds)
+    assert covered == len(cost)
+    assert np.isclose(pred.sum(), cost.sum())

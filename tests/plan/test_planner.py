@@ -1,0 +1,111 @@
+"""Planner: bucketing rule, fingerprint-keyed cache, execution."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import chung_lu_graph, small_test_graph
+from repro.kernels.batch import count_all_edges_matmul
+from repro.plan import (
+    build_plan,
+    clear_plan_cache,
+    count_all_edges_hybrid,
+    execute_plan,
+    get_plan,
+    plan_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def test_buckets_partition_upper_edges():
+    g = chung_lu_graph(500, 2500, exponent=2.0, seed=1)
+    plan = build_plan(g)
+    all_planned = np.concatenate(
+        [plan.gallop_edges, plan.bitmap_edges, plan.matmul_edges]
+    )
+    src = g.edge_sources()
+    expected = np.flatnonzero(src < g.dst)
+    assert np.array_equal(np.sort(all_planned), expected)
+    assert plan.num_upper_edges == len(expected)
+    # Per-edge costs and per-vertex chunk costs are positive and aligned.
+    assert len(plan.edge_cost) == plan.num_upper_edges
+    assert (plan.edge_cost > 0).all()
+    assert len(plan.chunk_cost) == g.num_vertices
+
+
+def test_skew_threshold_moves_edges_to_gallop():
+    g = chung_lu_graph(500, 2500, exponent=2.0, seed=1)
+    strict = build_plan(g, skew_threshold=1e9)
+    loose = build_plan(g, skew_threshold=2.0)
+    assert len(strict.gallop_edges) == 0
+    assert len(loose.gallop_edges) >= len(build_plan(g).gallop_edges)
+
+
+def test_empty_graph_plan():
+    g = csr_from_pairs([], num_vertices=5)
+    plan = build_plan(g)
+    assert plan.num_upper_edges == 0
+    cnt, report = execute_plan(g, plan)
+    assert len(cnt) == 0
+    assert "0" in plan.format()
+
+
+def test_execute_matches_matmul():
+    g = chung_lu_graph(600, 3600, exponent=2.1, seed=9)
+    cnt, report = execute_plan(g, build_plan(g))
+    assert np.array_equal(cnt, count_all_edges_matmul(g))
+    assert report.total_seconds > 0
+    assert {t.name for t in report.timings} == {"gallop", "bitmap", "matmul"}
+
+
+# --------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------- #
+def test_cache_hit_skips_planning():
+    g = chung_lu_graph(400, 2000, exponent=2.0, seed=4)
+    p1 = get_plan(g)
+    assert not p1.from_cache
+    stats = plan_cache_stats()
+    assert (stats.hits, stats.misses) == (0, 1)
+    p2 = get_plan(g)
+    assert p2.from_cache
+    assert p2 is p1
+    stats = plan_cache_stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_fingerprint_mismatch_invalidates():
+    g1 = chung_lu_graph(400, 2000, exponent=2.0, seed=4)
+    g2 = chung_lu_graph(400, 2000, exponent=2.0, seed=5)  # different CSR
+    get_plan(g1)
+    get_plan(g2)
+    stats = plan_cache_stats()
+    assert stats.misses == 2  # second graph cannot reuse the first's plan
+    assert stats.hits == 0
+
+
+def test_second_count_hits_cache_through_api():
+    from repro.core import count_common_neighbors
+
+    g = small_test_graph()
+    count_common_neighbors(g)  # auto -> hybrid -> planner
+    misses_after_first = plan_cache_stats().misses
+    count_common_neighbors(g)
+    stats = plan_cache_stats()
+    assert stats.misses == misses_after_first  # no re-pricing
+    assert stats.hits >= 1
+
+
+def test_hybrid_wrapper_returns_counts_and_report():
+    g = small_test_graph()
+    cnt = count_all_edges_hybrid(g)
+    assert np.array_equal(cnt, count_all_edges_matmul(g))
+    cnt2, report = count_all_edges_hybrid(g, return_report=True)
+    assert np.array_equal(cnt2, cnt)
+    assert report.plan.from_cache  # second call reused the cached plan

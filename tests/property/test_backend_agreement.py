@@ -1,0 +1,83 @@
+"""All production backends return identical counts, on anything.
+
+The hybrid planner splits work across three kernels along bucket
+boundaries that sit exactly at degenerate shapes — stars (max skew),
+cliques (max density), paths (min everything) — so those shapes are pinned
+explicitly next to randomized graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.build import csr_from_pairs
+from repro.kernels.batch import (
+    count_all_edges_bitmap,
+    count_all_edges_matmul,
+    count_all_edges_merge,
+)
+from repro.plan import clear_plan_cache, count_all_edges_hybrid
+
+
+def _assert_all_agree(graph):
+    clear_plan_cache()
+    reference = count_all_edges_matmul(graph)
+    assert np.array_equal(count_all_edges_hybrid(graph), reference)
+    assert np.array_equal(count_all_edges_bitmap(graph), reference)
+    assert np.array_equal(count_all_edges_merge(graph), reference)
+
+
+# --------------------------------------------------------------------- #
+# adversarial shapes
+# --------------------------------------------------------------------- #
+def test_star():
+    _assert_all_agree(csr_from_pairs([(0, i) for i in range(1, 40)]))
+
+
+def test_clique():
+    n = 12
+    _assert_all_agree(
+        csr_from_pairs([(i, j) for i in range(n) for j in range(i + 1, n)])
+    )
+
+
+def test_path():
+    _assert_all_agree(csr_from_pairs([(i, i + 1) for i in range(30)]))
+
+
+def test_isolated_vertices():
+    # Vertices 5..9 have no edges at all.
+    _assert_all_agree(csr_from_pairs([(0, 1), (1, 2), (0, 2)], num_vertices=10))
+
+
+def test_empty_graph():
+    _assert_all_agree(csr_from_pairs([], num_vertices=6))
+
+
+def test_star_plus_clique():
+    # A hub star attached to a clique: gallop and bitmap buckets coexist.
+    clique = [(i, j) for i in range(1, 8) for j in range(i + 1, 8)]
+    star = [(0, i) for i in range(1, 30)]
+    _assert_all_agree(csr_from_pairs(clique + star))
+
+
+# --------------------------------------------------------------------- #
+# randomized graphs
+# --------------------------------------------------------------------- #
+@settings(deadline=None, max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 29), st.integers(0, 29)),
+        max_size=120,
+    )
+)
+def test_property_random_edge_lists(pairs):
+    pairs = [(u, v) for u, v in pairs if u != v]
+    _assert_all_agree(csr_from_pairs(pairs, num_vertices=30))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_skewed_graphs(seed):
+    from repro.graph.generators import chung_lu_graph
+
+    _assert_all_agree(chung_lu_graph(300, 1800, exponent=2.0, seed=seed))
