@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test verify bench bench-smoke examples experiments all clean
+.PHONY: install test verify fuzz-smoke bench bench-smoke examples experiments all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,13 @@ test:
 verify:
 	PYTHONPATH=src MP_START_METHOD=fork python -m pytest -x -q
 	PYTHONPATH=src MP_START_METHOD=spawn python -m pytest -x -q
+
+# Deterministic differential fuzz sweep: 200 seeded cases through every
+# registered execution path, cross-checked against brute force.  Failures
+# shrink to minimal reproducers under fuzz-artifacts/ (mirrors the
+# fuzz-smoke CI leg; the nightly job runs a much larger budget).
+fuzz-smoke:
+	PYTHONPATH=src python -m repro fuzz --cases 200 --seed 0
 
 bench:
 	pytest benchmarks/ --benchmark-only

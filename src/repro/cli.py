@@ -6,6 +6,7 @@ Commands
 ``count``       Exact all-edge counting (optionally saving the counts).
 ``plan``        Inspect the hybrid planner's kernel buckets for a graph.
 ``update``      Apply edge insertions/deletions with live count maintenance.
+``fuzz``        Differential fuzzing across every registered execution path.
 ``simulate``    Modeled run on one of the paper's three processors.
 ``experiment``  Regenerate one paper table/figure (table1..table7, fig3..fig10).
 ``recommend``   The paper's processor guidance for a graph.
@@ -165,6 +166,48 @@ def _cmd_update(args) -> int:
         counter.snapshot().save(args.output)
         print(f"counts saved     : {args.output}")
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import registered_paths, replay_artifact, run_fuzz
+
+    if args.replay:
+        report = replay_artifact(args.replay, paths=args.paths)
+        print(f"replay           : {args.replay}")
+        print(f"case             : {report.case.describe()}")
+        print(f"paths run        : {', '.join(report.paths_run) or '(none)'}")
+        if report.ok:
+            print("result           : no failure reproduced")
+            return 0
+        for f in report.failures:
+            print(f"  {f.format()}")
+        return 1
+
+    if args.paths:
+        unknown = set(args.paths) - set(registered_paths())
+        if unknown:
+            print(
+                f"fuzz: unknown paths {sorted(unknown)}; registered: "
+                f"{registered_paths()}",
+                file=sys.stderr,
+            )
+            return 2
+
+    def progress(done, total, failures):
+        if done % 50 == 0 or done == total:
+            print(f"  {done}/{total} cases, {failures} failing", flush=True)
+
+    report = run_fuzz(
+        num_cases=args.cases,
+        seed=args.seed,
+        paths=args.paths,
+        artifact_dir=args.artifact_dir,
+        shrink=not args.no_shrink,
+        max_vertices=args.max_vertices,
+        progress=progress if args.cases >= 50 else None,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_simulate(args) -> int:
@@ -372,6 +415,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="recount from scratch and check equality afterwards")
     p.add_argument("--output", help="save the final counts to a .npz file")
     p.set_defaults(fn=_cmd_update)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing across all execution paths"
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of generated cases to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="run seed; every case regenerates from (seed, index)")
+    p.add_argument("--paths", nargs="*", default=None,
+                   help="restrict to these execution paths "
+                        "(default: every registered path)")
+    p.add_argument("--max-vertices", type=int, default=None,
+                   help="vertex-count ceiling for generated cases")
+    p.add_argument("--artifact-dir", default="fuzz-artifacts",
+                   help="directory for shrunk reproducer artifacts")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip minimizing failing cases")
+    p.add_argument("--replay",
+                   help="replay a saved reproducer artifact instead of fuzzing")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("simulate", help="modeled run on cpu/knl/gpu")
     add_graph_args(p)

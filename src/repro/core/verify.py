@@ -8,7 +8,14 @@ from repro.core.result import EdgeCounts
 from repro.errors import VerificationError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["brute_force_counts", "verify_counts"]
+__all__ = ["brute_force_counts", "verify_counts", "sample_edge_offsets"]
+
+#: Directed edge offsets spot-checked by the large-graph verification path.
+DEFAULT_SAMPLE_SIZE = 512
+
+#: Seed of the deterministic sampling RNG — fixed so a verification run is
+#: reproducible (and so tests can predict which offsets get checked).
+DEFAULT_SAMPLE_SEED = 0
 
 
 def brute_force_counts(graph: CSRGraph) -> np.ndarray:
@@ -23,13 +30,66 @@ def brute_force_counts(graph: CSRGraph) -> np.ndarray:
     return counts
 
 
-def verify_counts(result: EdgeCounts, *, against: str = "auto") -> None:
+def sample_edge_offsets(
+    graph: CSRGraph,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = DEFAULT_SAMPLE_SEED,
+) -> np.ndarray:
+    """The directed edge offsets the sampled verification pass checks.
+
+    Deterministic for a given ``(graph, sample_size, seed)`` — exposed so
+    tests can target the exact offsets that will be verified.
+    """
+    m = graph.num_directed_edges
+    k = min(int(sample_size), m)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(m, size=k, replace=False))
+
+
+def _verify_edge_sample(
+    result: EdgeCounts, sample_size: int, seed: int
+) -> None:
+    """Check a seeded random sample of edges with Python-set intersections.
+
+    The triangle identity ``Σcnt/6 == #triangles`` is a *sum* check —
+    compensating per-edge errors (one edge over-counted, another
+    under-counted) preserve it exactly.  Spot-checking individual edges
+    against an independent set intersection closes that hole without
+    paying the full brute-force pass.
+    """
+    graph = result.graph
+    src = graph.edge_sources()
+    for eo in sample_edge_offsets(graph, sample_size, seed).tolist():
+        u = int(src[eo])
+        v = int(graph.dst[eo])
+        expected = len(
+            set(graph.neighbors(u).tolist()) & set(graph.neighbors(v).tolist())
+        )
+        if int(result.counts[eo]) != expected:
+            raise VerificationError(
+                f"sampled count mismatch at edge offset {eo} = ({u}, {v}): "
+                f"got {int(result.counts[eo])}, expected {expected}"
+            )
+
+
+def verify_counts(
+    result: EdgeCounts,
+    *,
+    against: str = "auto",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    sample_seed: int = DEFAULT_SAMPLE_SEED,
+) -> None:
     """Raise :class:`VerificationError` unless the counts are correct.
 
     ``against``:
 
     * ``"brute"`` — per-edge Python set intersections (small graphs);
-    * ``"networkx"`` — triangle-count identity ``Σcnt / 6 == #triangles``;
+    * ``"networkx"`` — triangle-count identity ``Σcnt / 6 == #triangles``
+      *plus* a seeded random sample of ``sample_size`` edges re-counted
+      with set intersections (the sum identity alone is blind to
+      compensating per-edge errors);
     * ``"auto"`` — brute force below 20k directed edges, networkx above.
     """
     graph = result.graph
@@ -56,5 +116,6 @@ def verify_counts(result: EdgeCounts, *, against: str = "auto") -> None:
                 f"triangle identity failed: Σcnt/6 = {result.triangle_count()}, "
                 f"networkx says {triangles}"
             )
+        _verify_edge_sample(result, sample_size, sample_seed)
     else:
         raise ValueError(f"unknown reference {against!r}")

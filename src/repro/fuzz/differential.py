@@ -1,0 +1,477 @@
+"""Differential execution of one fuzz case through every registered path.
+
+Every *execution path* is a named way of producing all-edge common
+neighbor counts: a backend kernel, a planner cache state, a process pool
+start method, or the dynamic edit-replay engine.  The runner executes a
+case through each registered path and cross-checks the result bit-exactly
+against :func:`repro.core.verify.brute_force_counts` — the one reference
+simple enough to be trusted by inspection — plus symmetry and OpCounts
+invariants.
+
+The registry is open: a future backend registers itself with
+:func:`register_path` and is fuzzed from then on.  Paths carry a *stride*
+(run every k-th case) so expensive paths — spawn-method process pools —
+still get covered without dominating the budget; explicitly requested
+paths always run on every case.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.fuzz.generators import FuzzCase, generate_case
+from repro.graph.csr import CSRGraph
+from repro.types import OpCounts
+
+__all__ = [
+    "ExecutionPath",
+    "Failure",
+    "CaseReport",
+    "FuzzFailure",
+    "FuzzReport",
+    "InvariantViolation",
+    "register_path",
+    "unregister_path",
+    "registered_paths",
+    "run_case",
+    "run_fuzz",
+]
+
+
+class InvariantViolation(AssertionError):
+    """An execution path broke one of its own accounting invariants."""
+
+
+@dataclass(frozen=True)
+class ExecutionPath:
+    """One registered way of computing all-edge counts.
+
+    ``run`` takes the case's base :class:`CSRGraph` and returns counts
+    aligned with ``graph.dst`` for static paths; dynamic paths
+    (``kind="dynamic"``) take ``(case, graph)`` and return the *final*
+    ``(graph, counts)`` after replaying the case's edit sequence.
+    """
+
+    name: str
+    run: object
+    kind: str = "static"  # "static" | "dynamic"
+    stride: int = 1
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One differential disagreement, invariant break, or path crash."""
+
+    path: str
+    kind: str  # "mismatch" | "invariant" | "error"
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.path}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class CaseReport:
+    """Outcome of running one case through a set of paths."""
+
+    case: FuzzCase
+    paths_run: list[str] = field(default_factory=list)
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class FuzzFailure:
+    """A failing case with its shrunk reproducer and on-disk artifact."""
+
+    case: FuzzCase
+    failure: Failure
+    shrunk: FuzzCase | None = None
+    artifact: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzz run."""
+
+    cases: int
+    seed: int
+    coverage: dict[str, int]
+    failures: list[FuzzFailure]
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"cases            : {self.cases} (seed {self.seed}, "
+            f"{self.elapsed_seconds:.1f} s)",
+            "path coverage    :",
+        ]
+        for name, count in self.coverage.items():
+            lines.append(f"  {name:16s} {count:>6d} cases")
+        lines.append(f"failures         : {len(self.failures)}")
+        for f in self.failures:
+            lines.append(f"  {f.case.describe()}")
+            lines.append(f"    {f.failure.format()}")
+            if f.shrunk is not None:
+                lines.append(f"    shrunk to {f.shrunk.describe()}")
+            if f.artifact:
+                lines.append(f"    artifact: {f.artifact}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# built-in paths
+#
+# Kernel entry points are resolved through their module at call time (not
+# captured at import), so an injected fault — monkeypatching a backend to
+# test the fuzzer itself — is seen by the registered path.
+# --------------------------------------------------------------------- #
+def _run_merge(graph: CSRGraph) -> np.ndarray:
+    from repro.kernels import batch
+
+    return batch.count_all_edges_merge(graph)
+
+
+def _run_matmul(graph: CSRGraph) -> np.ndarray:
+    from repro.kernels import batch
+
+    return batch.count_all_edges_matmul(graph)
+
+
+def _run_bitmap(graph: CSRGraph) -> np.ndarray:
+    """Degree-bucketed BMP kernel, with OpCounts invariants enforced."""
+    from repro.kernels import batch
+
+    src = graph.edge_sources()
+    eo = np.flatnonzero(src < graph.dst)
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    ops = OpCounts()
+    batch.count_edges_bitmap(graph, eo, cnt, ops)
+    if ops.bitmap_set != ops.bitmap_clear:
+        raise InvariantViolation(
+            f"bitmap set/clear imbalance: {ops.bitmap_set} set, "
+            f"{ops.bitmap_clear} cleared (mark plane leaked)"
+        )
+    if ops.matches != int(cnt[eo].sum()):
+        raise InvariantViolation(
+            f"bitmap matches accounting ({ops.matches}) != computed "
+            f"count total ({int(cnt[eo].sum())})"
+        )
+    return batch.symmetric_assign(graph, cnt)
+
+
+def _run_gallop(graph: CSRGraph) -> np.ndarray:
+    """Batched lockstep galloping over *all* upper edges (not only the
+    planner's skewed bucket), with OpCounts invariants enforced."""
+    from repro.kernels import batch, batchsearch
+
+    src = graph.edge_sources()
+    eo = np.flatnonzero(src < graph.dst)
+    ops = OpCounts()
+    vals = batchsearch.count_edges_galloping(graph, eo, ops)
+    if ops.matches != int(vals.sum()):
+        raise InvariantViolation(
+            f"gallop matches accounting ({ops.matches}) != computed "
+            f"count total ({int(vals.sum())})"
+        )
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    cnt[eo] = vals
+    return batch.symmetric_assign(graph, cnt)
+
+
+def _run_hybrid_cold(graph: CSRGraph) -> np.ndarray:
+    """Hybrid planner from an empty plan cache (plan + execute)."""
+    from repro.plan import clear_plan_cache, count_all_edges_hybrid, plan_cache_stats
+
+    clear_plan_cache()
+    before = plan_cache_stats().misses
+    cnt = count_all_edges_hybrid(graph)
+    if plan_cache_stats().misses != before + 1:
+        raise InvariantViolation("cold hybrid run did not miss the plan cache")
+    return cnt
+
+
+def _run_hybrid_warm(graph: CSRGraph) -> np.ndarray:
+    """Hybrid planner through a warm plan cache (cached-plan execution)."""
+    from repro.plan import count_all_edges_hybrid, get_plan, plan_cache_stats
+
+    get_plan(graph)  # prime (hit or miss, either way now cached)
+    before = plan_cache_stats().hits
+    cnt = count_all_edges_hybrid(graph)
+    if plan_cache_stats().hits != before + 1:
+        raise InvariantViolation("warm hybrid run did not hit the plan cache")
+    return cnt
+
+
+def _make_parallel_runner(method: str):
+    def run(graph: CSRGraph) -> np.ndarray:
+        from repro.parallel import threadpool
+
+        with warnings.catch_warnings():
+            # A sequential fallback is telemetry, not a differential bug.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return threadpool.count_all_edges_parallel(
+                graph, num_workers=2, chunks_per_worker=3, start_method=method
+            )
+
+    return run
+
+
+def _run_dynamic_replay(
+    case: FuzzCase, graph: CSRGraph
+) -> tuple[CSRGraph, np.ndarray]:
+    """Replay the case's edit sequence through a DynamicCounter.
+
+    The default ``recount_fraction`` stays in force, so oversized batches
+    exercise the structural-recount fallback while small ones run the
+    per-edge delta kernel — both against the same reference.
+    """
+    from repro.core.dynamic import DynamicCounter
+
+    counter = DynamicCounter(graph, backend="matmul")
+    for batch in case.edits:
+        counter.apply(insertions=batch.insert, deletions=batch.delete)
+    snap = counter.snapshot()
+    return snap.graph, snap.counts
+
+
+_REGISTRY: OrderedDict[str, ExecutionPath] = OrderedDict()
+
+
+def register_path(name: str, run, kind: str = "static", stride: int = 1) -> None:
+    """Register (or replace) an execution path under ``name``."""
+    if kind not in ("static", "dynamic"):
+        raise ValueError(f"unknown path kind {kind!r}")
+    _REGISTRY[name] = ExecutionPath(name, run, kind, max(1, int(stride)))
+
+
+def unregister_path(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def registered_paths() -> list[str]:
+    """Names of every registered execution path, in registration order."""
+    return list(_REGISTRY)
+
+
+def _register_builtin_paths() -> None:
+    import multiprocessing as mp
+
+    register_path("merge", _run_merge)
+    register_path("bitmap", _run_bitmap)
+    register_path("matmul", _run_matmul)
+    register_path("gallop", _run_gallop)
+    register_path("hybrid-cold", _run_hybrid_cold)
+    register_path("hybrid-warm", _run_hybrid_warm)
+    available = mp.get_all_start_methods()
+    if "fork" in available:
+        register_path("parallel-fork", _make_parallel_runner("fork"), stride=4)
+    if "spawn" in available:
+        register_path(
+            "parallel-spawn", _make_parallel_runner("spawn"), stride=16
+        )
+    register_path("dynamic-replay", _run_dynamic_replay, kind="dynamic")
+
+
+_register_builtin_paths()
+
+
+# --------------------------------------------------------------------- #
+# running cases
+# --------------------------------------------------------------------- #
+def _resolve_paths(names) -> list[ExecutionPath]:
+    if names is None:
+        return list(_REGISTRY.values())
+    paths = []
+    for name in names:
+        if name not in _REGISTRY:
+            raise KeyError(
+                f"unknown execution path {name!r}; registered: "
+                f"{registered_paths()}"
+            )
+        # Explicitly requested paths run on every case.
+        paths.append(replace(_REGISTRY[name], stride=1))
+    return paths
+
+
+def _first_mismatch(
+    graph: CSRGraph, got: np.ndarray, expected: np.ndarray
+) -> str:
+    got = np.asarray(got)
+    if got.shape != expected.shape:
+        return f"shape {got.shape} != expected {expected.shape}"
+    bad = np.flatnonzero(got != expected)
+    eo = int(bad[0])
+    src = graph.edge_sources()
+    return (
+        f"{len(bad)} of {len(expected)} offsets differ; first at edge "
+        f"offset {eo} = ({int(src[eo])}, {int(graph.dst[eo])}): "
+        f"got {int(got[eo])}, expected {int(expected[eo])}"
+    )
+
+
+def _check_symmetry(graph: CSRGraph, counts: np.ndarray) -> str | None:
+    from repro.kernels.batch import reverse_edge_offsets
+
+    rev = reverse_edge_offsets(graph)
+    counts = np.asarray(counts)
+    if not np.array_equal(counts, counts[rev]):
+        eo = int(np.flatnonzero(counts != counts[rev])[0])
+        return (
+            f"counts asymmetric across edge directions (first at offset {eo})"
+        )
+    return None
+
+
+def run_case(case: FuzzCase, paths=None) -> CaseReport:
+    """Run one case through the selected paths and cross-check everything.
+
+    Static paths compare against the brute-force reference on the base
+    graph; the dynamic path replays the edit sequence and compares its
+    final counts against a brute-force recount of the *final* graph (the
+    edit-replay vs. from-scratch differential).  Paths are skipped by
+    their stride (``case.index % stride``) unless explicitly requested.
+    """
+    from repro.core.verify import brute_force_counts
+
+    report = CaseReport(case=case)
+    selected = [
+        p for p in _resolve_paths(paths) if case.index % p.stride == 0
+    ]
+    if not selected:
+        return report
+
+    graph = case.graph()
+    reference = None
+    for path in selected:
+        if path.kind == "dynamic":
+            if not case.edits:
+                continue
+            try:
+                final_graph, counts = path.run(case, graph)
+                expected = brute_force_counts(final_graph)
+                check_graph = final_graph
+            except InvariantViolation as exc:
+                report.paths_run.append(path.name)
+                report.failures.append(Failure(path.name, "invariant", str(exc)))
+                continue
+            except Exception as exc:  # noqa: BLE001 - any crash is a finding
+                report.paths_run.append(path.name)
+                report.failures.append(
+                    Failure(path.name, "error", f"{type(exc).__name__}: {exc}")
+                )
+                continue
+        else:
+            if reference is None:
+                reference = brute_force_counts(graph)
+            expected = reference
+            check_graph = graph
+            try:
+                counts = path.run(graph)
+            except InvariantViolation as exc:
+                report.paths_run.append(path.name)
+                report.failures.append(Failure(path.name, "invariant", str(exc)))
+                continue
+            except Exception as exc:  # noqa: BLE001 - any crash is a finding
+                report.paths_run.append(path.name)
+                report.failures.append(
+                    Failure(path.name, "error", f"{type(exc).__name__}: {exc}")
+                )
+                continue
+
+        report.paths_run.append(path.name)
+        if not np.array_equal(np.asarray(counts), expected):
+            report.failures.append(
+                Failure(
+                    path.name,
+                    "mismatch",
+                    _first_mismatch(check_graph, counts, expected),
+                )
+            )
+            continue
+        asym = _check_symmetry(check_graph, counts)
+        if asym is not None:
+            report.failures.append(Failure(path.name, "invariant", asym))
+    return report
+
+
+def case_still_fails(case: FuzzCase, path_name: str) -> bool:
+    """Shrinking predicate: does ``case`` still fail on ``path_name``?
+
+    Any failure kind on that path counts — a mismatch that shrinks into a
+    crash is still the same reproducer chain.
+    """
+    report = run_case(case, paths=[path_name])
+    return any(f.path == path_name for f in report.failures)
+
+
+def run_fuzz(
+    num_cases: int,
+    seed: int,
+    paths=None,
+    artifact_dir: str | None = None,
+    shrink: bool = True,
+    max_vertices: int | None = None,
+    max_failures: int = 10,
+    progress=None,
+) -> FuzzReport:
+    """Generate and differentially execute ``num_cases`` cases.
+
+    Deterministic given ``(num_cases, seed, paths, max_vertices)``.  On a
+    failing case the first failure is greedily shrunk
+    (:func:`repro.fuzz.shrink.shrink_case`) and, when ``artifact_dir`` is
+    given, serialized as a replayable artifact.  Stops collecting after
+    ``max_failures`` distinct failing cases (the run keeps counting
+    coverage).
+    """
+    from repro.fuzz import shrink as shrink_mod
+    from repro.fuzz.generators import DEFAULT_MAX_VERTICES
+
+    t0 = time.perf_counter()
+    coverage: dict[str, int] = {
+        p.name: 0 for p in _resolve_paths(paths)
+    }
+    failures: list[FuzzFailure] = []
+    for index in range(num_cases):
+        case = generate_case(
+            seed, index, max_vertices=max_vertices or DEFAULT_MAX_VERTICES
+        )
+        report = run_case(case, paths=paths)
+        for name in report.paths_run:
+            coverage[name] += 1
+        if report.failures and len(failures) < max_failures:
+            failure = report.failures[0]
+            shrunk = None
+            artifact = None
+            if shrink:
+                shrunk = shrink_mod.shrink_case(
+                    case, lambda c: case_still_fails(c, failure.path)
+                )
+            if artifact_dir is not None:
+                artifact = shrink_mod.save_artifact(
+                    shrunk if shrunk is not None else case,
+                    failure,
+                    artifact_dir,
+                )
+            failures.append(FuzzFailure(case, failure, shrunk, artifact))
+        if progress is not None:
+            progress(index + 1, num_cases, len(failures))
+    return FuzzReport(
+        cases=num_cases,
+        seed=seed,
+        coverage=coverage,
+        failures=failures,
+        elapsed_seconds=time.perf_counter() - t0,
+    )

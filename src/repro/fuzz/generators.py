@@ -1,0 +1,313 @@
+"""Seeded graph grammar for differential fuzzing.
+
+Each :class:`FuzzCase` is generated deterministically from ``(seed,
+index)`` — the same pair always yields the same vertices, edges, and edit
+sequence, so a failing case reported by CI reproduces locally from two
+integers.  The grammar composes the structures the backends disagree on
+first when they disagree at all:
+
+* **stars** — maximal degree skew, the gallop-bucket boundary;
+* **cliques** — maximal density, the matmul-row boundary;
+* **bipartite blocks** — zero triangles with large intersections;
+* **paths** — minimal everything;
+* **power-law tails** — Chung–Lu-style hub plus thin tail;
+* **duplicate-dense edge lists** — repeated pairs exercising CSR dedup;
+* **isolated vertices** — ``num_vertices`` beyond the last used id.
+
+Cases additionally carry a random *edit sequence* (batched insertions and
+deletions, including duplicate inserts, deletes of absent edges, and
+batches large enough to cross the dynamic recount threshold) for the
+:class:`~repro.core.dynamic.DynamicCounter` replay path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.build import edges_to_csr
+from repro.graph.csr import CSRGraph
+
+__all__ = ["EditBatch", "FuzzCase", "generate_case"]
+
+#: Default vertex-count ceiling for generated cases.  Small cases keep the
+#: brute-force reference and the per-edge merge path fast; the shapes, not
+#: the sizes, carry the bug-finding power.
+DEFAULT_MAX_VERTICES = 48
+
+#: Maximum edit batches per case (when the case has edits at all).
+DEFAULT_MAX_EDIT_BATCHES = 4
+
+
+def _as_edge_array(pairs) -> np.ndarray:
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    return arr.reshape(-1, 2)
+
+
+@dataclass
+class EditBatch:
+    """One batch of edge updates for the dynamic replay path."""
+
+    insert: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+    delete: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+
+    def __post_init__(self):
+        self.insert = _as_edge_array(self.insert)
+        self.delete = _as_edge_array(self.delete)
+
+    @property
+    def size(self) -> int:
+        return len(self.insert) + len(self.delete)
+
+    def to_dict(self) -> dict:
+        return {
+            "insert": self.insert.tolist(),
+            "delete": self.delete.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EditBatch":
+        return cls(insert=data.get("insert", []), delete=data.get("delete", []))
+
+
+@dataclass
+class FuzzCase:
+    """One differential-fuzzing input: a raw edge list plus edits.
+
+    ``edges`` is the *raw* pair list — duplicates and both orientations
+    are allowed (CSR construction collapses them), because duplicate-dense
+    inputs are part of the grammar.  ``seed``/``index`` record provenance
+    for regenerated cases; shrunk cases keep them so artifacts point back
+    at the originating fuzz run.
+    """
+
+    num_vertices: int
+    edges: np.ndarray
+    edits: list[EditBatch] = field(default_factory=list)
+    seed: int = 0
+    index: int = 0
+
+    def __post_init__(self):
+        self.edges = _as_edge_array(self.edges)
+
+    def graph(self) -> CSRGraph:
+        """The case's base graph in CSR form."""
+        return edges_to_csr(
+            self.edges[:, 0], self.edges[:, 1], self.num_vertices
+        )
+
+    @property
+    def num_edits(self) -> int:
+        return sum(b.size for b in self.edits)
+
+    def describe(self) -> str:
+        return (
+            f"case(seed={self.seed}, index={self.index}, "
+            f"|V|={self.num_vertices}, {len(self.edges)} edge rows, "
+            f"{self.num_edits} edits in {len(self.edits)} batches)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": int(self.seed),
+            "index": int(self.index),
+            "num_vertices": int(self.num_vertices),
+            "edges": self.edges.tolist(),
+            "edits": [b.to_dict() for b in self.edits],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        return cls(
+            num_vertices=int(data["num_vertices"]),
+            edges=data.get("edges", []),
+            edits=[EditBatch.from_dict(b) for b in data.get("edits", [])],
+            seed=int(data.get("seed", 0)),
+            index=int(data.get("index", 0)),
+        )
+
+
+# --------------------------------------------------------------------- #
+# motifs
+# --------------------------------------------------------------------- #
+def _motif_star(rng, n: int) -> list[tuple[int, int]]:
+    hub = int(rng.integers(0, n))
+    k = int(rng.integers(1, min(n, 24)))
+    leaves = rng.choice(n, size=k, replace=False)
+    return [(hub, int(v)) for v in leaves if v != hub]
+
+
+def _motif_clique(rng, n: int) -> list[tuple[int, int]]:
+    k = int(rng.integers(2, min(n, 9) + 1))
+    members = rng.choice(n, size=k, replace=False)
+    return [
+        (int(members[i]), int(members[j]))
+        for i in range(k)
+        for j in range(i + 1, k)
+    ]
+
+
+def _motif_bipartite(rng, n: int) -> list[tuple[int, int]]:
+    k = int(rng.integers(1, min(n, 12) + 1))
+    both = rng.choice(n, size=min(2 * k, n), replace=False)
+    left, right = both[: len(both) // 2], both[len(both) // 2 :]
+    return [(int(u), int(v)) for u in left for v in right if u != v]
+
+
+def _motif_path(rng, n: int) -> list[tuple[int, int]]:
+    k = int(rng.integers(2, min(n, 16) + 1))
+    walk = rng.choice(n, size=k, replace=False)
+    return [
+        (int(walk[i]), int(walk[i + 1]))
+        for i in range(k - 1)
+    ]
+
+
+def _motif_powerlaw(rng, n: int) -> list[tuple[int, int]]:
+    m = int(rng.integers(4, 4 * n))
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    probs = ranks**-1.5
+    probs /= probs.sum()
+    src = rng.choice(n, size=m, p=probs)
+    dst = rng.choice(n, size=m, p=probs)
+    keep = src != dst
+    return list(zip(src[keep].tolist(), dst[keep].tolist()))
+
+
+def _motif_random(rng, n: int) -> list[tuple[int, int]]:
+    m = int(rng.integers(1, 3 * n))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    return list(zip(src[keep].tolist(), dst[keep].tolist()))
+
+
+_MOTIFS = (
+    _motif_star,
+    _motif_clique,
+    _motif_bipartite,
+    _motif_path,
+    _motif_powerlaw,
+    _motif_random,
+)
+
+
+# --------------------------------------------------------------------- #
+# edit sequences
+# --------------------------------------------------------------------- #
+def _live_edge_set(case_edges: np.ndarray) -> set[tuple[int, int]]:
+    """Canonical undirected edge set of a raw pair list (no self-loops)."""
+    live = set()
+    for u, v in case_edges.tolist():
+        if u != v:
+            live.add((u, v) if u < v else (v, u))
+    return live
+
+
+def _random_pairs(rng, n: int, count: int) -> list[tuple[int, int]]:
+    out = []
+    for _ in range(count):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            out.append((u, v))
+    return out
+
+
+def _generate_edits(
+    rng, n: int, edges: np.ndarray, max_batches: int
+) -> list[EditBatch]:
+    """Random interleaved insert/delete batches over the case's graph.
+
+    Tracks the live edge set so deletions mostly hit real edges (including
+    edges inserted by an earlier batch), while still emitting duplicate
+    inserts and absent-edge deletes — both must be recorded no-ops.  One
+    batch in ~3 is oversized to push the dynamic counter across its
+    recount-fallback threshold.
+    """
+    live = _live_edge_set(edges)
+    batches: list[EditBatch] = []
+    for _ in range(int(rng.integers(1, max_batches + 1))):
+        oversized = rng.random() < 0.3
+        scale = max(3, len(live))
+        ins_count = (
+            int(rng.integers(scale // 2 + 1, scale + 2))
+            if oversized
+            else int(rng.integers(0, 5))
+        )
+        ins = _random_pairs(rng, n, ins_count)
+        # Occasionally re-insert a live edge (a recorded no-op).
+        if live and rng.random() < 0.4:
+            ins.append(list(live)[int(rng.integers(0, len(live)))])
+
+        dels: list[tuple[int, int]] = []
+        pool = sorted(live)
+        if pool:
+            k = min(int(rng.integers(0, 4)), len(pool))
+            for i in rng.choice(len(pool), size=k, replace=False):
+                dels.append(pool[int(i)])
+        # Occasionally delete an absent edge (a recorded no-op).
+        if rng.random() < 0.3:
+            dels.extend(_random_pairs(rng, n, 1))
+
+        for u, v in ins:
+            live.add((u, v) if u < v else (v, u))
+        for u, v in dels:
+            live.discard((u, v) if u < v else (v, u))
+        batches.append(EditBatch(insert=ins, delete=dels))
+    return batches
+
+
+# --------------------------------------------------------------------- #
+# case generation
+# --------------------------------------------------------------------- #
+def generate_case(
+    seed: int,
+    index: int,
+    max_vertices: int = DEFAULT_MAX_VERTICES,
+    max_edit_batches: int = DEFAULT_MAX_EDIT_BATCHES,
+) -> FuzzCase:
+    """Deterministically generate fuzz case ``index`` of run ``seed``.
+
+    The RNG is keyed by ``(seed, index)`` so any single case regenerates
+    without replaying the run prefix.
+    """
+    rng = np.random.default_rng([seed & 0xFFFFFFFF, index])
+    n = int(rng.integers(2, max_vertices + 1))
+
+    pairs: list[tuple[int, int]] = []
+    for _ in range(int(rng.integers(1, 4))):
+        motif = _MOTIFS[int(rng.integers(0, len(_MOTIFS)))]
+        pairs.extend(motif(rng, n))
+
+    edges = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    # Duplicate-dense: repeat a random slice of rows (CSR must collapse
+    # them; the dynamic overlay must treat them as recorded no-ops).
+    if len(edges) and rng.random() < 0.5:
+        k = int(rng.integers(1, len(edges) + 1))
+        dup = edges[rng.choice(len(edges), size=k, replace=True)]
+        # Flip orientation of half the duplicates.
+        flip = rng.random(k) < 0.5
+        dup[flip] = dup[flip][:, ::-1]
+        edges = np.concatenate([edges, dup])
+    if len(edges):
+        edges = edges[rng.permutation(len(edges))]
+
+    # Leave headroom above the last used id so isolated vertices exist.
+    if rng.random() < 0.5:
+        n = min(max_vertices, n + int(rng.integers(1, 6)))
+
+    edits: list[EditBatch] = []
+    if rng.random() < 0.6:
+        edits = _generate_edits(rng, n, edges, max_edit_batches)
+
+    return FuzzCase(
+        num_vertices=n, edges=edges, edits=edits, seed=seed, index=index
+    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.types import OpCounts
 
 __all__ = [
     "batched_lower_bound",
@@ -36,6 +37,7 @@ def batched_lower_bound(
     lo: np.ndarray,
     hi: np.ndarray,
     targets: np.ndarray,
+    ops: OpCounts | None = None,
 ) -> np.ndarray:
     """Vectorized lower bound over many ``[lo[i], hi[i])`` segments.
 
@@ -44,6 +46,12 @@ def batched_lower_bound(
     such element).  Each segment must be sorted ascending; segments may
     overlap and differ in length.  All lanes bisect in lockstep:
     ``ceil(log2(max segment length))`` rounds of whole-array operations.
+
+    When an :class:`~repro.types.OpCounts` is passed, each bisection step
+    of each *active* lane (one not yet converged to ``lo == hi``) charges
+    one ``binary_steps`` and one ``rand_words`` — the haystack word the
+    step gathers.  Lanes that start empty (``lo == hi``) charge nothing,
+    matching the scalar ``LowerBound`` kernels' immediate exit.
     """
     lo = np.asarray(lo, dtype=np.int64).copy()
     hi = np.asarray(hi, dtype=np.int64).copy()
@@ -55,6 +63,10 @@ def batched_lower_bound(
     mid = np.empty_like(lo)
     for _ in range(span.bit_length()):
         active = lo < hi
+        if ops is not None:
+            stepped = int(np.count_nonzero(active))
+            ops.binary_steps += stepped
+            ops.rand_words += stepped
         np.add(lo, hi, out=mid)
         mid >>= 1
         # Inactive lanes park on index 0 — harmless gather, result masked.
@@ -79,7 +91,7 @@ def _flat_gather_index(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
 
 
 def count_edges_galloping(
-    graph: CSRGraph, edge_offsets: np.ndarray
+    graph: CSRGraph, edge_offsets: np.ndarray, ops: OpCounts | None = None
 ) -> np.ndarray:
     """Common neighbor counts for the given ``u < v`` edge offsets.
 
@@ -89,6 +101,14 @@ def count_edges_galloping(
     per edge.  Intended for the planner's degree-skewed bucket, where
     ``d_small · log2(d_large)`` beats both the bitmap gather
     (``O(d_large)``) and the SpGEMM row share.
+
+    When an :class:`~repro.types.OpCounts` is passed, the search work is
+    charged to it: every needle element streamed charges one ``seq_words``,
+    bisection steps charge through :func:`batched_lower_bound`
+    (``binary_steps`` + ``rand_words``), the per-lane verification probe
+    charges one ``rand_words`` and one ``comparisons``, and each confirmed
+    common neighbor charges one ``matches`` — so ``ops.matches`` always
+    equals the returned counts' total.
 
     Returns an int64 array aligned with ``edge_offsets``.
     """
@@ -119,10 +139,15 @@ def count_edges_galloping(
         targets = dst[_flat_gather_index(offsets[small[sl]], blk_lens)]
         hay_lo = np.repeat(offsets[large[sl]], blk_lens)
         hay_hi = np.repeat(offsets[large[sl] + 1], blk_lens)
-        pos = batched_lower_bound(dst, hay_lo, hay_hi, targets)
+        pos = batched_lower_bound(dst, hay_lo, hay_hi, targets, ops)
         found = pos < hay_hi
         found &= dst[np.minimum(pos, len(dst) - 1)] == targets
         if len(found):
             out[sl] = np.add.reduceat(found, _segment_starts(blk_lens))
+        if ops is not None:
+            ops.seq_words += len(targets)  # needle elements streamed
+            ops.rand_words += len(targets)  # verification gather per lane
+            ops.comparisons += len(targets)  # equality check per lane
+            ops.matches += int(np.count_nonzero(found))
         blk_lo = blk_hi
     return out

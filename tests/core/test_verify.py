@@ -5,9 +5,9 @@ import pytest
 
 from repro.core import count_common_neighbors, verify_counts
 from repro.core.result import EdgeCounts
-from repro.core.verify import brute_force_counts
+from repro.core.verify import brute_force_counts, sample_edge_offsets
 from repro.errors import VerificationError
-from repro.kernels.batch import count_all_edges_matmul
+from repro.kernels.batch import count_all_edges_matmul, reverse_edge_offsets
 
 
 def test_brute_force_matches_fast_paths(medium_graph):
@@ -50,3 +50,49 @@ def test_verify_detects_corruption_networkx(medium_graph):
 def test_verify_unknown_reference(small_graph):
     with pytest.raises(ValueError):
         verify_counts(count_common_neighbors(small_graph), against="oracle")
+
+
+# --------------------------------------------------------------------- #
+# sampled spot-check of the networkx path
+# --------------------------------------------------------------------- #
+def test_sample_edge_offsets_deterministic(medium_graph):
+    a = sample_edge_offsets(medium_graph, sample_size=64, seed=7)
+    assert np.array_equal(a, sample_edge_offsets(medium_graph, sample_size=64, seed=7))
+    assert len(np.unique(a)) == 64  # sampled without replacement
+    assert sample_edge_offsets(medium_graph, sample_size=0).size == 0
+    # Oversized requests clamp to the number of directed edges.
+    m = medium_graph.num_directed_edges
+    assert len(sample_edge_offsets(medium_graph, sample_size=10 * m)) == m
+
+
+def test_verify_networkx_honors_sampling_kwargs(medium_graph):
+    verify_counts(
+        count_common_neighbors(medium_graph),
+        against="networkx",
+        sample_size=16,
+        sample_seed=3,
+    )
+
+
+def test_verify_detects_triangle_sum_preserving_corruption(medium_graph):
+    # Regression: +1 on one edge and -1 on another (both directions each)
+    # preserves Σcnt/6 exactly, so the triangle identity alone passes.
+    # The seeded edge sample must catch it.
+    result = count_common_neighbors(medium_graph)
+    rev = reverse_edge_offsets(medium_graph)
+    bump = int(sample_edge_offsets(medium_graph)[0])  # guaranteed sampled
+    drop = next(
+        eo
+        for eo in range(medium_graph.num_directed_edges)
+        if result.counts[eo] >= 1 and eo not in (bump, int(rev[bump]))
+    )
+    bad = result.counts.copy()
+    bad[bump] += 1
+    bad[rev[bump]] += 1
+    bad[drop] -= 1
+    bad[rev[drop]] -= 1
+    corrupted = EdgeCounts(medium_graph, bad)
+    assert corrupted.triangle_count() == result.triangle_count()
+    assert corrupted.is_symmetric()
+    with pytest.raises(VerificationError, match="sampled count mismatch"):
+        verify_counts(corrupted, against="networkx")

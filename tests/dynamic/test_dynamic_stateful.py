@@ -1,0 +1,135 @@
+"""Stateful property test: DynamicCounter vs a model set + brute force.
+
+Hypothesis drives a random interleaving of insert and delete batches —
+including deletes of edges inserted moments earlier, duplicate inserts,
+deletes of absent edges, and oversized batches that cross the
+``recount_fraction`` threshold — while the machine keeps its own model of
+the live edge set.  After every batch the counter's snapshot must agree
+bit-exactly with a from-scratch brute-force recount, and the
+:class:`UpdateResult` bookkeeping must match the model's prediction.
+
+The counter runs with a deliberately small ``compaction_threshold`` so
+overlay compaction fires repeatedly mid-sequence.
+"""
+
+import numpy as np
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.dynamic import DynamicCounter
+from repro.core.verify import brute_force_counts
+from repro.graph.build import csr_from_pairs, csr_to_undirected_pairs
+
+N = 16  # vertex universe; small enough to brute-force every step
+
+edge = st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).filter(
+    lambda uv: uv[0] != uv[1]
+)
+edge_batch = st.lists(edge, min_size=1, max_size=4)
+
+
+def _canon(u, v):
+    return (u, v) if u < v else (v, u)
+
+
+def _seed_graph():
+    # Clique on 0..7 (28 edges) plus a path through the rest: enough
+    # edges that small batches stay on the incremental path while a
+    # 4-row batch (> 10% of |E|) crosses into recount territory.
+    clique = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+    path = [(i, i + 1) for i in range(8, N - 1)]
+    return csr_from_pairs(clique + path, num_vertices=N)
+
+
+class DynamicCounterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        graph = _seed_graph()
+        # Tiny compaction threshold: a handful of structural deltas
+        # forces an overlay rebuild, so compaction interleaves with the
+        # incremental and recount paths instead of never firing.
+        self.counter = DynamicCounter(
+            graph, backend="matmul", compaction_threshold=0.05
+        )
+        u, v = csr_to_undirected_pairs(graph)
+        self.model = {
+            _canon(int(a), int(b)) for a, b in zip(u.tolist(), v.tolist())
+        }
+        self.recent: list[tuple[int, int]] = []
+
+    def _apply(self, insertions=None, deletions=None):
+        ins = insertions or []
+        dels = deletions or []
+        expect_ins = set()
+        for u, v in ins:
+            if _canon(u, v) not in self.model:
+                expect_ins.add(_canon(u, v))
+        expect_del = {
+            _canon(u, v) for u, v in dels if _canon(u, v) in self.model
+        }
+        # Within one batch the kernel applies inserts before deletes, so
+        # an edge both inserted and deleted here counts for both.
+        expect_del |= {_canon(u, v) for u, v in dels if _canon(u, v) in expect_ins}
+
+        res = self.counter.apply(insertions=ins or None, deletions=dels or None)
+
+        assert res.inserted == len(expect_ins)
+        assert res.deleted == len(expect_del)
+        assert res.skipped == (len(ins) + len(dels)) - (
+            res.inserted + res.deleted
+        )
+        self.model |= expect_ins
+        self.model -= expect_del
+        self.recent = sorted(expect_ins - expect_del)
+
+    @rule(batch=edge_batch)
+    def insert_batch(self, batch):
+        self._apply(insertions=batch)
+
+    @rule(batch=edge_batch)
+    def delete_batch(self, batch):
+        self._apply(deletions=batch)
+
+    @rule(ins=edge_batch, dels=edge_batch)
+    def mixed_batch(self, ins, dels):
+        self._apply(insertions=ins, deletions=dels)
+
+    @rule()
+    def delete_just_inserted(self):
+        # Remove whatever the previous batch genuinely added — the
+        # incremental kernel must unwind its own freshest deltas.
+        if self.recent:
+            self._apply(deletions=list(self.recent))
+
+    @rule(data=st.data())
+    def oversized_batch(self, data):
+        # Strictly larger than recount_fraction · |E|: must take the
+        # structural-update-then-recount path, not per-edge deltas.
+        size = int(
+            self.counter.recount_fraction * max(self.counter.num_edges, 1)
+        ) + 2
+        batch = data.draw(
+            st.lists(edge, min_size=size, max_size=size + 3)
+        )
+        before = self.counter.recounts
+        self._apply(insertions=batch)
+        assert self.counter.recounts == before + 1
+
+    @invariant()
+    def counts_match_brute_force(self):
+        snap = self.counter.snapshot()
+        assert np.array_equal(snap.counts, brute_force_counts(snap.graph))
+        assert snap.counts.sum() % 6 == 0  # each triangle counted 6×
+        # Structure agrees with the model edge set.
+        src = snap.graph.edge_sources()
+        got = {
+            _canon(int(u), int(v))
+            for u, v in zip(src.tolist(), snap.graph.dst.tolist())
+        }
+        assert got == self.model
+
+
+TestDynamicCounterStateful = DynamicCounterMachine.TestCase
+TestDynamicCounterStateful.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

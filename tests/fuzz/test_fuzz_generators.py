@@ -1,0 +1,98 @@
+"""The fuzz grammar: deterministic, bounded, and structurally diverse."""
+
+import numpy as np
+
+from repro.fuzz.generators import (
+    DEFAULT_MAX_VERTICES,
+    EditBatch,
+    FuzzCase,
+    generate_case,
+)
+from repro.graph.validate import check_symmetric, validate_csr
+
+SCAN = 80  # cases inspected by the distribution checks below
+
+
+def _cases(seed=0, n=SCAN, **kw):
+    return [generate_case(seed, i, **kw) for i in range(n)]
+
+
+def test_same_key_regenerates_identical_case():
+    for index in range(25):
+        a = generate_case(7, index)
+        b = generate_case(7, index)
+        assert a.num_vertices == b.num_vertices
+        assert np.array_equal(a.edges, b.edges)
+        assert len(a.edits) == len(b.edits)
+        for ba, bb in zip(a.edits, b.edits):
+            assert np.array_equal(ba.insert, bb.insert)
+            assert np.array_equal(ba.delete, bb.delete)
+
+
+def test_different_keys_give_different_cases():
+    fingerprints = {
+        (c.num_vertices, len(c.edges), c.num_edits) for c in _cases(seed=3)
+    }
+    assert len(fingerprints) > SCAN // 4  # not literally all distinct, but varied
+
+
+def test_cases_respect_bounds_and_build_valid_graphs():
+    for case in _cases(seed=1, n=40):
+        assert 2 <= case.num_vertices <= DEFAULT_MAX_VERTICES
+        if len(case.edges):
+            assert case.edges.min() >= 0
+            assert case.edges.max() < case.num_vertices
+        for batch in case.edits:
+            for rows in (batch.insert, batch.delete):
+                if len(rows):
+                    assert rows.min() >= 0
+                    assert rows.max() < case.num_vertices
+        g = case.graph()
+        validate_csr(g)
+        check_symmetric(g)
+
+
+def test_max_vertices_override():
+    for case in _cases(seed=2, n=30, max_vertices=6):
+        assert case.num_vertices <= 6
+
+
+def test_grammar_produces_diverse_structures():
+    cases = _cases(seed=0)
+    # Some cases carry edit sequences, some are static.
+    with_edits = sum(1 for c in cases if c.edits)
+    assert 0 < with_edits < len(cases)
+    # Duplicate-dense raw rows appear (more rows than CSR edges).
+    assert any(
+        len(c.edges) > c.graph().num_edges for c in cases if len(c.edges)
+    )
+    # Isolated vertices appear (ids beyond every edge endpoint).
+    assert any(
+        len(c.edges) and c.num_vertices > int(c.edges.max()) + 1
+        for c in cases
+    )
+    # Oversized edit batches (recount-threshold crossers) appear.
+    assert any(
+        b.size > max(3, c.graph().num_edges) // 2
+        for c in cases
+        for b in c.edits
+    )
+
+
+def test_case_dict_roundtrip():
+    for case in _cases(seed=5, n=15):
+        back = FuzzCase.from_dict(case.to_dict())
+        assert back.num_vertices == case.num_vertices
+        assert np.array_equal(back.edges, case.edges)
+        assert back.seed == case.seed and back.index == case.index
+        assert len(back.edits) == len(case.edits)
+        for ba, bb in zip(back.edits, case.edits):
+            assert np.array_equal(ba.insert, bb.insert)
+            assert np.array_equal(ba.delete, bb.delete)
+
+
+def test_edit_batch_normalizes_empty_input():
+    batch = EditBatch(insert=[], delete=[(1, 2)])
+    assert batch.insert.shape == (0, 2)
+    assert batch.delete.shape == (1, 2)
+    assert batch.size == 1

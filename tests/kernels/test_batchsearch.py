@@ -10,6 +10,8 @@ from repro.kernels import batchsearch
 from repro.kernels.batch import count_all_edges_matmul
 from repro.kernels.batchsearch import batched_lower_bound, count_edges_galloping
 from repro.kernels.costmodel import upper_edges
+from repro.types import OpCounts
+from tests.strategies import sorted_int_arrays
 
 
 # --------------------------------------------------------------------- #
@@ -48,14 +50,13 @@ def test_empty_lanes_and_empty_input():
 
 
 @given(
-    st.lists(st.integers(0, 200), min_size=1, max_size=60),
+    sorted_int_arrays(max_value=200, max_size=60, min_size=1),
     st.lists(st.integers(0, 200), min_size=1, max_size=20),
 )
-def test_property_matches_per_lane_searchsorted(hay_vals, target_vals):
-    hay = np.sort(np.array(hay_vals, dtype=np.int64))
+def test_property_matches_per_lane_searchsorted(hay, target_vals):
     targets = np.array(target_vals, dtype=np.int64)
     lanes = len(targets)
-    rng = np.random.default_rng(len(hay_vals) * 31 + lanes)
+    rng = np.random.default_rng(len(hay) * 31 + lanes)
     lo = rng.integers(0, len(hay) + 1, lanes)
     hi = np.array([rng.integers(l, len(hay) + 1) for l in lo], dtype=np.int64)
     got = batched_lower_bound(hay, lo, hi, targets)
@@ -105,3 +106,74 @@ def test_star_graph():
 def test_empty_offsets():
     g = small_test_graph()
     assert len(count_edges_galloping(g, np.empty(0, dtype=np.int64))) == 0
+
+
+# --------------------------------------------------------------------- #
+# OpCounts accounting pins
+#
+# These pin the *exact* operation counts of the lockstep accounting so a
+# refactor that silently changes the charged work (e.g. charging parked
+# lanes, or dropping the per-lane verification probe) fails loudly.  The
+# numbers are empirical but explainable — each pin's comment derives them.
+# --------------------------------------------------------------------- #
+def test_opcounts_pin_duplicate_heavy_offsets():
+    # Every upper edge of the 8-vertex fixture repeated 3×.  Duplicate
+    # offsets are independent lanes: all charges scale exactly 3× and the
+    # matches counter triples with the returned counts.
+    g = small_test_graph()
+    offsets = np.repeat(upper_edges(g).edge_offsets, 3)
+    ops = OpCounts()
+    counts = count_edges_galloping(g, offsets, ops)
+    assert int(counts.sum()) == 45
+    assert ops.seq_words == 78  # Σ d_small over 30 lanes-of-edges
+    assert ops.comparisons == 78  # one verification compare per needle
+    assert ops.binary_steps == 189  # lockstep bisection rounds, active lanes
+    assert ops.rand_words == 267  # 189 bisection gathers + 78 probes
+    assert ops.matches == 45  # always equals counts.sum()
+
+
+def test_opcounts_pin_empty_needle():
+    # No offsets at all: the kernel returns before touching memory, so
+    # every counter must stay zero.
+    g = small_test_graph()
+    ops = OpCounts()
+    counts = count_edges_galloping(g, np.empty(0, dtype=np.int64), ops)
+    assert len(counts) == 0
+    assert (
+        ops.seq_words,
+        ops.rand_words,
+        ops.binary_steps,
+        ops.comparisons,
+        ops.matches,
+    ) == (0, 0, 0, 0, 0)
+
+
+def test_opcounts_pin_empty_lanes_charge_nothing():
+    # Lanes with lo == hi never become active: zero bisection steps and
+    # zero gathers, matching the scalar kernels' immediate exit.
+    ops = OpCounts()
+    hay = np.array([5], dtype=np.int64)
+    zeros = np.zeros(4, dtype=np.int64)
+    got = batched_lower_bound(
+        hay, zeros, zeros, np.array([1, 2, 3, 4], dtype=np.int64), ops
+    )
+    assert got.tolist() == [0, 0, 0, 0]
+    assert ops.binary_steps == 0
+    assert ops.rand_words == 0
+
+
+def test_opcounts_pin_all_misses_star():
+    # Star on 9 vertices: 8 upper edges, each intersecting a 1-element
+    # leaf list against the degree-8 hub segment.  8 needles × 4 lockstep
+    # rounds (ceil(log2(8)) + 1 convergence round) = 32 bisection steps;
+    # rand_words adds the 8 verification probes.  Nothing ever matches.
+    star = csr_from_pairs([(0, i) for i in range(1, 9)])
+    offsets = upper_edges(star).edge_offsets
+    ops = OpCounts()
+    counts = count_edges_galloping(star, offsets, ops)
+    assert int(counts.sum()) == 0
+    assert ops.seq_words == 8
+    assert ops.comparisons == 8
+    assert ops.binary_steps == 32
+    assert ops.rand_words == 40
+    assert ops.matches == 0

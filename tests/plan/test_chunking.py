@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, strategies as st
 
 from repro.plan import weighted_vertex_chunks
+from tests.strategies import cost_vectors
 
 
 def test_covers_range_without_gaps():
@@ -40,12 +41,8 @@ def test_degenerate_inputs():
     assert bounds[0][0] == 0 and bounds[-1][1] == 2
 
 
-@given(
-    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
-    st.integers(1, 8),
-)
-def test_property_partition_is_exact(costs, k):
-    cost = np.array(costs)
+@given(cost_vectors(max_size=50), st.integers(1, 8))
+def test_property_partition_is_exact(cost, k):
     bounds, pred = weighted_vertex_chunks(cost, k)
     assert bounds[0][0] == 0
     assert bounds[-1][1] == len(cost)

@@ -8,7 +8,7 @@ explicitly next to randomized graphs.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.graph.build import csr_from_pairs
 from repro.kernels.batch import (
@@ -17,6 +17,7 @@ from repro.kernels.batch import (
     count_all_edges_merge,
 )
 from repro.plan import clear_plan_cache, count_all_edges_hybrid
+from tests.strategies import edge_lists, fuzz_graphs
 
 
 def _assert_all_agree(graph):
@@ -65,15 +66,17 @@ def test_star_plus_clique():
 # randomized graphs
 # --------------------------------------------------------------------- #
 @settings(deadline=None, max_examples=30)
-@given(
-    st.lists(
-        st.tuples(st.integers(0, 29), st.integers(0, 29)),
-        max_size=120,
-    )
-)
+@given(edge_lists(max_vertex=29, allow_self_loops=False))
 def test_property_random_edge_lists(pairs):
-    pairs = [(u, v) for u, v in pairs if u != v]
     _assert_all_agree(csr_from_pairs(pairs, num_vertices=30))
+
+
+@settings(deadline=None, max_examples=25)
+@given(fuzz_graphs(max_vertices=24))
+def test_property_fuzz_grammar_graphs(graph):
+    # The fuzz grammar composes the motifs above at random; running the
+    # agreement check over it keeps hypothesis and `repro fuzz` aligned.
+    _assert_all_agree(graph)
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])

@@ -1,7 +1,7 @@
 """Property-based tests for graph construction, reordering, and counting."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given
 
 from repro.core import count_common_neighbors
 from repro.core.verify import brute_force_counts
@@ -13,10 +13,9 @@ from repro.kernels.batch import (
     count_all_edges_matmul,
     reverse_edge_offsets,
 )
+from tests.strategies import edge_lists
 
-edge_lists = st.lists(
-    st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120
-)
+edge_lists = edge_lists(max_vertex=30, max_size=120)
 
 
 @given(edge_lists)

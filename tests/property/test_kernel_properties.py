@@ -3,6 +3,8 @@
 import numpy as np
 from hypothesis import given, strategies as st
 
+from tests.strategies import sorted_int_arrays
+
 from repro.kernels.bitmap import Bitmap, intersect_bitmap
 from repro.kernels.blockmerge import intersect_block_merge
 from repro.kernels.lowerbound import (
@@ -15,9 +17,7 @@ from repro.kernels.pivotskip import intersect_pivot_skip
 from repro.kernels.rangefilter import RangeFilteredBitmap, intersect_range_filtered
 from repro.types import OpCounts
 
-sorted_sets = st.lists(st.integers(0, 999), max_size=120).map(
-    lambda xs: np.unique(np.array(xs, dtype=np.int64))
-)
+sorted_sets = sorted_int_arrays(max_value=999, max_size=120)
 
 
 @given(sorted_sets, sorted_sets)

@@ -1,0 +1,96 @@
+"""Shared hypothesis strategies for the property-based suite.
+
+Before this module existed, each property file declared its own
+``st.lists(st.tuples(...))`` edge-list strategy and its own sorted-array
+strategy with slightly different bounds.  They now live here, next to a
+bridge into the fuzz grammar (:mod:`repro.fuzz.generators`) so hypothesis
+tests can draw the same adversarial motif mixes the differential fuzzer
+generates.
+"""
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.fuzz.generators import FuzzCase, generate_case
+from repro.graph.build import csr_from_pairs
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "edge_lists",
+    "sorted_int_arrays",
+    "csr_graphs",
+    "cost_vectors",
+    "fuzz_cases",
+    "fuzz_graphs",
+]
+
+
+def edge_lists(
+    max_vertex: int = 30,
+    max_size: int = 120,
+    allow_self_loops: bool = True,
+):
+    """Lists of raw ``(u, v)`` pairs with vertex ids in ``[0, max_vertex]``.
+
+    Duplicates and both orientations are always allowed; CSR construction
+    collapses them.  Self-loops are allowed by default because
+    :func:`~repro.graph.build.csr_from_pairs` must reject-or-drop them
+    consistently — pass ``allow_self_loops=False`` for call sites that
+    filter them anyway.
+    """
+    pair = st.tuples(
+        st.integers(0, max_vertex), st.integers(0, max_vertex)
+    )
+    if not allow_self_loops:
+        pair = pair.filter(lambda uv: uv[0] != uv[1])
+    return st.lists(pair, max_size=max_size)
+
+
+def sorted_int_arrays(
+    max_value: int = 999, max_size: int = 120, min_size: int = 0
+):
+    """Sorted, duplicate-free int64 arrays — intersection-kernel inputs."""
+    return st.lists(
+        st.integers(0, max_value), min_size=min_size, max_size=max_size
+    ).map(lambda xs: np.unique(np.array(xs, dtype=np.int64)))
+
+
+def csr_graphs(max_vertex: int = 30, max_size: int = 120):
+    """Small random CSR graphs built from :func:`edge_lists`."""
+    num_vertices = max_vertex + 1
+
+    def build(pairs) -> CSRGraph:
+        pairs = [(u, v) for u, v in pairs if u != v]
+        return csr_from_pairs(pairs, num_vertices=num_vertices)
+
+    return edge_lists(max_vertex=max_vertex, max_size=max_size).map(build)
+
+
+def cost_vectors(max_size: int = 50, max_cost: float = 100.0):
+    """Non-negative per-vertex cost vectors for chunk-partition tests."""
+    return st.lists(
+        st.floats(0.0, max_cost), min_size=1, max_size=max_size
+    ).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+def fuzz_cases(max_vertices: int = 24):
+    """Bridge into the fuzz grammar: draw a :class:`FuzzCase` by key.
+
+    Hypothesis draws only the ``(seed, index)`` RNG key; the case itself
+    comes from :func:`repro.fuzz.generators.generate_case`, so property
+    tests see the same motif mixes (stars, cliques, bipartite blocks,
+    duplicate-dense rows, isolated vertices) as ``repro fuzz`` — and a
+    failing example prints the two integers that regenerate it.
+    """
+    return st.builds(
+        lambda seed, index: generate_case(
+            seed, index, max_vertices=max_vertices
+        ),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 10_000),
+    )
+
+
+def fuzz_graphs(max_vertices: int = 24):
+    """CSR graphs drawn from the fuzz grammar (edits discarded)."""
+    return fuzz_cases(max_vertices=max_vertices).map(FuzzCase.graph)

@@ -174,3 +174,33 @@ def test_linkpred_explicit_vertex(capsys):
     code, out = run(capsys, "linkpred", "lj", "--scale", "0.1",
                     "--vertex", "0", "--method", "common")
     assert code == 0
+
+
+def test_fuzz_command_clean_run(capsys, tmp_path):
+    code, out = run(
+        capsys, "fuzz", "--cases", "8", "--seed", "0",
+        "--paths", "merge", "bitmap",
+        "--artifact-dir", str(tmp_path / "artifacts"),
+    )
+    assert code == 0
+    assert "cases            : 8" in out
+    assert "merge" in out and "bitmap" in out
+    assert "failures         : 0" in out
+
+
+def test_fuzz_command_rejects_unknown_path(capsys):
+    code = main(["fuzz", "--cases", "2", "--paths", "no-such-path"])
+    assert code == 2
+
+
+def test_fuzz_command_replays_artifact(capsys, tmp_path):
+    from repro.fuzz.differential import Failure
+    from repro.fuzz.generators import generate_case
+    from repro.fuzz.shrink import save_artifact
+
+    artifact = save_artifact(
+        generate_case(3, 1), Failure("merge", "mismatch", "stale"), tmp_path
+    )
+    code, out = run(capsys, "fuzz", "--replay", artifact)
+    assert code == 0  # the recorded bug is fixed, so the replay passes
+    assert "merge" in out
