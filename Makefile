@@ -25,11 +25,14 @@ fuzz-smoke:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Quick backend sweep with plan stats; writes BENCH_counting.json
-# (mirrors the bench-smoke CI leg).
+# Quick backend sweep with plan stats plus the cold-vs-warm session leg;
+# writes BENCH_counting.json and BENCH_session.json (mirrors the
+# bench-smoke CI leg).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_counting_backends.py \
 		--quick --json BENCH_counting.json
+	PYTHONPATH=src python benchmarks/bench_session.py \
+		--quick --json BENCH_session.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -1,0 +1,156 @@
+"""Cold-vs-warm GraphSession micro-benchmark.
+
+The session's whole point is that repeated queries over the same graph
+skip per-graph re-derivation: the SHA-256 fingerprint, the hybrid plan's
+pricing/partitioning, and (for the parallel backend) the shared-memory
+export and worker startup are paid once, then served from the artifact
+cache.  This benchmark measures exactly that:
+
+* **cold** — each round opens a fresh :class:`GraphSession` with the plan
+  cache cleared, so every count pays fingerprint + plan + setup.
+* **warm** — one session is opened once and the same count repeats
+  against its warm artifacts.
+
+Results must be bit-identical between the two regimes (asserted), and
+warm rounds must be faster than cold on every leg (the acceptance gate of
+the session refactor).  ``--json BENCH_session.json`` writes the
+machine-readable record consumed by the CI bench-smoke job.
+"""
+
+import argparse
+import json
+import time
+import warnings
+
+import numpy as np
+
+from repro.engine import GraphSession
+from repro.graph.datasets import load_dataset
+from repro.plan import clear_plan_cache
+
+#: (dataset, scale) legs.  ``wi`` is the degree-skewed stand-in where the
+#: planner's bucket split matters; the quick set is sized for CI smoke.
+SWEEP_GRAPHS = [("lj", 0.5), ("wi", 0.5)]
+QUICK_GRAPHS = [("lj", 0.2), ("wi", 0.25)]
+
+#: Backends timed cold-vs-warm.  ``parallel`` runs with 2 workers so the
+#: warm leg also amortizes shared-memory export + pool startup.
+LEGS = [
+    ("hybrid", {}),
+    ("parallel", {"num_workers": 2}),
+]
+
+
+def _count_cold(graph, backend, opts):
+    """One fully cold count: fresh session, empty plan cache."""
+    clear_plan_cache()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with GraphSession(graph) as session:
+            return session.count(backend=backend, **opts).counts
+
+
+def bench_graph(name, scale, rounds=3):
+    graph = load_dataset(name, scale=scale)
+    label = f"{name}-{scale:g}"
+    print(f"== {label}: {graph}")
+    record = {
+        "dataset": name,
+        "scale": scale,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "legs": {},
+    }
+
+    for backend, opts in LEGS:
+        cold_times = []
+        cold_counts = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            cold_counts = _count_cold(graph, backend, opts)
+            cold_times.append(time.perf_counter() - t0)
+
+        clear_plan_cache()
+        warm_times = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with GraphSession(graph) as session:
+                session.count(backend=backend, **opts)  # warm the artifacts
+                for _ in range(rounds):
+                    t0 = time.perf_counter()
+                    warm_counts = session.count(backend=backend, **opts).counts
+                    warm_times.append(time.perf_counter() - t0)
+                stats = {
+                    k: {
+                        "builds": s.builds,
+                        "hits": s.hits,
+                        "invalidations": s.invalidations,
+                    }
+                    for k, s in session.artifact_stats().items()
+                }
+
+        assert np.array_equal(warm_counts, cold_counts), (
+            f"warm {backend} counts diverged from cold on {label}"
+        )
+        # Warm rounds must actually skip re-derivation: every artifact the
+        # backend touches was built exactly once across rounds+1 counts.
+        for art, s in stats.items():
+            assert s["builds"] == 1, f"{art} rebuilt in a warm session"
+            assert s["invalidations"] == 0
+
+        cold = min(cold_times)
+        warm = min(warm_times)
+        record["legs"][backend] = {
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "speedup": cold / warm if warm else float("inf"),
+            "artifact_stats": stats,
+        }
+        print(
+            f"   {backend:9s}: cold {cold * 1e3:8.1f} ms  ->  warm "
+            f"{warm * 1e3:8.1f} ms  ({cold / warm:5.2f}x)"
+        )
+        warm_arts = ", ".join(sorted(stats))
+        print(f"              warm artifacts: {warm_arts}")
+
+    print()
+    return record
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small graphs, fewer rounds (CI smoke)"
+    )
+    parser.add_argument("--json", help="write machine-readable results here")
+    args = parser.parse_args(argv)
+
+    graphs = QUICK_GRAPHS if args.quick else SWEEP_GRAPHS
+    rounds = 2 if args.quick else 3
+    results = {
+        "benchmark": "session_cold_vs_warm",
+        "quick": args.quick,
+        "graphs": [bench_graph(name, scale, rounds=rounds) for name, scale in graphs],
+    }
+
+    slow = [
+        (f"{rec['dataset']}-{rec['scale']:g}", backend, leg["speedup"])
+        for rec in results["graphs"]
+        for backend, leg in rec["legs"].items()
+        if leg["speedup"] < 1.0
+    ]
+    for label, backend, speedup in slow:
+        print(
+            f"WARNING: warm {backend} on {label} was {speedup:.2f}x cold "
+            f"(expected >= 1.0x)"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

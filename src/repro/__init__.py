@@ -17,6 +17,7 @@ Package map:
 * :mod:`repro.algorithms` — the paper's M / MPS / BMP algorithms;
 * :mod:`repro.parallel` — tasks, FindSrc, scheduling, multiprocessing;
 * :mod:`repro.simarch` — CPU / KNL / GPU architecture simulator;
+* :mod:`repro.engine` — GraphSession artifact cache + backend registry;
 * :mod:`repro.core` — public counting API and verification;
 * :mod:`repro.apps` — SCAN clustering, similarity, recommendation;
 * :mod:`repro.bench` — the per-table/figure experiment harness.
@@ -30,6 +31,7 @@ from repro.core import (
     recommend_processor,
     verify_counts,
 )
+from repro.engine import BackendRegistry, BackendSpec, GraphSession, default_registry
 from repro.graph import CSRGraph, edges_to_csr, csr_from_pairs, reorder_graph
 from repro.graph.datasets import load_dataset, dataset_names
 from repro.algorithms import get_algorithm, algorithm_names
@@ -43,6 +45,10 @@ __all__ = [
     "count_common_neighbors",
     "recommend_processor",
     "verify_counts",
+    "GraphSession",
+    "BackendRegistry",
+    "BackendSpec",
+    "default_registry",
     "CSRGraph",
     "edges_to_csr",
     "csr_from_pairs",

@@ -57,54 +57,62 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_count(args) -> int:
-    from repro.core import count_common_neighbors, verify_counts
+    from repro.core import verify_counts
+    from repro.engine import GraphSession
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
     backend = args.backend
     if backend == "auto" and (args.workers is not None or args.stats):
         backend = "parallel"
-    result = count_common_neighbors(
-        graph,
-        algorithm=args.algorithm,
-        backend=backend,
-        num_workers=args.workers,
-        chunks_per_worker=args.chunks_per_worker,
-        collect_stats=args.stats,
-    )
-    if args.verify:
-        verify_counts(result)
-        print("verification     : passed")
-    print(f"graph            : {graph}")
-    print(f"triangles        : {result.triangle_count()}")
-    if args.stats and result.parallel_stats is not None:
-        print(result.parallel_stats.format())
-    print("top edges (u, v, common neighbors):")
-    for u, v, c in result.top_edges(args.top):
-        print(f"  ({u}, {v})  {c}")
-    if args.output:
-        np.savez_compressed(args.output, counts=result.counts)
-        print(f"counts saved     : {args.output}")
+    with GraphSession(graph) as session:
+        result = session.count(
+            algorithm=args.algorithm,
+            backend=backend,
+            num_workers=args.workers,
+            chunks_per_worker=args.chunks_per_worker,
+            collect_stats=args.stats,
+        )
+        if args.verify:
+            verify_counts(result)
+            print("verification     : passed")
+        print(f"graph            : {graph}")
+        print(f"triangles        : {result.triangle_count()}")
+        if args.stats and result.parallel_stats is not None:
+            print(result.parallel_stats.format())
+        if args.stats and result.hybrid_report is not None:
+            print(result.hybrid_report.format())
+        print("top edges (u, v, common neighbors):")
+        for u, v, c in result.top_edges(args.top):
+            print(f"  ({u}, {v})  {c}")
+        if args.output:
+            np.savez_compressed(args.output, counts=result.counts)
+            print(f"counts saved     : {args.output}")
     return 0
 
 
 def _cmd_plan(args) -> int:
-    from repro.plan import get_plan, plan_cache_stats
+    from repro.engine import GraphSession
+    from repro.plan import plan_cache_stats
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
-    plan = get_plan(graph, skew_threshold=args.skew_threshold)
-    print(f"graph            : {graph}")
-    print(plan.format())
-    if args.execute:
-        from repro.plan import execute_plan
-
-        _, report = execute_plan(graph, plan)
-        for t in report.timings:
-            print(
-                f"ran    {t.name:7s}: {t.edges:>8d} edges in "
-                f"{t.measured_ms:9.2f} ms (predicted {t.predicted_ns / 1e6:9.2f} ms)"
-            )
-        print(f"symmetric assign : {report.fuse_seconds * 1e3:.2f} ms")
-        print(f"total            : {report.total_seconds * 1e3:.2f} ms")
+    with GraphSession(graph) as session:
+        plan = session.plan(args.skew_threshold)
+        print(f"graph            : {graph}")
+        print(plan.format())
+        if args.execute:
+            report = session.count(
+                backend="hybrid",
+                skew_threshold=args.skew_threshold,
+                num_workers=args.workers,
+                collect_stats=True,
+            ).hybrid_report
+            for t in report.timings:
+                print(
+                    f"ran    {t.name:7s}: {t.edges:>8d} edges in "
+                    f"{t.measured_ms:9.2f} ms (predicted {t.predicted_ns / 1e6:9.2f} ms)"
+                )
+            print(f"symmetric assign : {report.fuse_seconds * 1e3:.2f} ms")
+            print(f"total            : {report.total_seconds * 1e3:.2f} ms")
     cache = plan_cache_stats()
     print(
         f"plan cache       : {cache.hits} hits, {cache.misses} misses, "
@@ -351,11 +359,15 @@ def _cmd_datasets(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.engine import default_registry
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="All-edge common neighbor counting (ICPP 2019 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    backend_choices = ["auto", *default_registry().names()]
+    dynamic_choices = ["auto", *default_registry().dynamic_backends()]
 
     def add_graph_args(p):
         p.add_argument("graph", help="dataset name (lj/or/wi/tw/fr) or edge-list path")
@@ -369,8 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("count", help="exact all-edge counting")
     add_graph_args(p)
     p.add_argument("--algorithm", default="auto")
-    p.add_argument("--backend", default="auto",
-                   choices=["auto", "hybrid", "matmul", "bitmap", "merge", "parallel"])
+    p.add_argument("--backend", default="auto", choices=backend_choices)
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the parallel backend "
                         "(implies --backend parallel)")
@@ -392,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "galloping candidates")
     p.add_argument("--execute", action="store_true",
                    help="also run the plan and print measured bucket times")
+    p.add_argument("--workers", type=int, default=None,
+                   help="with --execute, run the bitmap bucket on this many "
+                        "worker processes")
     p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser(
@@ -402,8 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delete", help="edge-list file of edges to delete")
     p.add_argument("--batch-size", type=int, default=0,
                    help="apply updates in batches of this size (default: one batch)")
-    p.add_argument("--backend", default="auto",
-                   choices=["auto", "hybrid", "matmul", "bitmap", "merge", "parallel"],
+    p.add_argument("--backend", default="auto", choices=dynamic_choices,
                    help="backend for the initial build and batch recounts")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for parallel batch recounts")

@@ -5,27 +5,25 @@ the exact all-edge common neighbor counts with the fastest available
 backend and returns an :class:`repro.core.result.EdgeCounts`.
 
 :class:`CommonNeighborCounter` exposes the full configuration surface —
-algorithm choice (M / MPS / BMP / BMP-RF), backend (matmul / bitmap /
-parallel / merge), and access to the architecture simulator for modeled
-run times on the paper's processors.
+algorithm choice (M / MPS / BMP / BMP-RF), backend (any name registered in
+the :class:`~repro.engine.registry.BackendRegistry`), and access to the
+architecture simulator for modeled run times on the paper's processors.
+
+Every call executes through a :class:`~repro.engine.session.GraphSession`:
+a counter reused on the same graph object keeps its session warm, so
+repeated counts skip fingerprinting, planning, shared-memory export, and
+worker-pool startup.  Close the counter (context manager) to release the
+session's pooled resources deterministically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms import get_algorithm
 from repro.core.result import EdgeCounts
-from repro.errors import AlgorithmError
+from repro.engine import GraphSession
 from repro.graph.csr import CSRGraph
 from repro.graph.stats import skew_percentage
-from repro.kernels.batch import (
-    count_all_edges_bitmap,
-    count_all_edges_matmul,
-    count_all_edges_merge,
-)
-from repro.parallel.threadpool import count_all_edges_parallel
-from repro.plan import count_all_edges_hybrid
 
 __all__ = [
     "count_common_neighbors",
@@ -34,24 +32,9 @@ __all__ = [
     "recommend_processor",
 ]
 
-_BACKENDS = {
-    "matmul": count_all_edges_matmul,
-    "bitmap": count_all_edges_bitmap,
-    "merge": count_all_edges_merge,
-    "parallel": count_all_edges_parallel,
-    "hybrid": count_all_edges_hybrid,
-}
-
-#: Backends that execute each algorithm family's structure, keyed by the
-#: registered :attr:`Algorithm.name`.  ``merge`` walks sorted adjacency
-#: lists (the M/MPS family); ``bitmap`` and ``parallel`` both run the
-#: per-vertex BMP mark-and-probe structure.  ``matmul`` is an algebraic
-#: path with no per-edge kernel, so it honors no explicit algorithm.
-_ALGORITHM_BACKENDS = {
-    "M": frozenset({"merge"}),
-    "MPS": frozenset({"merge"}),
-    "BMP": frozenset({"bitmap", "parallel"}),
-}
+#: Processors the simulator models (paper §2); anything else is a typo,
+#: not a request for the KNL default.
+_SIM_PROCESSORS = ("cpu", "knl", "gpu")
 
 
 def count_common_neighbors(
@@ -75,34 +58,56 @@ def count_common_neighbors(
         used by :meth:`CommonNeighborCounter.simulate`, and BMP routes the
         computation through the degree-descending reorder.  Combining an
         explicit algorithm with an explicit backend is allowed only when
-        the backend executes that algorithm's structure (see
+        the backend declares it executes that algorithm's structure (see
         :meth:`CommonNeighborCounter.count`); incompatible pairs raise
         :class:`~repro.errors.AlgorithmError`.
     backend:
-        Execution backend for the exact counts: ``hybrid`` (cost-model
-        planner splits edges across galloping / bitmap / matmul kernels),
-        ``matmul`` (SciPy sparse), ``bitmap`` (the paper-faithful
-        structure), ``parallel`` (shared-memory multiprocessing with
-        work-weighted chunks), ``merge`` (reference), or ``auto``
-        (routes through the hybrid planner).
-    chunks_per_worker:
-        Over-decomposition knob for the parallel backend (the paper's
-        ``|T|`` trade-off).
+        Execution backend for the exact counts — any name registered in
+        the engine's :class:`~repro.engine.registry.BackendRegistry`:
+        ``hybrid`` (cost-model planner splits edges across galloping /
+        bitmap / matmul kernels), ``matmul`` (SciPy sparse), ``bitmap``
+        (the paper-faithful structure), ``gallop`` (batched pivot-skip),
+        ``parallel`` (shared-memory multiprocessing with work-weighted
+        chunks), ``merge`` (reference), or ``auto`` (routes through the
+        hybrid planner).
+    num_workers / chunks_per_worker:
+        Honored by every backend declaring the ``supports_num_workers``
+        capability: ``parallel`` (pool size and over-decomposition — the
+        paper's ``|T|`` trade-off) and ``hybrid`` (the planner's bitmap
+        bucket runs work-weighted on the persistent pool).
     collect_stats:
-        When true and the backend is ``parallel``, per-worker telemetry is
-        attached to the result as ``EdgeCounts.parallel_stats``.
+        When true, execution telemetry is attached to the result —
+        ``EdgeCounts.parallel_stats`` (per-worker chunks) for the
+        parallel backend, ``EdgeCounts.hybrid_report`` (plan + per-bucket
+        timings) for the hybrid backend.  Backends that declare no stats
+        capability raise :class:`~repro.errors.AlgorithmError` instead of
+        silently dropping the flag.
+
+    For repeated counts over the same graph, keep a
+    :class:`CommonNeighborCounter` (or a
+    :class:`~repro.engine.session.GraphSession`) open instead — this
+    one-shot form tears its session down on return.
     """
-    return CommonNeighborCounter(
+    with CommonNeighborCounter(
         algorithm=algorithm,
         backend=backend,
         num_workers=num_workers,
         chunks_per_worker=chunks_per_worker,
         collect_stats=collect_stats,
-    ).count(graph)
+    ) as counter:
+        return counter.count(graph)
 
 
 class CommonNeighborCounter:
-    """Configurable all-edge common neighbor counter."""
+    """Configurable all-edge common neighbor counter.
+
+    Holds one warm :class:`~repro.engine.session.GraphSession` per graph
+    object: calling :meth:`count` repeatedly on the same graph reuses the
+    session's memoized fingerprint, execution plan, shared-memory export,
+    and worker pool.  Counting a *different* graph closes the old session
+    and opens a fresh one.  Use as a context manager (or call
+    :meth:`close`) to release pooled resources deterministically.
+    """
 
     def __init__(
         self,
@@ -117,73 +122,74 @@ class CommonNeighborCounter:
         self.num_workers = num_workers
         self.chunks_per_worker = chunks_per_worker
         self.collect_stats = collect_stats
+        self._session: GraphSession | None = None
 
     # ------------------------------------------------------------------ #
+    def session(self, graph: CSRGraph) -> GraphSession:
+        """The counter's session for ``graph`` (opened/rotated on demand)."""
+        if self._session is None or self._session.graph is not graph:
+            if self._session is not None:
+                self._session.close()
+            self._session = GraphSession(graph)
+        return self._session
+
     def count(self, graph: CSRGraph) -> EdgeCounts:
         """Exact counts with the configured algorithm/backend.
 
         Honored combinations: an explicit algorithm with ``backend="auto"``
         runs that algorithm's own counting path; an explicit backend with
         ``algorithm="auto"`` runs the backend.  When *both* are explicit
-        the backend executes only if it implements the algorithm's
-        structure — ``M``/``MPS`` (and variants) pair with ``merge``,
-        ``BMP``/``BMP-RF`` pair with ``bitmap`` or ``parallel`` — and any
-        other combination raises :class:`AlgorithmError` rather than
-        silently discarding the algorithm choice.
+        the backend executes only if it declares the algorithm's structure
+        in the registry — ``M``/``MPS`` (and variants) pair with ``merge``
+        (MPS also with ``gallop``), ``BMP``/``BMP-RF`` pair with
+        ``bitmap`` or ``parallel`` — and any other combination raises
+        :class:`~repro.errors.AlgorithmError` rather than silently
+        discarding the algorithm choice.
         """
-        algorithm = self.algorithm
-        if algorithm != "auto":
-            algo = get_algorithm(algorithm)
-            if self.backend == "auto":
-                return EdgeCounts(graph, algo.count(graph))
-            honored = _ALGORITHM_BACKENDS.get(algo.name, frozenset())
-            if self.backend not in honored:
-                raise AlgorithmError(
-                    f"backend {self.backend!r} does not execute algorithm "
-                    f"{algorithm!r}; honored backends for {algo.name}: "
-                    f"{sorted(honored) or 'none'} (use backend='auto' to run "
-                    f"the algorithm's own path)"
-                )
+        return self.session(graph).count(
+            algorithm=self.algorithm,
+            backend=self.backend,
+            num_workers=self.num_workers,
+            chunks_per_worker=self.chunks_per_worker,
+            collect_stats=self.collect_stats,
+        )
 
-        backend = self.backend
-        if backend == "auto":
-            # The planner prices every edge with the cost model and routes
-            # each bucket to its cheapest kernel — "auto" means "let the
-            # cost model decide", not "one fixed backend".
-            backend = "hybrid"
-        if backend not in _BACKENDS:
-            raise AlgorithmError(
-                f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
-            )
-        fn = _BACKENDS[backend]
-        if backend == "parallel":
-            if self.collect_stats:
-                counts, stats = fn(
-                    graph,
-                    self.num_workers,
-                    self.chunks_per_worker,
-                    return_stats=True,
-                )
-                return EdgeCounts(graph, counts, parallel_stats=stats)
-            counts = fn(graph, self.num_workers, self.chunks_per_worker)
-        else:
-            counts = fn(graph)
-        return EdgeCounts(graph, counts)
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the warm session (worker pool, shared memory)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
+    def __enter__(self) -> "CommonNeighborCounter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def simulate(self, graph: CSRGraph, processor: str, **knobs):
         """Modeled run time on one of the paper's processors.
 
-        Delegates to :func:`repro.simarch.simulate`; see there for knobs.
+        ``processor`` must be ``"cpu"``, ``"knl"``, or ``"gpu"``
+        (case-insensitive); anything else — including stray whitespace —
+        raises :class:`~repro.errors.SimulationError` instead of silently
+        simulating the wrong machine.  Delegates to
+        :func:`repro.simarch.simulate`; see there for knobs.
         """
+        from repro.errors import SimulationError
         from repro.simarch import simulate
 
+        proc = processor.lower() if isinstance(processor, str) else processor
+        if proc not in _SIM_PROCESSORS:
+            raise SimulationError(
+                f"unknown processor {processor!r}; choose from "
+                f"{list(_SIM_PROCESSORS)}"
+            )
         algorithm = self.algorithm
         if algorithm == "auto":
-            algorithm = (
-                "BMP-RF" if processor.lower() in ("cpu", "gpu") else "MPS-AVX512"
-            )
-        return simulate(graph, algorithm, processor, **knobs)
+            algorithm = "BMP-RF" if proc in ("cpu", "gpu") else "MPS-AVX512"
+        return simulate(graph, algorithm, proc, **knobs)
 
 
 def count_pairs(graph: CSRGraph, u: np.ndarray, v: np.ndarray) -> np.ndarray:
@@ -192,41 +198,16 @@ def count_pairs(graph: CSRGraph, u: np.ndarray, v: np.ndarray) -> np.ndarray:
     Similarity queries (paper §1) often ask about non-adjacent pairs.
     Pairs sharing a left endpoint are grouped so each group marks ``N(u)``
     in one boolean bitmap (the BMP structure) and answers all its queries
-    with vectorized gathers.  Pairs are given as parallel ``u``/``v``
-    arrays; returns an int64 array of counts.
+    with one vectorized gather over the concatenated right-side adjacency
+    lists — no per-pair Python loop.  Pairs are given as parallel
+    ``u``/``v`` arrays; returns an int64 array of counts.
+
+    One-shot wrapper over :meth:`GraphSession.count_pairs`; for repeated
+    query batches keep a session open to reuse its mark plane and degree
+    vector.
     """
-    u = np.asarray(u, dtype=np.int64).ravel()
-    v = np.asarray(v, dtype=np.int64).ravel()
-    if u.shape != v.shape:
-        raise ValueError("u and v must have the same length")
-    n = graph.num_vertices
-    if len(u) == 0:
-        return np.empty(0, dtype=np.int64)
-    if u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n:
-        raise IndexError("vertex ids out of range")
-
-    # Put the lower-degree endpoint on the probing (right) side.
-    d = graph.degrees
-    swap = d[u] < d[v]
-    left = np.where(swap, v, u)
-    right = np.where(swap, u, v)
-
-    out = np.empty(len(u), dtype=np.int64)
-    order = np.argsort(left, kind="stable")
-    mark = np.zeros(n, dtype=bool)
-    i = 0
-    while i < len(order):
-        j = i
-        a = int(left[order[i]])
-        while j < len(order) and left[order[j]] == a:
-            j += 1
-        nbrs = graph.neighbors(a)
-        mark[nbrs] = True
-        for k in order[i:j]:
-            out[k] = int(np.count_nonzero(mark[graph.neighbors(int(right[k]))]))
-        mark[nbrs] = False
-        i = j
-    return out
+    with GraphSession(graph) as session:
+        return session.count_pairs(u, v)
 
 
 def recommend_processor(graph: CSRGraph, skew_threshold: float = 50.0) -> str:

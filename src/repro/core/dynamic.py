@@ -1,13 +1,19 @@
 """Dynamic counting facade: live all-edge counts under graph mutation.
 
-:class:`DynamicCounter` wraps :class:`repro.core.api.CommonNeighborCounter`
-for the initial batch build, then keeps the counts exact under batched
-edge insertions and deletions through the incremental kernel
-(:mod:`repro.dynamic.delta`) — no full recount per batch.  Batches large
-enough that a recount is cheaper (``recount_fraction`` of the current
-edge count) are instead applied structurally and recounted with the batch
-backends; on large graphs the recount routes through the shared-memory
-parallel backend (:mod:`repro.parallel.threadpool`).
+:class:`DynamicCounter` owns a :class:`~repro.engine.session.GraphSession`
+for the initial batch build and all recounts, then keeps the counts exact
+under batched edge insertions and deletions through the incremental
+kernel (:mod:`repro.dynamic.delta`) — no full recount per batch.  Batches
+large enough that a recount is cheaper (``recount_fraction`` of the
+current edge count) are instead applied structurally and recounted with
+the batch backends; on large graphs the recount routes through the
+shared-memory parallel backend (:mod:`repro.parallel.threadpool`).
+
+The dynamic overlay drives the session's *selective* invalidation: when
+the base CSR swaps (threshold compaction, a recount batch, a snapshot),
+the applied edits since the previous swap are forwarded to
+:meth:`GraphSession.apply_edits` — structure-keyed artifacts rebuild,
+the degree vector is patched in place, size-keyed buffers survive.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.core.api import CommonNeighborCounter
 from repro.core.result import EdgeCounts
 from repro.dynamic.delta import DeltaKernel, UpdateResult, edge_key
 from repro.dynamic.overlay import DEFAULT_COMPACTION_THRESHOLD, AdjacencyOverlay
+from repro.engine import GraphSession
 from repro.errors import EdgeNotFoundError, VerificationError
 from repro.graph.csr import CSRGraph
 from repro.types import OpCounts
@@ -117,12 +124,26 @@ class DynamicCounter:
         recount_fraction: float = DEFAULT_RECOUNT_FRACTION,
         initial: EdgeCounts | None = None,
     ):
-        self._counter = CommonNeighborCounter(
-            algorithm=algorithm,
-            backend=backend,
-            num_workers=num_workers,
-            chunks_per_worker=chunks_per_worker,
-        )
+        self.algorithm = algorithm
+        self.backend = backend
+        self.num_workers = num_workers
+        self.chunks_per_worker = chunks_per_worker
+        if backend != "auto":
+            from repro.engine import default_registry
+            from repro.errors import AlgorithmError
+
+            registry = default_registry()
+            spec = registry.get(backend)  # raises on unknown names
+            if not spec.dynamic_compatible:
+                raise AlgorithmError(
+                    f"backend {backend!r} is not dynamic-compatible; choose "
+                    f"from {registry.dynamic_backends()}"
+                )
+        self._session = GraphSession(graph)
+        # Applied edits accumulated since the session last saw a base-CSR
+        # swap; forwarded to apply_edits() at the next swap.
+        self._pending_ins: list[tuple[int, int]] = []
+        self._pending_dels: list[tuple[int, int]] = []
         self.recount_fraction = float(recount_fraction)
         self.overlay = AdjacencyOverlay(graph, compaction_threshold)
         if initial is not None:
@@ -130,7 +151,7 @@ class DynamicCounter:
                 raise ValueError("initial counts were computed for a different graph")
             base = initial
         else:
-            base = self._counter.count(graph)
+            base = self._count_via_session()
         self._counts = _counts_dict(graph, base.counts)
         self._kernel = DeltaKernel(self.overlay, self._counts)
         self.total_ops = OpCounts()
@@ -189,14 +210,18 @@ class DynamicCounter:
         for u, v in ins.tolist():
             if kernel.insert(u, v, ops):
                 inserted += 1
+                self._pending_ins.append((u, v))
             else:
                 skipped += 1
         for u, v in dels.tolist():
             if kernel.delete(u, v, ops):
                 deleted += 1
+                self._pending_dels.append((u, v))
             else:
                 skipped += 1
         compacted = self.overlay.maybe_compact()
+        if compacted:
+            self._sync_session()
         self.total_ops += ops
         self.updates_applied += inserted + deleted
         return UpdateResult(inserted, deleted, skipped, "incremental", ops, compacted)
@@ -207,35 +232,77 @@ class DynamicCounter:
         for u, v in ins.tolist():
             if self.overlay.insert_edge(u, v):
                 inserted += 1
+                self._pending_ins.append((u, v))
             else:
                 skipped += 1
         for u, v in dels.tolist():
             if self.overlay.delete_edge(u, v):
                 deleted += 1
+                self._pending_dels.append((u, v))
             else:
                 skipped += 1
         graph = self.overlay.compact()
+        self._sync_session()
         self._counts = _counts_dict(graph, self._full_recount(graph).counts)
         self._kernel.counts = self._counts
         self.updates_applied += inserted + deleted
         self.recounts += 1
         return UpdateResult(inserted, deleted, skipped, "recount", OpCounts(), True)
 
+    # ------------------------------------------------------------------ #
+    # session plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def session(self) -> GraphSession:
+        """The counter's :class:`GraphSession` (warm artifacts, pools)."""
+        return self._session
+
+    def _sync_session(self) -> None:
+        """Forward the applied-edit backlog after a base-CSR swap.
+
+        Called whenever the overlay rebuilt its base (threshold
+        compaction, recount batch, snapshot): the session selectively
+        invalidates structure-keyed artifacts, patches degrees in place at
+        the touched endpoints, and keeps size-keyed buffers warm.
+        """
+        base = self.overlay.base
+        if base is self._session.graph:
+            return
+        self._session.apply_edits(
+            _as_pairs(self._pending_ins or None),
+            _as_pairs(self._pending_dels or None),
+            new_graph=base,
+        )
+        self._pending_ins = []
+        self._pending_dels = []
+
+    def _count_via_session(self, graph: CSRGraph | None = None) -> EdgeCounts:
+        if graph is not None and graph is not self._session.graph:
+            # Defensive: recounts always sync first, so this only fires if
+            # a caller hands in a foreign CSR.
+            self._session.apply_edits(new_graph=graph)
+        return self._session.count(
+            algorithm=self.algorithm,
+            backend=self.backend,
+            num_workers=self.num_workers,
+            chunks_per_worker=self.chunks_per_worker,
+        )
+
     def _full_recount(self, graph: CSRGraph) -> EdgeCounts:
-        counter = self._counter
         if (
-            counter.backend == "auto"
-            and counter.algorithm == "auto"
+            self.backend == "auto"
+            and self.algorithm == "auto"
             and graph.num_edges >= PARALLEL_RECOUNT_MIN_EDGES
         ):
-            # Big graph, no explicit preference: use the shared-memory
-            # worker pool rather than a single-process batch pass.
-            return CommonNeighborCounter(
+            # Big graph, no explicit preference: use the session's
+            # shared-memory worker pool rather than a single-process
+            # batch pass.
+            return self._session.count(
                 backend="parallel",
-                num_workers=counter.num_workers,
-                chunks_per_worker=counter.chunks_per_worker,
-            ).count(graph)
-        return counter.count(graph)
+                num_workers=self.num_workers,
+                chunks_per_worker=self.chunks_per_worker,
+            )
+        return self._count_via_session(graph)
 
     # ------------------------------------------------------------------ #
     # snapshots / verification
@@ -243,6 +310,7 @@ class DynamicCounter:
     def snapshot(self) -> EdgeCounts:
         """Compact the overlay and return counts aligned with the fresh CSR."""
         graph = self.overlay.compact()
+        self._sync_session()
         return EdgeCounts(graph, _counts_array(graph, self._counts))
 
     def verify(self) -> bool:
@@ -260,6 +328,19 @@ class DynamicCounter:
                 f"{len(snap.counts)} edge offsets"
             )
         return True
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the session's pooled resources."""
+        self._session.close()
+
+    def __enter__(self) -> "DynamicCounter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

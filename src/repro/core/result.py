@@ -26,9 +26,15 @@ class EdgeCounts:
     directions of every edge carry the same value (symmetric assignment).
     """
 
-    __slots__ = ("graph", "counts", "parallel_stats")
+    __slots__ = ("graph", "counts", "parallel_stats", "hybrid_report")
 
-    def __init__(self, graph: CSRGraph, counts: np.ndarray, parallel_stats=None):
+    def __init__(
+        self,
+        graph: CSRGraph,
+        counts: np.ndarray,
+        parallel_stats=None,
+        hybrid_report=None,
+    ):
         counts = np.asarray(counts)
         if counts.shape != (graph.num_directed_edges,):
             raise ValueError(
@@ -40,6 +46,10 @@ class EdgeCounts:
         #: :class:`repro.parallel.metrics.ParallelStats` when the counts
         #: came from the parallel backend with telemetry enabled.
         self.parallel_stats = parallel_stats
+        #: :class:`repro.plan.HybridReport` (plan + per-bucket timings)
+        #: when the counts came from the hybrid backend with telemetry
+        #: enabled.
+        self.hybrid_report = hybrid_report
 
     def __getitem__(self, edge: tuple[int, int]) -> int:
         """``counts[u, v]`` — count for the edge ``(u, v)``."""

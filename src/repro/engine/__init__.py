@@ -1,0 +1,18 @@
+"""Unified execution engine: GraphSession + declarative backend registry."""
+
+from repro.engine.registry import (
+    BackendRegistry,
+    BackendSpec,
+    PathVariant,
+    default_registry,
+)
+from repro.engine.session import ArtifactStats, GraphSession
+
+__all__ = [
+    "GraphSession",
+    "ArtifactStats",
+    "BackendRegistry",
+    "BackendSpec",
+    "PathVariant",
+    "default_registry",
+]

@@ -1,0 +1,520 @@
+"""GraphSession: one graph, lazily memoized artifacts, declarative backends.
+
+The paper's speedups come from *reusing* per-vertex structures across many
+probes (BMP's dynamically constructed bitmap index, §4).  The codebase
+used to rebuild per-**graph** structures on every call instead: each
+``count()`` re-derived degrees and SHA-256 fingerprints, the planner kept
+its own cache, the parallel backend re-exported shared memory and
+respawned workers per request, and ``count_pairs`` allocated a fresh mark
+plane per query batch.
+
+:class:`GraphSession` owns a CSR plus every derived artifact, memoized on
+first use:
+
+=================  =====================================================
+artifact            invalidated by
+=================  =====================================================
+``degrees``         structure (but *patched in place* by edit batches)
+``fingerprint``     structure
+``upper_edges``     structure
+``reorder``         structure
+``plan:<skew>``     structure
+``shared_export``   structure (shared-memory blocks are unlinked)
+``worker_pool``     structure / a different worker configuration
+``mark_buffer``     vertex-count change only (survives edit batches)
+=================  =====================================================
+
+Invalidation is **selective** and driven by the dynamic overlay: a batch
+of applied edits (:meth:`apply_edits`) drops only the artifacts whose
+inputs actually changed.  The degree vector is patched incrementally at
+the touched endpoints instead of rebuilt, and size-keyed buffers survive
+untouched.  A warm session therefore answers repeated counts, plans,
+pair queries, and updates without re-deriving anything — the
+amortize-across-queries regime streaming triangle-counting systems
+exploit with persistent per-graph state.
+
+Backends are resolved through a :class:`~repro.engine.registry.
+BackendRegistry`; capability mismatches (``MPS`` + ``bitmap``,
+``collect_stats`` on a stats-less backend) are rejected by one
+declarative check instead of per-call-site tables.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.registry import BackendRegistry, default_registry
+from repro.errors import AlgorithmError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphSession", "ArtifactStats"]
+
+
+@dataclass
+class ArtifactStats:
+    """Build/reuse telemetry for one session artifact."""
+
+    builds: int = 0
+    hits: int = 0
+    invalidations: int = 0
+    updates: int = 0
+
+
+class _Artifact:
+    """One cached value plus its invalidation policy."""
+
+    __slots__ = ("value", "deps", "close", "update")
+
+    def __init__(self, value, deps, close=None, update=None):
+        self.value = value
+        self.deps = deps  # subset of {"structure", "size"}
+        self.close = close  # optional resource release hook
+        self.update = update  # optional in-place edit-batch patcher
+
+
+def _close_runtime(artifacts: dict) -> None:
+    """Finalizer body: release closeable artifacts (pool, shared memory).
+
+    Module-level (not a bound method) so the ``weakref.finalize`` it backs
+    holds no reference to the session itself.  Releases in reverse
+    insertion order so dependents go first — the worker pool must join
+    its children before the shared-memory export they attach is
+    unlinked, or a slow-starting spawn worker can re-register a segment
+    with the resource tracker after the parent already unregistered it.
+    """
+    for art in reversed(list(artifacts.values())):
+        if art.close is not None:
+            try:
+                art.close(art.value)
+            except Exception:  # pragma: no cover - teardown is best-effort
+                pass
+    artifacts.clear()
+
+
+class GraphSession:
+    """Owns one graph and every derived artifact; routes all execution.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph served by this session.  Mutations arrive only
+        through :meth:`apply_edits` (the dynamic overlay's invalidation
+        hook) — the graph object itself stays immutable.
+    registry:
+        Backend registry; defaults to the process-wide
+        :func:`~repro.engine.registry.default_registry`.
+    start_method:
+        Default ``multiprocessing`` start method for the worker-pool
+        artifact (per-request override wins).
+
+    Use as a context manager (or call :meth:`close`) to release the
+    worker pool and shared-memory export deterministically; a finalizer
+    also releases them when the session is garbage collected.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        registry: BackendRegistry | None = None,
+        start_method: str | None = None,
+    ):
+        self._graph = graph
+        self.registry = registry if registry is not None else default_registry()
+        self.start_method = start_method
+        self._artifacts: dict[str, _Artifact] = {}
+        self._stats: dict[str, ArtifactStats] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _close_runtime, self._artifacts)
+
+    # ------------------------------------------------------------------ #
+    # artifact cache machinery
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> CSRGraph:
+        return self._graph
+
+    def _memo(self, name, build, *, deps, close=None, update=None):
+        """Return the cached artifact ``name``, building it on first use."""
+        if self._closed:
+            raise RuntimeError("GraphSession is closed")
+        stats = self._stats.setdefault(name, ArtifactStats())
+        art = self._artifacts.get(name)
+        if art is not None:
+            stats.hits += 1
+            return art.value
+        value = build()
+        self._artifacts[name] = _Artifact(value, frozenset(deps), close, update)
+        stats.builds += 1
+        return value
+
+    def invalidate(self, *names: str) -> None:
+        """Drop the named artifacts (all of them when called with none).
+
+        Bulk invalidation runs in reverse insertion order so dependent
+        artifacts release before what they borrow (pool before shared
+        export — see :func:`_close_runtime`).
+        """
+        targets = names or tuple(reversed(self._artifacts))
+        for name in targets:
+            art = self._artifacts.pop(name, None)
+            if art is None:
+                continue
+            if art.close is not None:
+                art.close(art.value)
+            self._stats.setdefault(name, ArtifactStats()).invalidations += 1
+
+    def artifact_stats(self) -> dict[str, ArtifactStats]:
+        """Per-artifact build/hit/invalidation counters (telemetry)."""
+        return dict(self._stats)
+
+    def cached_artifacts(self) -> list[str]:
+        """Names of the artifacts currently held warm."""
+        return list(self._artifacts)
+
+    # ------------------------------------------------------------------ #
+    # artifacts
+    # ------------------------------------------------------------------ #
+    def degrees(self) -> np.ndarray:
+        """Per-vertex degree vector (int64, owned by the session).
+
+        Survives :meth:`apply_edits` via an in-place ±1 patch at the
+        touched endpoints instead of a rebuild.
+        """
+
+        def patch(deg, ins, dels, old_graph, new_graph):
+            if len(ins):
+                np.add.at(deg, ins.ravel(), 1)
+            if len(dels):
+                np.add.at(deg, dels.ravel(), -1)
+            return deg
+
+        return self._memo(
+            "degrees",
+            lambda: np.diff(self._graph.offsets).astype(np.int64, copy=False),
+            deps={"structure"},
+            update=patch,
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 fingerprint of the CSR arrays (plan/save cache key)."""
+        from repro.core.result import graph_fingerprint
+
+        return self._memo(
+            "fingerprint",
+            lambda: graph_fingerprint(self._graph),
+            deps={"structure"},
+        )
+
+    def upper_edge_offsets(self) -> np.ndarray:
+        """Edge offsets of every ``u < v`` edge, ascending."""
+
+        def build():
+            g = self._graph
+            return np.flatnonzero(g.edge_sources() < g.dst)
+
+        return self._memo("upper_edges", build, deps={"structure"})
+
+    def reorder(self):
+        """Degree-descending :class:`~repro.graph.reorder.ReorderResult`."""
+        from repro.graph.reorder import reorder_graph
+
+        return self._memo(
+            "reorder", lambda: reorder_graph(self._graph), deps={"structure"}
+        )
+
+    def plan(self, skew_threshold: float | None = None):
+        """The hybrid :class:`~repro.plan.ExecutionPlan`, memoized per skew.
+
+        The first access consults the global plan cache (so unrelated
+        sessions over the same graph still share plans); subsequent
+        accesses skip even the fingerprint hash.
+        """
+        from repro.plan.planner import DEFAULT_SKEW_THRESHOLD, get_plan
+
+        skew = DEFAULT_SKEW_THRESHOLD if skew_threshold is None else float(skew_threshold)
+        return self._memo(
+            f"plan:{skew:g}",
+            lambda: get_plan(self._graph, skew, fingerprint=self.fingerprint()),
+            deps={"structure"},
+        )
+
+    def mark_buffer(self) -> np.ndarray:
+        """All-``False`` boolean mark plane of ``num_vertices`` entries.
+
+        The BMP probe structure for :meth:`count_pairs`.  Callers must
+        leave it fully cleared.  Survives edit batches — only a
+        vertex-count change invalidates it.
+        """
+        return self._memo(
+            "mark_buffer",
+            lambda: np.zeros(self._graph.num_vertices, dtype=bool),
+            deps={"size"},
+        )
+
+    def shared_export(self):
+        """The CSR exported once into named shared memory (`SharedGraph`).
+
+        Reused by every worker pool the session starts; unlinked on
+        invalidation or :meth:`close`.
+        """
+        from repro.parallel.sharedmem import SharedGraph
+
+        return self._memo(
+            "shared_export",
+            lambda: SharedGraph(self._graph),
+            deps={"structure"},
+            close=lambda shared: shared.unlink(),
+        )
+
+    def worker_pool(
+        self,
+        num_workers: int | None = None,
+        start_method: str | None = None,
+        chunks_per_worker: int = 4,
+    ):
+        """Persistent :class:`~repro.parallel.threadpool.ParallelCounter`.
+
+        Started once and reused across requests; a request with a
+        different worker count or start method rebuilds the pool (the
+        shared-memory export is kept).  ``chunks_per_worker`` is a
+        per-request knob and never forces a rebuild.
+        """
+        from repro.parallel.threadpool import ParallelCounter
+
+        method = start_method if start_method is not None else self.start_method
+        key = (
+            None if num_workers is None else int(num_workers),
+            method,
+        )
+        art = self._artifacts.get("worker_pool")
+        if art is not None and art.value[0] != key:
+            self.invalidate("worker_pool")
+            art = None
+
+        def build():
+            shared = None
+            if num_workers is None or int(num_workers) != 1:
+                try:
+                    shared = self.shared_export()
+                except (OSError, ValueError):
+                    shared = None  # pool falls back (and warns) on its own
+            pool = ParallelCounter(
+                self._graph,
+                num_workers=num_workers,
+                chunks_per_worker=chunks_per_worker,
+                start_method=method,
+                shared=shared,
+            )
+            pool.start()
+            return (key, pool)
+
+        return self._memo(
+            "worker_pool",
+            build,
+            deps={"structure"},
+            close=lambda entry: entry[1].close(),
+        )[1]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def count(
+        self,
+        algorithm: str = "auto",
+        backend: str = "auto",
+        *,
+        num_workers: int | None = None,
+        chunks_per_worker: int = 4,
+        collect_stats: bool = False,
+        skew_threshold: float | None = None,
+        start_method: str | None = None,
+    ):
+        """Exact all-edge counts through the registry-resolved backend.
+
+        Mirrors :meth:`repro.core.api.CommonNeighborCounter.count` but
+        executes against this session's warm artifacts: the hybrid path
+        reuses the memoized plan, the parallel path reuses the persistent
+        pool and shared-memory export.  ``collect_stats`` on a backend
+        with no declared stats capability raises
+        :class:`~repro.errors.AlgorithmError` instead of being silently
+        dropped; ``num_workers``/``chunks_per_worker`` are honored by
+        every backend declaring ``supports_num_workers`` (``parallel``
+        *and* ``hybrid``, whose bitmap bucket then runs on the pool).
+        """
+        from repro.core.result import EdgeCounts
+
+        if algorithm != "auto":
+            from repro.algorithms import get_algorithm
+
+            algo = get_algorithm(algorithm)
+            if backend == "auto":
+                if collect_stats:
+                    raise AlgorithmError(
+                        f"algorithm {algorithm!r} runs its own counting path, "
+                        "which collects no execution stats; pick a backend "
+                        "with stats capability (hybrid or parallel)"
+                    )
+                return EdgeCounts(self._graph, algo.count(self._graph))
+            self.registry.check_algorithm(algorithm, algo.name, backend)
+
+        spec = self.registry.get("hybrid" if backend == "auto" else backend)
+        if collect_stats and not spec.supports_stats:
+            stats_capable = [
+                s.name for s in self.registry.specs() if s.supports_stats
+            ]
+            raise AlgorithmError(
+                f"backend {spec.name!r} declares no stats capability; "
+                f"collect_stats is supported by {stats_capable}"
+            )
+        counts, stats = spec.run(
+            self,
+            num_workers=num_workers,
+            chunks_per_worker=chunks_per_worker,
+            collect_stats=collect_stats,
+            skew_threshold=skew_threshold,
+            start_method=start_method,
+        )
+        return self._wrap_result(counts, stats)
+
+    def _wrap_result(self, counts, stats):
+        from repro.core.result import EdgeCounts
+        from repro.parallel.metrics import ParallelStats
+
+        if isinstance(stats, ParallelStats):
+            return EdgeCounts(self._graph, counts, parallel_stats=stats)
+        if stats is not None:
+            return EdgeCounts(self._graph, counts, hybrid_report=stats)
+        return EdgeCounts(self._graph, counts)
+
+    def count_pairs(self, u, v) -> np.ndarray:
+        """Common neighbor counts for arbitrary vertex *pairs* (paper §1).
+
+        Pairs sharing a left endpoint are grouped by a stable sort; each
+        group marks ``N(left)`` once in the session's reusable mark plane
+        and answers **all** its queries with one vectorized gather over
+        the concatenated right-side adjacency lists — no per-pair Python
+        loop.  Returns an int64 array aligned with the inputs.
+        """
+        graph = self._graph
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same length")
+        n = graph.num_vertices
+        if len(u) == 0:
+            return np.empty(0, dtype=np.int64)
+        if u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n:
+            raise IndexError("vertex ids out of range")
+
+        # Put the lower-degree endpoint on the probing (right) side.
+        d = self.degrees()
+        swap = d[u] < d[v]
+        left = np.where(swap, v, u)
+        right = np.where(swap, u, v)
+
+        order = np.argsort(left, kind="stable")
+        lsort = left[order]
+        rsort = right[order]
+        # Segment boundaries of equal-left runs in the sorted order.
+        starts = np.flatnonzero(np.r_[True, lsort[1:] != lsort[:-1]])
+        ends = np.r_[starts[1:], len(lsort)]
+
+        offsets, dst = graph.offsets, graph.dst
+        mark = self.mark_buffer()
+        out = np.empty(len(u), dtype=np.int64)
+        for s, e in zip(starts, ends):
+            a = int(lsort[s])
+            nbrs = graph.neighbors(a)
+            mark[nbrs] = True
+            rights = rsort[s:e]
+            lens = d[rights]
+            total = int(lens.sum())
+            if total:
+                # Flat gather indices over the concatenated N(right) lists.
+                firsts = np.cumsum(lens) - lens
+                flat = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(firsts, lens)
+                    + np.repeat(offsets[rights], lens)
+                )
+                seg = np.repeat(np.arange(len(rights)), lens)
+                sums = np.bincount(
+                    seg, weights=mark[dst[flat]], minlength=len(rights)
+                ).astype(np.int64)
+            else:
+                sums = np.zeros(len(rights), dtype=np.int64)
+            out[order[s:e]] = sums
+            mark[nbrs] = False
+        return out
+
+    # ------------------------------------------------------------------ #
+    # invalidation hooks (driven by the dynamic overlay)
+    # ------------------------------------------------------------------ #
+    def apply_edits(self, insertions=None, deletions=None, new_graph=None) -> None:
+        """Selective invalidation after a batch of *applied* edits.
+
+        ``insertions``/``deletions`` are ``(m, 2)`` arrays of the edges
+        that actually changed the adjacency (no-ops must be filtered by
+        the caller — the overlay already knows).  ``new_graph`` is the
+        post-edit CSR the session serves from now on.
+
+        Only the artifacts whose inputs changed are touched: structure-
+        keyed artifacts (fingerprint, plans, upper-edge index, reorder,
+        shared-memory export, worker pool) are dropped and closeables
+        released; the degree vector is patched in place at the touched
+        endpoints; size-keyed buffers (the mark plane) survive untouched
+        unless the vertex count changed.
+        """
+        ins = _edit_array(insertions)
+        dels = _edit_array(deletions)
+        old_graph = self._graph
+        size_changed = (
+            new_graph is not None
+            and new_graph.num_vertices != old_graph.num_vertices
+        )
+        if new_graph is not None:
+            self._graph = new_graph
+
+        for name in reversed(list(self._artifacts)):
+            art = self._artifacts[name]
+            if art.update is not None and not size_changed:
+                art.value = art.update(art.value, ins, dels, old_graph, self._graph)
+                self._stats.setdefault(name, ArtifactStats()).updates += 1
+            elif "structure" in art.deps or ("size" in art.deps and size_changed):
+                self.invalidate(name)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the worker pool and shared-memory export."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _close_runtime(self._artifacts)
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        warm = ", ".join(self.cached_artifacts()) or "none"
+        return f"GraphSession({self._graph!r}, warm=[{warm}])"
+
+
+def _edit_array(pairs) -> np.ndarray:
+    if pairs is None:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edit batch must have shape (m, 2), got {arr.shape}")
+    return arr

@@ -134,20 +134,50 @@ class FuzzReport:
 # --------------------------------------------------------------------- #
 # built-in paths
 #
+# The path list is enumerated from the engine's backend registry
+# (:func:`repro.engine.default_registry`) — one fuzz path per registered
+# backend × declared fuzz variant — so a backend registered tomorrow is
+# fuzzed tomorrow, with no second table to update.  A few paths carry
+# deep-checked runners that additionally enforce OpCounts and plan-cache
+# invariants the generic session runner cannot see.
+#
 # Kernel entry points are resolved through their module at call time (not
 # captured at import), so an injected fault — monkeypatching a backend to
 # test the fuzzer itself — is seen by the registered path.
 # --------------------------------------------------------------------- #
-def _run_merge(graph: CSRGraph) -> np.ndarray:
+def _make_session_runner(backend: str, opts: dict):
+    """Generic runner: one throwaway GraphSession, one backend count."""
+
+    def run(graph: CSRGraph) -> np.ndarray:
+        from repro.engine import GraphSession
+
+        with warnings.catch_warnings():
+            # A sequential fallback is telemetry, not a differential bug.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with GraphSession(graph) as session:
+                return session.count(backend=backend, **opts).counts
+
+    return run
+
+
+def _run_count_pairs(graph: CSRGraph) -> np.ndarray:
+    """Vectorized pair-query path, asked about every ``u < v`` edge.
+
+    :meth:`GraphSession.count_pairs` answers arbitrary pair queries with
+    its own grouped-gather implementation; feeding it exactly the graph's
+    edges makes it differentially comparable against the edge-count
+    reference.
+    """
+    from repro.engine import GraphSession
     from repro.kernels import batch
 
-    return batch.count_all_edges_merge(graph)
-
-
-def _run_matmul(graph: CSRGraph) -> np.ndarray:
-    from repro.kernels import batch
-
-    return batch.count_all_edges_matmul(graph)
+    src = graph.edge_sources()
+    eo = np.flatnonzero(src < graph.dst)
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    with GraphSession(graph) as session:
+        if len(eo):
+            cnt[eo] = session.count_pairs(src[eo], graph.dst[eo])
+    return batch.symmetric_assign(graph, cnt)
 
 
 def _run_bitmap(graph: CSRGraph) -> np.ndarray:
@@ -215,20 +245,6 @@ def _run_hybrid_warm(graph: CSRGraph) -> np.ndarray:
     return cnt
 
 
-def _make_parallel_runner(method: str):
-    def run(graph: CSRGraph) -> np.ndarray:
-        from repro.parallel import threadpool
-
-        with warnings.catch_warnings():
-            # A sequential fallback is telemetry, not a differential bug.
-            warnings.simplefilter("ignore", RuntimeWarning)
-            return threadpool.count_all_edges_parallel(
-                graph, num_workers=2, chunks_per_worker=3, start_method=method
-            )
-
-    return run
-
-
 def _run_dynamic_replay(
     case: FuzzCase, graph: CSRGraph
 ) -> tuple[CSRGraph, np.ndarray]:
@@ -266,22 +282,29 @@ def registered_paths() -> list[str]:
     return list(_REGISTRY)
 
 
-def _register_builtin_paths() -> None:
-    import multiprocessing as mp
+#: Paths whose runner enforces extra invariants (OpCounts balance,
+#: plan-cache hit/miss discipline) on top of the differential check; they
+#: override the generic session runner for the matching registry path.
+_DEEP_CHECKED = {
+    "bitmap": _run_bitmap,
+    "gallop": _run_gallop,
+    "hybrid-cold": _run_hybrid_cold,
+    "hybrid-warm": _run_hybrid_warm,
+}
 
-    register_path("merge", _run_merge)
-    register_path("bitmap", _run_bitmap)
-    register_path("matmul", _run_matmul)
-    register_path("gallop", _run_gallop)
-    register_path("hybrid-cold", _run_hybrid_cold)
-    register_path("hybrid-warm", _run_hybrid_warm)
-    available = mp.get_all_start_methods()
-    if "fork" in available:
-        register_path("parallel-fork", _make_parallel_runner("fork"), stride=4)
-    if "spawn" in available:
-        register_path(
-            "parallel-spawn", _make_parallel_runner("spawn"), stride=16
-        )
+
+def _register_builtin_paths() -> None:
+    """One fuzz path per registry backend × declared fuzz variant."""
+    from repro.engine import default_registry
+
+    for spec in default_registry().specs():
+        for variant in spec.fuzz_variants:
+            name = variant.path_name(spec.name)
+            runner = _DEEP_CHECKED.get(name) or _make_session_runner(
+                spec.name, dict(variant.opts)
+            )
+            register_path(name, runner, stride=variant.stride)
+    register_path("count-pairs", _run_count_pairs)
     register_path("dynamic-replay", _run_dynamic_replay, kind="dynamic")
 
 

@@ -113,7 +113,13 @@ def resolve_start_method(start_method: str | None = None) -> str:
 
 
 def _worker_main(handle: SharedCSRHandle, task_q, result_q) -> None:
-    """Worker loop: attach the shared CSR once, then serve chunk tasks."""
+    """Worker loop: attach the shared CSR once, then serve chunk tasks.
+
+    Two task kinds share the queue: ``("range", lo, hi)`` counts a vertex
+    range (the all-edge request path), ``("edges", eo)`` counts an
+    explicit sorted array of upper edge offsets (the hybrid planner
+    farming its bitmap bucket out to the pool).
+    """
     attached = handle.attach()
     graph = attached.graph
     pid = os.getpid()
@@ -121,11 +127,18 @@ def _worker_main(handle: SharedCSRHandle, task_q, result_q) -> None:
         task = task_q.get()
         if task is _STOP:
             break
-        lo, hi = task
         try:
             ops = OpCounts()
             t0 = time.perf_counter()
-            eo, vals = count_vertex_range(graph, lo, hi, ops)
+            if task[0] == "range":
+                _, lo, hi = task
+                eo, vals = count_vertex_range(graph, lo, hi, ops)
+            else:
+                _, eo = task
+                lo = hi = -1
+                vals = np.zeros(len(eo), dtype=np.int64)
+                if len(eo):
+                    count_edges_bitmap(graph, eo, vals, ops, aligned=True)
             dt = time.perf_counter() - t0
         except BaseException:  # pragma: no cover - defensive
             result_q.put(("err", traceback.format_exc()))
@@ -165,6 +178,12 @@ class ParallelCounter:
         :class:`~repro.plan.ExecutionPlan` to reuse one you already hold.
         With a plan attached, every :class:`ChunkStat` carries the
         planner's ``predicted_cost`` next to the measured seconds.
+    shared:
+        An already-exported :class:`~repro.parallel.sharedmem.SharedGraph`
+        for the same CSR, **borrowed** from the caller (typically a
+        :class:`~repro.engine.session.GraphSession`): the pool reattaches
+        it in every worker instead of exporting a second copy, and never
+        unlinks it — the owner does.
     """
 
     def __init__(
@@ -174,9 +193,11 @@ class ParallelCounter:
         chunks_per_worker: int = 4,
         start_method: str | None = None,
         plan="auto",
+        shared: SharedGraph | None = None,
     ):
         self.graph = graph
         self.plan = plan
+        self._borrowed_shared = shared
         self.requested_workers = max(
             1, int(num_workers) if num_workers is not None else (os.cpu_count() or 1)
         )
@@ -209,7 +230,10 @@ class ParallelCounter:
             return self._finish_start_sequential()
 
         try:
-            self._shared = SharedGraph(self.graph)
+            if self._borrowed_shared is not None:
+                self._shared = self._borrowed_shared
+            else:
+                self._shared = SharedGraph(self.graph)
             ctx = mp.get_context(method)
             self._task_q = ctx.Queue()
             self._result_q = ctx.Queue()
@@ -284,7 +308,8 @@ class ParallelCounter:
                 q.join_thread()
         self._task_q = self._result_q = None
         if self._shared is not None:
-            self._shared.unlink()
+            if self._shared is not self._borrowed_shared:
+                self._shared.unlink()
             self._shared = None
 
     def __enter__(self) -> "ParallelCounter":
@@ -363,10 +388,20 @@ class ParallelCounter:
         return bounds, dict(zip(bounds, predicted))
 
     def _run_pool(self, chunks, cnt) -> list[ChunkStat]:
-        for bounds in chunks:
-            self._task_q.put(bounds)
         chunk_stats: list[ChunkStat] = []
-        pending = len(chunks)
+        for eo, vals, stat in self._submit_and_collect(
+            [("range", lo, hi) for lo, hi in chunks]
+        ):
+            cnt[eo] = vals
+            chunk_stats.append(stat)
+        return chunk_stats
+
+    def _submit_and_collect(self, tasks) -> list[tuple]:
+        """Push tasks onto the shared queue, drain all results (any order)."""
+        for task in tasks:
+            self._task_q.put(task)
+        results: list[tuple] = []
+        pending = len(tasks)
         while pending:
             try:
                 msg = self._result_q.get(timeout=1.0)
@@ -382,10 +417,41 @@ class ParallelCounter:
             if msg[0] == "err":
                 raise RuntimeError(f"parallel worker failed:\n{msg[1]}")
             _, eo, vals, stat = msg
-            cnt[eo] = vals
-            chunk_stats.append(stat)
+            results.append((eo, vals, stat))
             pending -= 1
-        return chunk_stats
+        return results
+
+    def run_edge_chunks(
+        self, chunks: list[np.ndarray]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Count explicit edge-offset chunks on the pool; ``(eo, vals)`` pairs.
+
+        Each chunk is a sorted int64 array of upper (``u < v``) edge
+        offsets — the hybrid planner uses this to run its bitmap bucket
+        work-weighted across the persistent workers.  Results come back in
+        arbitrary order (callers scatter by offset).  Falls back to
+        in-process execution when the pool is sequential.
+        """
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise RuntimeError("ParallelCounter is closed")
+        chunks = [np.asarray(c, dtype=np.int64) for c in chunks if len(c)]
+        if not chunks:
+            return []
+        if not self.is_parallel:
+            out = []
+            for eo in chunks:
+                vals = np.zeros(len(eo), dtype=np.int64)
+                count_edges_bitmap(self.graph, eo, vals, None, aligned=True)
+                out.append((eo, vals))
+            return out
+        return [
+            (eo, vals)
+            for eo, vals, _ in self._submit_and_collect(
+                [("edges", eo) for eo in chunks]
+            )
+        ]
 
     def _run_inline(self, chunks, cnt) -> list[ChunkStat]:
         pid = os.getpid()

@@ -138,6 +138,9 @@ class ExecutionPlan:
     chunk_cost: np.ndarray
     planning_seconds: float
     from_cache: bool = False
+    #: Predicted cost (ns) per bitmap-bucket edge, aligned with
+    #: ``bitmap_edges`` — the executor's weighted parallel chunking key.
+    bitmap_cost: np.ndarray | None = None
 
     def buckets(self) -> list[BucketInfo]:
         return [
@@ -282,6 +285,7 @@ def build_plan(
         edge_cost=edge_cost,
         chunk_cost=chunk_cost,
         planning_seconds=time.perf_counter() - t0,
+        bitmap_cost=c_bitmap[bitmap],
     )
     plan._bucket_cost.update(
         gallop=float(edge_cost[gallop].sum()),
@@ -292,19 +296,26 @@ def build_plan(
 
 
 def get_plan(
-    graph: CSRGraph, skew_threshold: float = DEFAULT_SKEW_THRESHOLD
+    graph: CSRGraph,
+    skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
+    *,
+    fingerprint: str | None = None,
 ) -> ExecutionPlan:
     """Cached :func:`build_plan`, keyed by the CSR SHA-256 fingerprint.
 
     A cache hit returns the stored plan with ``from_cache=True`` — the
     pricing and partitioning passes are skipped entirely.  Any change to
     the CSR arrays changes the fingerprint, so a stale plan can never be
-    applied to a mutated graph.
+    applied to a mutated graph.  Callers that already hold the graph's
+    fingerprint (a warm :class:`~repro.engine.session.GraphSession`) pass
+    it to skip even the hash.
     """
     from repro.core.result import graph_fingerprint
 
     global _hits, _misses, _evictions
-    key = (graph_fingerprint(graph), float(skew_threshold))
+    if fingerprint is None:
+        fingerprint = graph_fingerprint(graph)
+    key = (fingerprint, float(skew_threshold))
     cached = _PLAN_CACHE.get(key)
     if cached is not None:
         _hits += 1
