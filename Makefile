@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test verify fuzz-smoke bench bench-smoke examples experiments all clean
+.PHONY: install test verify fuzz-smoke bench bench-smoke serve-smoke examples experiments all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,15 @@ bench-smoke:
 		--quick --json BENCH_counting.json
 	PYTHONPATH=src python benchmarks/bench_session.py \
 		--quick --json BENCH_session.json
+
+# Boot the real serving stack in-process and drive it with closed-loop
+# clients: batched dispatch must beat naive per-request dispatch at
+# bit-exact correctness, and edit batches applied mid-load must never
+# corrupt or block concurrent reads.  Writes BENCH_serving.json
+# (mirrors the serving-smoke CI leg).
+serve-smoke:
+	PYTHONPATH=src python benchmarks/bench_serving.py \
+		--quick --json BENCH_serving.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

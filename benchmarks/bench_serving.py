@@ -1,0 +1,479 @@
+"""Closed-loop load generator + correctness gate for ``repro serve``.
+
+Boots the real asyncio HTTP server (ephemeral port, in-process) and
+drives it with closed-loop client threads over keep-alive raw sockets,
+in three phases:
+
+1. **naive** — a server with request coalescing *disabled*: every
+   request is its own kernel dispatch (the regime a one-shot CLI or an
+   unbatched RPC layer would give you).
+2. **batched** — the same workload against a coalescing server:
+   concurrent requests merge into batched ``count_pairs`` dispatches.
+   The gate requires batched throughput to beat naive at equal
+   correctness (every response bit-exact vs a direct
+   :meth:`GraphSession.count_pairs` on the same graph).
+3. **edits under load** — clients keep querying while an editor thread
+   applies insert/delete batches through ``/edits``, and only stop once
+   the editor is done.  Every response carries the epoch it was
+   answered at and must be bit-exact against a sequential local replay
+   of that epoch — proving edit batches never corrupt or block
+   concurrent reads — and the final epoch must actually be observed.
+
+The query mix is hub-skewed (left endpoints drawn from the highest-
+degree vertices): pairs sharing a left endpoint are answered with one
+mark pass, which is exactly the amortization batched dispatch exists to
+exploit.  Clients honor 503 + Retry-After (admission control is
+load-shedding, not an error), and the run fails if any request needs
+more than ``MAX_RETRIES`` attempts.  ``--json BENCH_serving.json``
+writes the machine-readable record (throughput per phase, client+server
+latency percentiles, queue depth, batch-size histogram) consumed by the
+CI serving-smoke leg.
+"""
+
+import argparse
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.core.dynamic import DynamicCounter
+from repro.core.result import graph_fingerprint
+from repro.engine import GraphSession
+from repro.graph.datasets import load_dataset
+from repro.serve import CountingServer, CountingService
+from repro.serve.pool import KEY_LENGTH
+
+MAX_RETRIES = 50
+
+#: Left endpoints of benchmark queries come from this many top-degree
+#: vertices.  Hub-heavy mixes are where coalescing pays: every pair
+#: sharing a left endpoint rides one neighborhood mark pass.
+NUM_HUBS = 8
+
+
+class ServerThread:
+    """The real HTTP server on an ephemeral port, in a daemon thread."""
+
+    def __init__(self, *, coalesce: bool, max_pending: int = 512):
+        self.service = CountingService(
+            coalesce=coalesce, max_pending=max_pending
+        )
+        self.port = None
+        self._loop = None
+        self._task = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        server = CountingServer(self.service, port=0)
+        await server.start()
+        self.port = server.port
+        self._task = asyncio.current_task()
+        self._ready.set()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout=30)
+        self.service.close()
+
+
+class RawClient:
+    """Minimal keep-alive HTTP/1.1 client over one raw socket.
+
+    ``http.client`` burns more CPU per request than the server's whole
+    service path, which on a shared-CPU host flattens any server-side
+    dispatch difference into noise.  A load generator has to be cheaper
+    than the system under test, so the hot path here is two byte-string
+    joins, one ``sendall`` and a header scan — the same reason serious
+    HTTP load tools are not built on general-purpose client libraries.
+    """
+
+    def __init__(self, port: int):
+        self._sock = socket.create_connection(("127.0.0.1", port))
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buf = b""
+
+    def post(self, path: bytes, payload: bytes):
+        """Returns ``(status_code, header_block, body_bytes)``."""
+        self._sock.sendall(
+            b"POST " + path + b" HTTP/1.1\r\nHost: bench\r\n"
+            b"Content-Type: application/json\r\nContent-Length: "
+            + str(len(payload)).encode() + b"\r\n\r\n" + payload
+        )
+        data = self._buf
+        while b"\r\n\r\n" not in data:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed connection mid-response")
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = None
+        for line in head.split(b"\r\n")[1:]:
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+                break
+        if length is None:
+            raise ConnectionError(f"response without Content-Length: {head!r}")
+        while len(rest) < length:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed connection mid-body")
+            rest += chunk
+        self._buf = rest[length:]
+        return int(head.split(b" ", 2)[1]), head, rest[:length]
+
+    @staticmethod
+    def retry_after(head: bytes) -> float:
+        for line in head.split(b"\r\n")[1:]:
+            if line.lower().startswith(b"retry-after:"):
+                return float(line.split(b":", 1)[1])
+        return 0.05
+
+    def close(self):
+        self._sock.close()
+
+
+def request(conn: http.client.HTTPConnection, method: str, path: str, body=None):
+    """Control-plane request (load/edits), retrying 503s."""
+    payload = json.dumps(body).encode() if body is not None else None
+    for _ in range(MAX_RETRIES):
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = json.loads(resp.read())
+        if resp.status == 503:
+            time.sleep(float(resp.headers.get("Retry-After", 0.05)))
+            continue
+        if resp.status != 200:
+            raise RuntimeError(f"{method} {path} -> {resp.status}: {data}")
+        return data
+    raise RuntimeError(f"{method} {path}: still 503 after {MAX_RETRIES} tries")
+
+
+class ClientWorker(threading.Thread):
+    """Closed-loop client: next request leaves when the previous returns.
+
+    Runs either a fixed ``num_requests`` or until ``stop_event`` is set
+    (used by the edits-under-load phase so reads span every epoch the
+    editor produces).
+    """
+
+    def __init__(self, port, payloads, *, num_requests=None,
+                 stop_event=None, offset=0):
+        super().__init__(daemon=True)
+        self.port = port
+        self.payloads = payloads
+        self.num_requests = num_requests
+        self.stop_event = stop_event
+        self.offset = offset
+        self.results = []  # (query_index, epoch, count, latency_s)
+        self.error = None
+
+    def run(self):
+        try:
+            client = RawClient(self.port)
+            i = 0
+            retries = 0
+            while True:
+                if self.num_requests is not None and i >= self.num_requests:
+                    break
+                if self.stop_event is not None and self.stop_event.is_set():
+                    break
+                qi = (self.offset + i) % len(self.payloads)
+                t0 = time.perf_counter()
+                status, head, body = client.post(b"/count", self.payloads[qi])
+                dt = time.perf_counter() - t0
+                if status == 503:
+                    retries += 1
+                    if retries > MAX_RETRIES:
+                        raise RuntimeError(
+                            f"still 503 after {MAX_RETRIES} retries"
+                        )
+                    time.sleep(RawClient.retry_after(head))
+                    continue
+                if status != 200:
+                    raise RuntimeError(f"POST /count -> {status}: {body!r}")
+                retries = 0
+                resp = json.loads(body)
+                self.results.append(
+                    (qi, resp["epoch"], resp["counts"][0], dt)
+                )
+                i += 1
+            client.close()
+        except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
+            self.error = exc
+
+
+def run_phase(port, payloads, *, clients, requests_per_client=None,
+              stop_event=None):
+    workers = [
+        ClientWorker(port, payloads,
+                     num_requests=requests_per_client,
+                     stop_event=stop_event,
+                     offset=c * 7919)  # decorrelate the per-client walk
+        for c in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - t0
+    for w in workers:
+        if w.error is not None:
+            raise w.error
+    results = [r for w in workers for r in w.results]
+    lat = np.array([r[3] for r in results])
+    p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+    return results, {
+        "requests": len(results),
+        "wall_seconds": wall,
+        "throughput_rps": len(results) / wall,
+        "client_latency_ms": {
+            "p50": float(p50 * 1e3),
+            "p95": float(p95 * 1e3),
+            "p99": float(p99 * 1e3),
+        },
+    }
+
+
+def make_queries(graph, rng, num_queries):
+    """Hub-skewed pairs: left endpoint from the top-degree vertices."""
+    hubs = np.argsort(graph.degrees)[-NUM_HUBS:]
+    u = hubs[rng.integers(0, len(hubs), size=num_queries)]
+    v = rng.integers(0, graph.num_vertices, size=num_queries)
+    return [(int(a), int(b)) for a, b in zip(u, v)]
+
+
+def make_payloads(key, queries):
+    return [
+        json.dumps({"graph": key, "pairs": [[u, v]]}).encode()
+        for u, v in queries
+    ]
+
+
+def verify_epoch0(results, queries, expected0):
+    for qi, epoch, count, _ in results:
+        assert epoch == 0, f"unexpected epoch {epoch} before any edits"
+        assert count == int(expected0[qi]), (
+            f"pair {queries[qi]}: served {count}, expected {int(expected0[qi])}"
+        )
+
+
+def build_edit_replay(graph, queries, edit_batches):
+    """Sequential replay: expected per-query counts for every epoch.
+
+    Mirrors the serving layer exactly — batches through a
+    :class:`DynamicCounter`, a new epoch per batch that changed the
+    adjacency — so any divergence under concurrent load is a serving
+    bug, not a replay artifact.
+    """
+    u = np.array([q[0] for q in queries])
+    v = np.array([q[1] for q in queries])
+    expected = {}
+    with GraphSession(graph) as s:
+        expected[0] = s.count_pairs(u, v)
+    counter = DynamicCounter(graph)
+    epoch = 0
+    for ins, dels in edit_batches:
+        result = counter.apply(insertions=ins, deletions=dels)
+        if result.inserted + result.deleted == 0:
+            continue
+        epoch += 1
+        with GraphSession(counter.materialize()) as s:
+            expected[epoch] = s.count_pairs(u, v)
+    counter.close()
+    return expected
+
+
+def make_edit_batches(graph, rng, num_batches, batch_size):
+    """Insert batches of fresh edges, then delete them again."""
+    n = graph.num_vertices
+    batches = []
+    inserted = []
+    for _ in range(num_batches // 2 + num_batches % 2):
+        uu = rng.integers(0, n, size=batch_size)
+        vv = rng.integers(0, n, size=batch_size)
+        keep = uu != vv
+        batch = np.stack([uu[keep], vv[keep]], axis=1)
+        batches.append((batch, None))
+        inserted.append(batch)
+    for batch in inserted[: num_batches // 2]:
+        batches.append((None, batch))
+    return batches
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph, short phases (CI smoke)")
+    parser.add_argument("--json", help="write machine-readable results here")
+    parser.add_argument("--clients", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    dataset, scale = ("lj", 0.2) if args.quick else ("lj", 0.5)
+    requests_per_client = 120 if args.quick else 400
+    warmup_per_client = 20 if args.quick else 50
+    num_queries = 128 if args.quick else 512
+    edit_batches_n = 4 if args.quick else 8
+
+    graph = load_dataset(dataset, scale=scale)
+    rng = np.random.default_rng(7)
+    queries = make_queries(graph, rng, num_queries)
+    with GraphSession(graph) as s:
+        expected0 = s.count_pairs(
+            [q[0] for q in queries], [q[1] for q in queries]
+        )
+
+    record = {
+        "benchmark": "serving_closed_loop",
+        "quick": args.quick,
+        "dataset": dataset,
+        "scale": scale,
+        "clients": args.clients,
+        "num_hubs": NUM_HUBS,
+        "phases": {},
+    }
+
+    # Phase 1 + 2: naive vs batched dispatch, identical workload.
+    for label, coalesce in (("naive", False), ("batched", True)):
+        with ServerThread(coalesce=coalesce) as srv:
+            info = request(
+                http.client.HTTPConnection("127.0.0.1", srv.port),
+                "POST", "/graphs", {"dataset": dataset, "scale": scale},
+            )
+            key = info["graph"]
+            assert key == graph_fingerprint(graph)[:KEY_LENGTH], (
+                "server loaded a different graph than the local replica"
+            )
+            payloads = make_payloads(key, queries)
+            # Warmup: fault in artifacts, JIT-warm both sides; not scored.
+            run_phase(srv.port, payloads, clients=args.clients,
+                      requests_per_client=warmup_per_client)
+            results, phase = run_phase(
+                srv.port, payloads,
+                clients=args.clients,
+                requests_per_client=requests_per_client,
+            )
+            verify_epoch0(results, queries, expected0)
+            phase["server_stats"] = srv.service.stats()
+            record["phases"][label] = phase
+            print(
+                f"{label:8s}: {phase['requests']} requests in "
+                f"{phase['wall_seconds']:.2f}s = "
+                f"{phase['throughput_rps']:8.1f} req/s   "
+                f"p99 {phase['client_latency_ms']['p99']:6.2f} ms"
+            )
+
+    naive = record["phases"]["naive"]["throughput_rps"]
+    batched = record["phases"]["batched"]["throughput_rps"]
+    record["batched_speedup"] = batched / naive
+    print(f"batched/naive throughput: {batched / naive:.2f}x")
+    assert batched > naive, (
+        f"coalesced dispatch must beat per-request dispatch: "
+        f"{batched:.1f} <= {naive:.1f} req/s"
+    )
+
+    # Batched-server telemetry must show real coalescing and the gate's
+    # tail-latency/queue-depth fields.
+    stats = record["phases"]["batched"]["server_stats"]
+    for field in ("p50_ms", "p95_ms", "p99_ms"):
+        assert field in stats["latency_ms"], f"missing {field} in /stats"
+    assert stats["latency_ms"]["p50_ms"] <= stats["latency_ms"]["p99_ms"]
+    assert stats["queue_depth"]["max"] >= 1
+    assert stats["batch_size"]["max"] > 1, (
+        "coalescing server never produced a multi-request batch"
+    )
+
+    # Phase 3: edits applied mid-load; every response must match the
+    # sequential replay of the epoch it was answered at.  Clients run
+    # until the editor finishes (plus a tail) so reads span all epochs.
+    edit_batches = make_edit_batches(graph, rng, edit_batches_n, batch_size=16)
+    expected = build_edit_replay(graph, queries, edit_batches)
+    with ServerThread(coalesce=True) as srv:
+        conn = http.client.HTTPConnection("127.0.0.1", srv.port)
+        key = request(conn, "POST", "/graphs",
+                      {"dataset": dataset, "scale": scale})["graph"]
+        payloads = make_payloads(key, queries)
+
+        edit_log = []
+        stop = threading.Event()
+
+        def editor():
+            try:
+                for ins, dels in edit_batches:
+                    time.sleep(0.05)
+                    body = {"graph": key}
+                    if ins is not None:
+                        body["insert"] = np.asarray(ins).tolist()
+                    if dels is not None:
+                        body["delete"] = np.asarray(dels).tolist()
+                    edit_log.append(request(conn, "POST", "/edits", body))
+                time.sleep(0.15)  # tail: let reads observe the final epoch
+            finally:
+                stop.set()
+
+        edit_thread = threading.Thread(target=editor, daemon=True)
+        edit_thread.start()
+        results, phase = run_phase(
+            srv.port, payloads, clients=args.clients, stop_event=stop
+        )
+        edit_thread.join(timeout=60)
+        assert not edit_thread.is_alive(), "editor thread hung"
+        assert len(edit_log) == len(edit_batches), "editor aborted early"
+
+        epochs_seen = sorted({r[1] for r in results})
+        for qi, epoch, count, _ in results:
+            assert epoch in expected, f"response at unreplayed epoch {epoch}"
+            want = int(expected[epoch][qi])
+            assert count == want, (
+                f"epoch {epoch}, pair {queries[qi]}: served {count}, "
+                f"replay says {want} — edit batch corrupted a concurrent read"
+            )
+        final_epoch = edit_log[-1]["epoch"]
+        assert epochs_seen[-1] == final_epoch, (
+            f"reads never observed the final epoch {final_epoch} "
+            f"(saw {epochs_seen})"
+        )
+        assert len(epochs_seen) >= 2, (
+            "edits-under-load phase never actually crossed an epoch boundary"
+        )
+        phase["epochs_seen"] = epochs_seen
+        phase["final_epoch"] = final_epoch
+        phase["edits"] = edit_log
+        phase["server_stats"] = srv.service.stats()
+        record["phases"]["edits_under_load"] = phase
+        print(
+            f"edits   : {phase['requests']} requests across epochs "
+            f"{epochs_seen} (final {final_epoch}), all bit-exact vs replay"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

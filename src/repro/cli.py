@@ -6,6 +6,7 @@ Commands
 ``count``       Exact all-edge counting (optionally saving the counts).
 ``plan``        Inspect the hybrid planner's kernel buckets for a graph.
 ``update``      Apply edge insertions/deletions with live count maintenance.
+``serve``       Long-lived HTTP/JSON counting service with request batching.
 ``fuzz``        Differential fuzzing across every registered execution path.
 ``simulate``    Modeled run on one of the paper's three processors.
 ``experiment``  Regenerate one paper table/figure (table1..table7, fig3..fig10).
@@ -173,6 +174,53 @@ def _cmd_update(args) -> int:
     if args.output:
         counter.snapshot().save(args.output)
         print(f"counts saved     : {args.output}")
+    return 0
+
+
+def _parse_preload(spec: str) -> dict:
+    """``lj`` / ``lj:0.2`` (dataset[:scale]) or an edge-list path."""
+    from repro.graph.datasets import DATASETS
+
+    name, _, scale = spec.partition(":")
+    if name in DATASETS:
+        return {"dataset": name, "scale": float(scale) if scale else 1.0}
+    return {"path": spec}
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import CountingServer, CountingService
+
+    service = CountingService(
+        capacity=args.pool_size,
+        max_pending=args.max_pending,
+        dispatch_threads=args.dispatch_threads,
+        coalesce=not args.no_coalesce,
+    )
+
+    async def run() -> None:
+        server = CountingServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.address}", flush=True)
+        for spec in args.preload or []:
+            info = await service.load_graph(**_parse_preload(spec))
+            print(
+                f"loaded {info['graph']}  ({info['name']}: "
+                f"|V|={info['vertices']}, |E|={info['edges']})",
+                flush=True,
+            )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.close()
     return 0
 
 
@@ -430,6 +478,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_update)
 
     p = sub.add_parser(
+        "serve", help="HTTP/JSON counting service with request batching"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8707,
+                   help="listen port (0 binds an ephemeral port)")
+    p.add_argument("--pool-size", type=int, default=4,
+                   help="graphs kept live in the LRU session pool")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="admission bound; excess requests get 503 + Retry-After")
+    p.add_argument("--dispatch-threads", type=int, default=None,
+                   help="kernel dispatch threads (default: min(4, cpus + 1))")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable request batching (one dispatch per request)")
+    p.add_argument("--preload", action="append", metavar="GRAPH",
+                   help="dataset[:scale] or edge-list path to load at startup "
+                        "(repeatable)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
         "fuzz", help="differential fuzzing across all execution paths"
     )
     p.add_argument("--cases", type=int, default=200,
@@ -489,9 +556,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Known-failure → exit-code mapping, checked in order (most specific
+#: first).  Bad input gets a one-line message and a distinct nonzero
+#: code; a raw traceback with exit code 1 is reserved for actual bugs.
+#: Code 2 stays argparse's usage-error code.
+EXIT_GRAPH_FORMAT = 3
+EXIT_ALGORITHM = 4
+EXIT_VERIFICATION = 5
+EXIT_REPRO = 6
+EXIT_FILE_NOT_FOUND = 7
+
+
+def _known_error_exits():
+    from repro.errors import (
+        AlgorithmError,
+        GraphFormatError,
+        ReproError,
+        VerificationError,
+    )
+
+    return (
+        (GraphFormatError, EXIT_GRAPH_FORMAT),
+        (AlgorithmError, EXIT_ALGORITHM),
+        (VerificationError, EXIT_VERIFICATION),
+        (ReproError, EXIT_REPRO),
+        (FileNotFoundError, EXIT_FILE_NOT_FOUND),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    known = _known_error_exits()
+    try:
+        return args.fn(args)
+    except tuple(cls for cls, _ in known) as exc:
+        for cls, code in known:
+            if isinstance(exc, cls):
+                print(f"repro {args.command}: {exc}", file=sys.stderr)
+                return code
+        raise  # pragma: no cover - unreachable
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -307,6 +307,19 @@ class DynamicCounter:
     # ------------------------------------------------------------------ #
     # snapshots / verification
     # ------------------------------------------------------------------ #
+    def materialize(self) -> CSRGraph:
+        """Compact the overlay, sync the session, return the live CSR.
+
+        The serving layer's epoch hook: after an edit batch it needs a
+        frozen CSR for the next read snapshot but not the per-edge counts
+        array, so this skips :meth:`snapshot`'s ``O(E log E)`` counts
+        realignment.  When no edits are outstanding the current base is
+        returned as-is (no rebuild).
+        """
+        graph = self.overlay.compact()
+        self._sync_session()
+        return graph
+
     def snapshot(self) -> EdgeCounts:
         """Compact the overlay and return counts aligned with the fresh CSR."""
         graph = self.overlay.compact()

@@ -37,18 +37,32 @@ Backends are resolved through a :class:`~repro.engine.registry.
 BackendRegistry`; capability mismatches (``MPS`` + ``bitmap``,
 ``collect_stats`` on a stats-less backend) are rejected by one
 declarative check instead of per-call-site tables.
+
+Thread safety
+-------------
+A session may be shared across threads (the serving layer dispatches
+reads from a thread pool): artifact memoization, execution, edit
+application, and close all serialize on one reentrant lock, so
+concurrent ``count``/``count_pairs`` calls interleaved with
+``apply_edits`` are linearized — every read observes a fully pre-edit or
+fully post-edit graph, never a torn one, and the shared mark plane is
+never probed by two readers at once.  Readers that must not wait on
+writers should read from a snapshot session instead (see
+:mod:`repro.serve.service`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import warnings
 import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.registry import BackendRegistry, default_registry
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, SessionClosedError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["GraphSession", "ArtifactStats"]
@@ -128,6 +142,8 @@ class GraphSession:
         self._artifacts: dict[str, _Artifact] = {}
         self._stats: dict[str, ArtifactStats] = {}
         self._closed = False
+        self._lock = threading.RLock()
+        self._fallback_warned = False
         self._finalizer = weakref.finalize(self, _close_runtime, self._artifacts)
 
     # ------------------------------------------------------------------ #
@@ -137,19 +153,27 @@ class GraphSession:
     def graph(self) -> CSRGraph:
         return self._graph
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self, operation: str) -> None:
+        if self._closed:
+            raise SessionClosedError(operation)
+
     def _memo(self, name, build, *, deps, close=None, update=None):
         """Return the cached artifact ``name``, building it on first use."""
-        if self._closed:
-            raise RuntimeError("GraphSession is closed")
-        stats = self._stats.setdefault(name, ArtifactStats())
-        art = self._artifacts.get(name)
-        if art is not None:
-            stats.hits += 1
-            return art.value
-        value = build()
-        self._artifacts[name] = _Artifact(value, frozenset(deps), close, update)
-        stats.builds += 1
-        return value
+        with self._lock:
+            self._check_open(f"build artifact {name!r} on")
+            stats = self._stats.setdefault(name, ArtifactStats())
+            art = self._artifacts.get(name)
+            if art is not None:
+                stats.hits += 1
+                return art.value
+            value = build()
+            self._artifacts[name] = _Artifact(value, frozenset(deps), close, update)
+            stats.builds += 1
+            return value
 
     def invalidate(self, *names: str) -> None:
         """Drop the named artifacts (all of them when called with none).
@@ -158,14 +182,15 @@ class GraphSession:
         artifacts release before what they borrow (pool before shared
         export — see :func:`_close_runtime`).
         """
-        targets = names or tuple(reversed(self._artifacts))
-        for name in targets:
-            art = self._artifacts.pop(name, None)
-            if art is None:
-                continue
-            if art.close is not None:
-                art.close(art.value)
-            self._stats.setdefault(name, ArtifactStats()).invalidations += 1
+        with self._lock:
+            targets = names or tuple(reversed(self._artifacts))
+            for name in targets:
+                art = self._artifacts.pop(name, None)
+                if art is None:
+                    continue
+                if art.close is not None:
+                    art.close(art.value)
+                self._stats.setdefault(name, ArtifactStats()).invalidations += 1
 
     def artifact_stats(self) -> dict[str, ArtifactStats]:
         """Per-artifact build/hit/invalidation counters (telemetry)."""
@@ -282,42 +307,57 @@ class GraphSession:
         different worker count or start method rebuilds the pool (the
         shared-memory export is kept).  ``chunks_per_worker`` is a
         per-request knob and never forces a rebuild.
+
+        A pool that degrades to sequential execution warns **once per
+        session**: the fallback reason (single CPU, shared-memory setup
+        failure) is a property of the host, not of the request, so a warm
+        session answering many requests — or rebuilding pools for varying
+        worker counts — does not spam one ``RuntimeWarning`` per count.
         """
         from repro.parallel.threadpool import ParallelCounter
 
-        method = start_method if start_method is not None else self.start_method
-        key = (
-            None if num_workers is None else int(num_workers),
-            method,
-        )
-        art = self._artifacts.get("worker_pool")
-        if art is not None and art.value[0] != key:
-            self.invalidate("worker_pool")
-            art = None
-
-        def build():
-            shared = None
-            if num_workers is None or int(num_workers) != 1:
-                try:
-                    shared = self.shared_export()
-                except (OSError, ValueError):
-                    shared = None  # pool falls back (and warns) on its own
-            pool = ParallelCounter(
-                self._graph,
-                num_workers=num_workers,
-                chunks_per_worker=chunks_per_worker,
-                start_method=method,
-                shared=shared,
+        with self._lock:
+            method = start_method if start_method is not None else self.start_method
+            key = (
+                None if num_workers is None else int(num_workers),
+                method,
             )
-            pool.start()
-            return (key, pool)
+            art = self._artifacts.get("worker_pool")
+            if art is not None and art.value[0] != key:
+                self.invalidate("worker_pool")
+                art = None
 
-        return self._memo(
-            "worker_pool",
-            build,
-            deps={"structure"},
-            close=lambda entry: entry[1].close(),
-        )[1]
+            def build():
+                shared = None
+                if num_workers is None or int(num_workers) != 1:
+                    try:
+                        shared = self.shared_export()
+                    except (OSError, ValueError):
+                        shared = None  # pool retries (and may fall back) itself
+                pool = ParallelCounter(
+                    self._graph,
+                    num_workers=num_workers,
+                    chunks_per_worker=chunks_per_worker,
+                    start_method=method,
+                    shared=shared,
+                    on_fallback=self._warn_fallback_once,
+                )
+                pool.start()
+                return (key, pool)
+
+            return self._memo(
+                "worker_pool",
+                build,
+                deps={"structure"},
+                close=lambda entry: entry[1].close(),
+            )[1]
+
+    def _warn_fallback_once(self, message: str) -> None:
+        """Emit the pool's sequential-fallback warning at most once."""
+        if self._fallback_warned:
+            return
+        self._fallback_warned = True
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -347,38 +387,40 @@ class GraphSession:
         """
         from repro.core.result import EdgeCounts
 
-        if algorithm != "auto":
-            from repro.algorithms import get_algorithm
+        with self._lock:
+            self._check_open("count on")
+            if algorithm != "auto":
+                from repro.algorithms import get_algorithm
 
-            algo = get_algorithm(algorithm)
-            if backend == "auto":
-                if collect_stats:
-                    raise AlgorithmError(
-                        f"algorithm {algorithm!r} runs its own counting path, "
-                        "which collects no execution stats; pick a backend "
-                        "with stats capability (hybrid or parallel)"
-                    )
-                return EdgeCounts(self._graph, algo.count(self._graph))
-            self.registry.check_algorithm(algorithm, algo.name, backend)
+                algo = get_algorithm(algorithm)
+                if backend == "auto":
+                    if collect_stats:
+                        raise AlgorithmError(
+                            f"algorithm {algorithm!r} runs its own counting path, "
+                            "which collects no execution stats; pick a backend "
+                            "with stats capability (hybrid or parallel)"
+                        )
+                    return EdgeCounts(self._graph, algo.count(self._graph))
+                self.registry.check_algorithm(algorithm, algo.name, backend)
 
-        spec = self.registry.get("hybrid" if backend == "auto" else backend)
-        if collect_stats and not spec.supports_stats:
-            stats_capable = [
-                s.name for s in self.registry.specs() if s.supports_stats
-            ]
-            raise AlgorithmError(
-                f"backend {spec.name!r} declares no stats capability; "
-                f"collect_stats is supported by {stats_capable}"
+            spec = self.registry.get("hybrid" if backend == "auto" else backend)
+            if collect_stats and not spec.supports_stats:
+                stats_capable = [
+                    s.name for s in self.registry.specs() if s.supports_stats
+                ]
+                raise AlgorithmError(
+                    f"backend {spec.name!r} declares no stats capability; "
+                    f"collect_stats is supported by {stats_capable}"
+                )
+            counts, stats = spec.run(
+                self,
+                num_workers=num_workers,
+                chunks_per_worker=chunks_per_worker,
+                collect_stats=collect_stats,
+                skew_threshold=skew_threshold,
+                start_method=start_method,
             )
-        counts, stats = spec.run(
-            self,
-            num_workers=num_workers,
-            chunks_per_worker=chunks_per_worker,
-            collect_stats=collect_stats,
-            skew_threshold=skew_threshold,
-            start_method=start_method,
-        )
-        return self._wrap_result(counts, stats)
+            return self._wrap_result(counts, stats)
 
     def _wrap_result(self, counts, stats):
         from repro.core.result import EdgeCounts
@@ -399,17 +441,24 @@ class GraphSession:
         the concatenated right-side adjacency lists — no per-pair Python
         loop.  Returns an int64 array aligned with the inputs.
         """
-        graph = self._graph
         u = np.asarray(u, dtype=np.int64).ravel()
         v = np.asarray(v, dtype=np.int64).ravel()
         if u.shape != v.shape:
             raise ValueError("u and v must have the same length")
-        n = graph.num_vertices
         if len(u) == 0:
             return np.empty(0, dtype=np.int64)
-        if u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n:
-            raise IndexError("vertex ids out of range")
+        # The whole probe runs under the session lock: the mark plane is a
+        # shared scratch buffer, and an edit batch must never swap the
+        # graph between the degree read and the gather.
+        with self._lock:
+            self._check_open("count pairs on")
+            graph = self._graph
+            n = graph.num_vertices
+            if u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n:
+                raise IndexError("vertex ids out of range")
+            return self._count_pairs_locked(graph, u, v)
 
+    def _count_pairs_locked(self, graph, u, v) -> np.ndarray:
         # Put the lower-degree endpoint on the probing (right) side.
         d = self.degrees()
         swap = d[u] < d[v]
@@ -471,32 +520,46 @@ class GraphSession:
         """
         ins = _edit_array(insertions)
         dels = _edit_array(deletions)
-        old_graph = self._graph
-        size_changed = (
-            new_graph is not None
-            and new_graph.num_vertices != old_graph.num_vertices
-        )
-        if new_graph is not None:
-            self._graph = new_graph
+        with self._lock:
+            self._check_open("apply edits to")
+            old_graph = self._graph
+            size_changed = (
+                new_graph is not None
+                and new_graph.num_vertices != old_graph.num_vertices
+            )
+            if new_graph is not None:
+                self._graph = new_graph
 
-        for name in reversed(list(self._artifacts)):
-            art = self._artifacts[name]
-            if art.update is not None and not size_changed:
-                art.value = art.update(art.value, ins, dels, old_graph, self._graph)
-                self._stats.setdefault(name, ArtifactStats()).updates += 1
-            elif "structure" in art.deps or ("size" in art.deps and size_changed):
-                self.invalidate(name)
+            for name in reversed(list(self._artifacts)):
+                art = self._artifacts[name]
+                if art.update is not None and not size_changed:
+                    art.value = art.update(
+                        art.value, ins, dels, old_graph, self._graph
+                    )
+                    self._stats.setdefault(name, ArtifactStats()).updates += 1
+                elif "structure" in art.deps or (
+                    "size" in art.deps and size_changed
+                ):
+                    self.invalidate(name)
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the worker pool and shared-memory export."""
-        if self._closed:
-            return
-        self._closed = True
-        self._finalizer.detach()
-        _close_runtime(self._artifacts)
+        """Release the worker pool and shared-memory export.
+
+        Idempotent: closing twice (or closing a session whose finalizer
+        already ran) is a no-op.  Any later ``count``/``count_pairs``/
+        ``apply_edits``/artifact access raises
+        :class:`~repro.errors.SessionClosedError` instead of failing with
+        an incidental ``KeyError`` from the cleared artifact dict.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._finalizer.detach()
+            _close_runtime(self._artifacts)
 
     def __enter__(self) -> "GraphSession":
         return self

@@ -37,6 +37,47 @@ class UnknownAlgorithmError(AlgorithmError, KeyError):
         self.known = known
 
 
+class SessionClosedError(ReproError, RuntimeError):
+    """A :class:`~repro.engine.session.GraphSession` was used after close().
+
+    Derives from ``RuntimeError`` so pre-existing callers catching the old
+    incidental failures keep working; the message names the operation that
+    was attempted so long-lived services log something actionable instead
+    of a ``KeyError`` from a cleared artifact dict.
+    """
+
+    def __init__(self, operation: str = "use"):
+        super().__init__(
+            f"cannot {operation} a closed GraphSession; sessions release "
+            "their worker pool and shared-memory export on close() and "
+            "cannot be reopened"
+        )
+        self.operation = operation
+
+
+class ServiceOverloadedError(ReproError):
+    """The serving layer's admission queue is full; retry after a delay."""
+
+    def __init__(self, queue_depth: int, retry_after: float = 0.05):
+        super().__init__(
+            f"admission queue full ({queue_depth} requests pending); "
+            f"retry in {retry_after:g}s"
+        )
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+
+
+class UnknownGraphError(ReproError, KeyError):
+    """A serving request referenced a graph key not in the session pool."""
+
+    def __init__(self, key: str, known: tuple[str, ...] = ()):
+        super().__init__(
+            f"unknown graph {key!r}; loaded graphs: {sorted(known) or 'none'}"
+        )
+        self.key = key
+        self.known = known
+
+
 class SimulationError(ReproError):
     """The architecture simulator was given inconsistent parameters."""
 

@@ -184,6 +184,12 @@ class ParallelCounter:
         :class:`~repro.engine.session.GraphSession`): the pool reattaches
         it in every worker instead of exporting a second copy, and never
         unlinks it — the owner does.
+    on_fallback:
+        Callback receiving the sequential-fallback message instead of the
+        default ``warnings.warn``.  A session that rebuilds pools across
+        many requests passes a once-per-session deduplicator here so a
+        warm session does not re-emit the same ``RuntimeWarning`` on
+        every count.
     """
 
     def __init__(
@@ -194,10 +200,12 @@ class ParallelCounter:
         start_method: str | None = None,
         plan="auto",
         shared: SharedGraph | None = None,
+        on_fallback=None,
     ):
         self.graph = graph
         self.plan = plan
         self._borrowed_shared = shared
+        self._on_fallback = on_fallback
         self.requested_workers = max(
             1, int(num_workers) if num_workers is not None else (os.cpu_count() or 1)
         )
@@ -265,12 +273,14 @@ class ParallelCounter:
                 if self.requested_workers > 1
                 else ""
             )
-            warnings.warn(
+            message = (
                 f"parallel backend running sequentially "
-                f"({self.fallback_reason}); effective workers = 1{requested}",
-                RuntimeWarning,
-                stacklevel=3,
+                f"({self.fallback_reason}); effective workers = 1{requested}"
             )
+            if self._on_fallback is not None:
+                self._on_fallback(message)
+            else:
+                warnings.warn(message, RuntimeWarning, stacklevel=3)
         return self
 
     @property

@@ -1,0 +1,31 @@
+"""Online counting service over the GraphSession engine.
+
+An asyncio HTTP/JSON front end (:mod:`repro.serve.http`) on top of a
+batching, epoch-snapshotted request engine (:mod:`repro.serve.service`)
+and an LRU pool of per-graph state (:mod:`repro.serve.pool`).  Start it
+from the CLI with ``repro serve`` or embed :class:`CountingService`
+directly.
+"""
+
+from repro.serve.http import DEFAULT_HOST, DEFAULT_PORT, CountingServer
+from repro.serve.pool import DEFAULT_POOL_CAPACITY, SessionPool
+from repro.serve.service import (
+    DEFAULT_MAX_PENDING,
+    CountingService,
+    ReadSnapshot,
+    ServedGraph,
+    ServiceTelemetry,
+)
+
+__all__ = [
+    "CountingServer",
+    "CountingService",
+    "ServedGraph",
+    "ReadSnapshot",
+    "ServiceTelemetry",
+    "SessionPool",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_POOL_CAPACITY",
+    "DEFAULT_MAX_PENDING",
+]

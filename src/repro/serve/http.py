@@ -1,0 +1,268 @@
+"""Minimal asyncio HTTP/1.1 + JSON front end for the counting service.
+
+Stdlib only — ``asyncio`` streams plus a small hand-rolled HTTP/1.1
+request parser (request line, headers, ``Content-Length`` body,
+keep-alive).  No routing framework, no dependency: the route table is a
+dict and every response is one JSON object with a ``Content-Length``.
+
+Routes
+------
+======  ==============  ====================================================
+GET     ``/healthz``    liveness + loaded-graph count
+GET     ``/stats``      service telemetry (p50/p95/p99, queue depth, batches)
+GET     ``/graphs``     info for every pooled graph
+POST    ``/graphs``     load ``{"dataset": "lj", "scale": 0.2}`` or a
+                        ``{"path": ...}`` edge list; returns the graph key
+POST    ``/count``      ``{"graph": key, "pairs": [[u, v], ...]}`` →
+                        per-pair counts + the answering epoch
+POST    ``/edits``      ``{"graph": key, "insert": [...], "delete": [...]}``
+POST    ``/triangles``  ``{"graph": key}`` → live triangle total
+======  ==============  ====================================================
+
+Failure mapping: unknown graph key → 404, malformed request → 400,
+admission-queue overflow → 503 with a ``Retry-After`` header, anything
+unexpected → 500 (message included, connection kept alive).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ServiceOverloadedError, UnknownGraphError
+from repro.serve.service import CountingService
+
+__all__ = ["CountingServer", "DEFAULT_HOST", "DEFAULT_PORT"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8707
+
+#: Request bodies past this are rejected with 413 (edit batches and pair
+#: lists are JSON int arrays; 16 MiB is millions of pairs).
+MAX_BODY_BYTES = 16 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str, headers: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class CountingServer:
+    """Serve a :class:`CountingService` over HTTP on ``host:port``.
+
+    ``port=0`` binds an ephemeral port; the bound port is available as
+    :attr:`port` after :meth:`start`.  The server owns only the
+    listener — closing it does not close the service (the caller that
+    built the service releases it).
+    """
+
+    def __init__(
+        self,
+        service: CountingService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._routes = {
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/stats"): self._stats,
+            ("GET", "/graphs"): self._list_graphs,
+            ("POST", "/graphs"): self._load_graph,
+            ("POST", "/count"): self._count,
+            ("POST", "/edits"): self._edits,
+            ("POST", "/triangles"): self._triangles,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "CountingServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HTTPError as exc:
+                    # Parse-level failures (bad request line, oversized
+                    # body) still deserve a response, but the stream is
+                    # no longer in a known state — answer and close.
+                    await self._write_response(
+                        writer, exc.status, {"error": str(exc)},
+                        exc.headers, keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload, extra = await self._dispatch(method, path, body)
+                await self._write_response(
+                    writer, status, payload, extra, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down with the connection open
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HTTPError(400, f"malformed request line {line!r}")
+        method, path, _version = parts
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(413, f"body of {length} bytes exceeds limit")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path.split("?", 1)[0], headers, body
+
+    async def _dispatch(self, method, path, body):
+        """Route one request; returns ``(status, json_payload, headers)``."""
+        try:
+            handler = self._routes.get((method, path))
+            if handler is None:
+                known_paths = {p for _, p in self._routes}
+                if path in known_paths:
+                    raise _HTTPError(405, f"{method} not allowed on {path}")
+                raise _HTTPError(404, f"no route for {path}")
+            payload = {}
+            if body:
+                try:
+                    payload = json.loads(body)
+                except json.JSONDecodeError as exc:
+                    raise _HTTPError(400, f"invalid JSON body: {exc}") from None
+                if not isinstance(payload, dict):
+                    raise _HTTPError(400, "JSON body must be an object")
+            return 200, await handler(payload), {}
+        except _HTTPError as exc:
+            return exc.status, {"error": str(exc)}, exc.headers
+        except ServiceOverloadedError as exc:
+            return (
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": f"{exc.retry_after:g}"},
+            )
+        except UnknownGraphError as exc:
+            return 404, {"error": str(exc)}, {}
+        except FileNotFoundError as exc:
+            return 404, {"error": str(exc)}, {}
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+
+    async def _write_response(self, writer, status, payload, extra, keep_alive):
+        body = json.dumps(payload).encode()
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        headers.extend(f"{k}: {v}" for k, v in extra.items())
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    async def _healthz(self, _payload) -> dict:
+        return {"status": "ok", "graphs": len(self.service.pool)}
+
+    async def _stats(self, _payload) -> dict:
+        return self.service.stats()
+
+    async def _list_graphs(self, _payload) -> dict:
+        return {"graphs": self.service.graphs()}
+
+    async def _load_graph(self, payload) -> dict:
+        return await self.service.load_graph(
+            dataset=payload.get("dataset"),
+            scale=float(payload.get("scale", 1.0)),
+            path=payload.get("path"),
+            name=payload.get("name"),
+        )
+
+    async def _count(self, payload) -> dict:
+        return await self.service.count_pairs(
+            _require(payload, "graph"), _require(payload, "pairs")
+        )
+
+    async def _edits(self, payload) -> dict:
+        return await self.service.apply_edits(
+            _require(payload, "graph"),
+            insertions=payload.get("insert"),
+            deletions=payload.get("delete"),
+        )
+
+    async def _triangles(self, payload) -> dict:
+        return await self.service.triangle_count(_require(payload, "graph"))
+
+
+def _require(payload: dict, field: str):
+    try:
+        return payload[field]
+    except KeyError:
+        raise _HTTPError(400, f"missing required field {field!r}") from None

@@ -1,0 +1,114 @@
+"""LRU pool of served graphs, keyed by CSR fingerprint.
+
+The serving layer's whole value is that per-graph state — the dynamic
+counter's live counts, the session's warm artifacts, the current read
+snapshot — survives across requests.  :class:`SessionPool` owns that
+state for many graphs at once (the multi-tenant regime of ROADMAP item
+2): each loaded graph becomes one entry keyed by a prefix of its SHA-256
+CSR fingerprint, entries move to most-recently-used on access, and when
+the pool exceeds its capacity the least-recently-used entry is closed
+and evicted — its worker pool, shared-memory export, and read snapshot
+all release.
+
+The pool is thread-safe: the HTTP front end touches it from the event
+loop while dispatch threads resolve keys concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import UnknownGraphError
+
+__all__ = ["SessionPool", "DEFAULT_POOL_CAPACITY", "KEY_LENGTH"]
+
+#: Graphs kept live by default; the LRU entry is closed beyond this.
+DEFAULT_POOL_CAPACITY = 4
+
+#: Hex characters of the SHA-256 CSR fingerprint used as the public key.
+KEY_LENGTH = 12
+
+
+class SessionPool:
+    """Ordered ``key -> entry`` mapping with LRU eviction.
+
+    Entries are any object with a ``close()`` method (in practice
+    :class:`~repro.serve.service.ServedGraph`).  ``add`` returns the key
+    under which the entry is now served; re-adding the same fingerprint
+    replaces (and closes) the previous entry, so reloading a graph is
+    idempotent rather than a capacity leak.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_POOL_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        """Keys from least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def add(self, key: str, entry) -> list:
+        """Insert ``entry`` under ``key``; returns the entries evicted.
+
+        Evicted entries (including a replaced same-key entry) are closed
+        before this returns, so callers never observe a half-released
+        session.
+        """
+        closed = []
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                closed.append(old)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                _, victim = self._entries.popitem(last=False)
+                closed.append(victim)
+                self.evictions += 1
+        for victim in closed:
+            victim.close()
+        return closed
+
+    def get(self, key: str):
+        """The entry for ``key``, promoted to most-recently-used."""
+        with self._lock:
+            try:
+                entry = self._entries[key]
+            except KeyError:
+                raise UnknownGraphError(key, tuple(self._entries)) from None
+            self._entries.move_to_end(key)
+            return entry
+
+    def remove(self, key: str) -> bool:
+        """Close and drop one entry; ``False`` when the key is unknown."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        entry.close()
+        return True
+
+    def close(self) -> None:
+        """Close and drop every entry (server shutdown)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionPool({len(self._entries)}/{self.capacity} entries, "
+            f"{self.evictions} evictions)"
+        )

@@ -1,0 +1,570 @@
+"""Online counting service: coalesced reads, epoch-snapshot writes.
+
+This is the serving layer ROADMAP item 1 calls for.  It turns the warm
+:class:`~repro.engine.session.GraphSession` regime — per-graph artifacts
+amortized across many probes — into a long-lived request/response
+service with three properties the one-shot CLI cannot give:
+
+**Request coalescing.**  Concurrent per-pair queries against one graph
+are merged into *one* batched kernel dispatch: while a dispatch is in
+flight on the executor, newly arriving queries accumulate, and the next
+dispatch takes the whole backlog in a single
+:meth:`GraphSession.count_pairs` call.  The batch size therefore adapts
+to load — one pair per dispatch when idle, the entire queue under
+pressure — which amortizes the per-dispatch fixed cost (executor hop,
+group segmentation, mark-plane setup) exactly the way the paper
+amortizes BMP structure construction across an adjacency list.
+
+**Epoch snapshots.**  Edits go through :class:`~repro.core.dynamic.
+DynamicCounter` and *never* mutate the graph reads are running against:
+each edit batch produces a fresh CSR (``DynamicCounter.materialize``,
+the epoch hook), wrapped in a new refcounted :class:`ReadSnapshot` that
+is swapped in atomically.  In-flight reads keep a reference to the
+pre-edit snapshot and finish against it; the old snapshot's session is
+closed when its last reader releases it.  Reads never wait on writes,
+writes never tear a read, and every response carries the epoch it was
+answered at.
+
+**Admission control + telemetry.**  The service bounds the number of
+admitted-but-unanswered requests; past the bound it fails fast with
+:class:`~repro.errors.ServiceOverloadedError` (HTTP 503 + Retry-After)
+instead of letting the queue grow without bound.  Every request records
+its end-to-end latency into a bounded reservoir; ``stats()`` reports
+p50/p95/p99, queue depth, and the batch-size histogram the coalescer
+produced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from collections import Counter, deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.dynamic import DynamicCounter
+from repro.engine.session import GraphSession
+from repro.errors import ServiceOverloadedError, SessionClosedError
+from repro.graph.csr import CSRGraph
+from repro.serve.pool import DEFAULT_POOL_CAPACITY, KEY_LENGTH, SessionPool
+
+__all__ = [
+    "CountingService",
+    "ServedGraph",
+    "ReadSnapshot",
+    "ServiceTelemetry",
+    "DEFAULT_MAX_PENDING",
+]
+
+#: Admitted-but-unanswered request bound before 503s start.
+DEFAULT_MAX_PENDING = 256
+
+#: Seconds suggested to a rejected client (the Retry-After header).
+DEFAULT_RETRY_AFTER = 0.05
+
+
+class ReadSnapshot:
+    """One immutable epoch of a served graph, refcounted by its readers.
+
+    Owns a :class:`GraphSession` over the epoch's frozen CSR — degrees
+    and the mark plane build lazily on the first probe and stay warm for
+    the snapshot's lifetime.  The creator holds one reference; each
+    in-flight read holds one more.  When the last reference releases
+    (the writer swapped in a newer epoch *and* every read against this
+    one finished), the session closes.
+    """
+
+    __slots__ = ("graph", "epoch", "session", "_refs", "_lock")
+
+    def __init__(self, graph: CSRGraph, epoch: int):
+        self.graph = graph
+        self.epoch = epoch
+        self.session = GraphSession(graph)
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    def acquire(self) -> "ReadSnapshot | None":
+        """Take a reader reference; ``None`` if the snapshot already died."""
+        with self._lock:
+            if self._refs <= 0:
+                return None
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            dead = self._refs == 0
+        if dead:
+            self.session.close()
+
+
+class ServiceTelemetry:
+    """Thread-safe per-request/per-batch counters and latency reservoir."""
+
+    def __init__(self, reservoir: int = 8192):
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+        self._batch_sizes: Counter[int] = Counter()
+        self.requests = 0
+        self.pairs = 0
+        self.batches = 0
+        self.rejected = 0
+        self.edits = 0
+        self.edited_edges = 0
+        self.kernel_seconds = 0.0
+        self.queue_depth = 0
+        self.queue_depth_max = 0
+
+    def note_admitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.queue_depth = queue_depth
+            self.queue_depth_max = max(self.queue_depth_max, queue_depth)
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_batch(self, num_requests: int, num_pairs: int, kernel_s: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.pairs += num_pairs
+            self._batch_sizes[num_requests] += 1
+            self.kernel_seconds += kernel_s
+
+    def note_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def note_edit(self, edited_edges: int) -> None:
+        with self._lock:
+            self.edits += 1
+            self.edited_edges += edited_edges
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            lats = np.asarray(self._latencies, dtype=np.float64)
+            hist = dict(sorted(self._batch_sizes.items()))
+            counters = {
+                "requests": self.requests,
+                "pairs": self.pairs,
+                "batches": self.batches,
+                "rejected": self.rejected,
+                "edits": self.edits,
+                "edited_edges": self.edited_edges,
+                "kernel_seconds": self.kernel_seconds,
+            }
+            depth = {"current": self.queue_depth, "max": self.queue_depth_max}
+        if len(lats):
+            p50, p95, p99 = np.percentile(lats, [50.0, 95.0, 99.0])
+            latency = {
+                "count": int(len(lats)),
+                "mean_ms": float(lats.mean() * 1e3),
+                "p50_ms": float(p50 * 1e3),
+                "p95_ms": float(p95 * 1e3),
+                "p99_ms": float(p99 * 1e3),
+                "max_ms": float(lats.max() * 1e3),
+            }
+        else:
+            latency = {"count": 0}
+        batches = counters["batches"]
+        return {
+            **counters,
+            "latency_ms": latency,
+            "queue_depth": depth,
+            "batch_size": {
+                "histogram": hist,
+                "mean": (counters["pairs"] / batches) if batches else 0.0,
+                "max": max(hist) if hist else 0,
+            },
+        }
+
+
+class _PendingQuery:
+    __slots__ = ("u", "v", "future", "enqueued_at")
+
+    def __init__(self, u, v, future):
+        self.u = u
+        self.v = v
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class ServedGraph:
+    """One pooled graph: live counts, the current read snapshot, a batcher.
+
+    All batching state (``_pending``, ``_dispatching``) is touched only
+    from the event-loop thread; kernel work and edit application run on
+    the service executor.  Writes serialize on an ``asyncio.Lock`` so
+    edit batches apply in arrival order.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        name: str,
+        graph: CSRGraph,
+        *,
+        executor: ThreadPoolExecutor,
+        telemetry: ServiceTelemetry,
+        coalesce: bool = True,
+    ):
+        self.key = key
+        self.name = name
+        self.counter = DynamicCounter(graph)
+        self.epoch = 0
+        self.loaded_at = time.time()
+        self._executor = executor
+        self._telemetry = telemetry
+        self._coalesce = coalesce
+        self._snap_lock = threading.Lock()
+        self._snapshot = ReadSnapshot(self.counter.materialize(), 0)
+        self._pending: deque[_PendingQuery] = deque()
+        self._dispatching = False
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    async def count_pairs(self, u: np.ndarray, v: np.ndarray):
+        """Counts for the pair arrays; returns ``(counts, epoch)``.
+
+        With coalescing on, the query joins the pending batch and is
+        answered by the next dispatch together with every other query
+        that arrived while the previous dispatch ran.
+        """
+        loop = asyncio.get_running_loop()
+        query = _PendingQuery(u, v, loop.create_future())
+        if self._coalesce:
+            self._pending.append(query)
+            self._kick(loop)
+        else:
+            self._dispatch(loop, [query])
+        return await query.future
+
+    def pending_queries(self) -> int:
+        return len(self._pending)
+
+    def _kick(self, loop) -> None:
+        """Start a dispatch if none is in flight and work is queued."""
+        if self._dispatching or not self._pending:
+            return
+        batch = list(self._pending)
+        self._pending.clear()
+        self._dispatching = True
+        self._dispatch(loop, batch)
+
+    def _dispatch(self, loop, batch: list[_PendingQuery]) -> None:
+        snap = self._acquire_snapshot()
+        if snap is None:
+            exc = SessionClosedError("dispatch queries on")
+            for q in batch:
+                q.future.set_exception(exc)
+            self._dispatching = False
+            return
+        fut = loop.run_in_executor(self._executor, self._run_batch, snap, batch)
+        fut.add_done_callback(lambda f: self._batch_done(f, batch, snap, loop))
+
+    def _run_batch(self, snap: ReadSnapshot, batch: list[_PendingQuery]):
+        """Executor thread: one kernel dispatch for the whole batch."""
+        u = np.concatenate([q.u for q in batch])
+        v = np.concatenate([q.v for q in batch])
+        t0 = time.perf_counter()
+        counts = snap.session.count_pairs(u, v)
+        kernel_s = time.perf_counter() - t0
+        out = []
+        pos = 0
+        for q in batch:
+            out.append(counts[pos : pos + len(q.u)])
+            pos += len(q.u)
+        return out, len(u), kernel_s
+
+    def _batch_done(self, fut, batch, snap: ReadSnapshot, loop) -> None:
+        """Event-loop thread: distribute results, recurse on the backlog."""
+        if self._coalesce:
+            self._dispatching = False
+        epoch = snap.epoch
+        snap.release()
+        try:
+            out, num_pairs, kernel_s = fut.result()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            for q in batch:
+                if not q.future.done():
+                    q.future.set_exception(exc)
+        else:
+            now = time.perf_counter()
+            self._telemetry.note_batch(len(batch), num_pairs, kernel_s)
+            for q, counts in zip(batch, out):
+                self._telemetry.note_latency(now - q.enqueued_at)
+                if not q.future.done():
+                    q.future.set_result((counts, epoch))
+        if self._coalesce:
+            self._kick(loop)
+
+    def _acquire_snapshot(self) -> ReadSnapshot | None:
+        with self._snap_lock:
+            if self._closed:
+                return None
+            return self._snapshot.acquire()
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    async def apply_edits(self, insertions, deletions):
+        """Apply one edit batch; returns ``(UpdateResult, epoch)``.
+
+        The batch goes through the dynamic counter on the executor, then
+        a fresh epoch snapshot is swapped in.  Reads already dispatched
+        keep the pre-edit snapshot; reads admitted afterwards see the
+        post-edit graph.  No-op batches (every edge already present /
+        absent) do not advance the epoch.
+        """
+        loop = asyncio.get_running_loop()
+        async with self._write_lock:
+            return await loop.run_in_executor(
+                self._executor, self._apply_sync, insertions, deletions
+            )
+
+    def _apply_sync(self, insertions, deletions):
+        result = self.counter.apply(insertions=insertions, deletions=deletions)
+        changed = result.inserted + result.deleted
+        if changed == 0:
+            return result, self.epoch
+        new_snap = ReadSnapshot(self.counter.materialize(), self.epoch + 1)
+        with self._snap_lock:
+            old = self._snapshot
+            self._snapshot = new_snap
+            self.epoch = new_snap.epoch
+        old.release()
+        self._telemetry.note_edit(changed)
+        return result, new_snap.epoch
+
+    async def triangle_count(self) -> int:
+        """Live triangle total (serialized with writes; the counts dict
+        must not be summed while an edit batch mutates it)."""
+        loop = asyncio.get_running_loop()
+        async with self._write_lock:
+            return await loop.run_in_executor(
+                self._executor, self.counter.triangle_count
+            )
+
+    # ------------------------------------------------------------------ #
+    def info(self) -> dict:
+        return {
+            "graph": self.key,
+            "name": self.name,
+            "vertices": int(self.counter.num_vertices),
+            "edges": int(self.counter.num_edges),
+            "epoch": self.epoch,
+            "pending": len(self._pending),
+            "updates_applied": self.counter.updates_applied,
+            "recounts": self.counter.recounts,
+        }
+
+    def close(self) -> None:
+        with self._snap_lock:
+            if self._closed:
+                return
+            self._closed = True
+            snapshot = self._snapshot
+        snapshot.release()
+        self.counter.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServedGraph({self.key}, name={self.name!r}, "
+            f"epoch={self.epoch}, pending={len(self._pending)})"
+        )
+
+
+class CountingService:
+    """The request-facing facade: session pool + admission + telemetry.
+
+    Parameters
+    ----------
+    capacity:
+        LRU session-pool size (graphs kept live at once).
+    max_pending:
+        Admitted-but-unanswered request bound; excess requests raise
+        :class:`ServiceOverloadedError` (503 at the HTTP layer).
+    dispatch_threads:
+        Executor threads running kernel dispatches and edit batches.
+    coalesce:
+        ``False`` disables request batching (one kernel dispatch per
+        request) — the naive regime the serving benchmark compares
+        against.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = DEFAULT_POOL_CAPACITY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        dispatch_threads: int | None = None,
+        coalesce: bool = True,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.pool = SessionPool(capacity)
+        self.telemetry = ServiceTelemetry()
+        self.coalesce = coalesce
+        self.max_pending = int(max_pending)
+        self.retry_after = float(retry_after)
+        threads = dispatch_threads or min(4, (os.cpu_count() or 1) + 1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-serve"
+        )
+        self._inflight = 0  # event-loop thread only
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------ #
+    # graph lifecycle
+    # ------------------------------------------------------------------ #
+    async def load_graph(
+        self,
+        *,
+        dataset: str | None = None,
+        scale: float = 1.0,
+        path: str | None = None,
+        graph: CSRGraph | None = None,
+        name: str | None = None,
+    ) -> dict:
+        """Load a graph and admit it to the pool; returns its info dict.
+
+        Exactly one of ``dataset``/``path``/``graph`` must be given.  The
+        load plus the dynamic counter's initial count run on the executor
+        (they are the cold cost the pool exists to amortize); the
+        returned ``graph`` field is the key every later request uses.
+        """
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(
+            self._executor, self._build_entry, dataset, scale, path, graph, name
+        )
+        self.pool.add(entry.key, entry)
+        return entry.info()
+
+    def _build_entry(self, dataset, scale, path, graph, name) -> ServedGraph:
+        from repro.core.result import graph_fingerprint
+
+        given = [x for x in (dataset, path, graph) if x is not None]
+        if len(given) != 1:
+            raise ValueError("specify exactly one of dataset=, path=, graph=")
+        if dataset is not None:
+            from repro.graph.datasets import load_dataset
+
+            graph = load_dataset(dataset, scale=scale)
+            name = name or f"{dataset}:{scale:g}"
+        elif path is not None:
+            from repro.graph.io import read_edge_list
+
+            graph = read_edge_list(path)
+            name = name or os.path.basename(str(path))
+        key = graph_fingerprint(graph)[:KEY_LENGTH]
+        return ServedGraph(
+            key,
+            name or key,
+            graph,
+            executor=self._executor,
+            telemetry=self.telemetry,
+            coalesce=self.coalesce,
+        )
+
+    def graphs(self) -> list[dict]:
+        return [self.pool.get(key).info() for key in self.pool.keys()]
+
+    # ------------------------------------------------------------------ #
+    # requests
+    # ------------------------------------------------------------------ #
+    async def count_pairs(self, key: str, pairs) -> dict:
+        """Common neighbor counts for ``pairs`` on graph ``key``."""
+        entry = self.pool.get(key)
+        u, v = _parse_pairs(pairs)
+        self._admit()
+        self._inflight += 1
+        try:
+            counts, epoch = await entry.count_pairs(u, v)
+        finally:
+            self._inflight -= 1
+        return {
+            "graph": key,
+            "epoch": epoch,
+            "counts": counts.tolist(),
+        }
+
+    async def apply_edits(self, key: str, insertions=None, deletions=None) -> dict:
+        """Apply an edit batch to graph ``key``; returns the new epoch."""
+        entry = self.pool.get(key)
+        ins = _parse_edge_array(insertions)
+        dels = _parse_edge_array(deletions)
+        result, epoch = await entry.apply_edits(ins, dels)
+        return {
+            "graph": key,
+            "epoch": epoch,
+            "inserted": result.inserted,
+            "deleted": result.deleted,
+            "skipped": result.skipped,
+            "mode": result.mode,
+        }
+
+    async def triangle_count(self, key: str) -> dict:
+        entry = self.pool.get(key)
+        return {
+            "graph": key,
+            "epoch": entry.epoch,
+            "triangles": await entry.triangle_count(),
+        }
+
+    def _admit(self) -> None:
+        if self._inflight >= self.max_pending:
+            self.telemetry.note_rejected()
+            raise ServiceOverloadedError(self._inflight, self.retry_after)
+        self.telemetry.note_admitted(self._inflight + 1)
+
+    # ------------------------------------------------------------------ #
+    # telemetry / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "inflight": self._inflight,
+            "max_pending": self.max_pending,
+            "coalesce": self.coalesce,
+            "pool": {
+                "graphs": len(self.pool),
+                "capacity": self.pool.capacity,
+                "evictions": self.pool.evictions,
+                "keys": self.pool.keys(),
+            },
+            **self.telemetry.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Close every served graph and stop the dispatch executor."""
+        self.pool.close()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _parse_pairs(pairs) -> tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("pairs must be a non-empty list of [u, v] pairs")
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (m, 2), got {arr.shape}")
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+
+
+def _parse_edge_array(pairs) -> np.ndarray:
+    if pairs is None:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edit batch must have shape (m, 2), got {arr.shape}")
+    return arr

@@ -6,7 +6,7 @@ import pytest
 from repro.core.dynamic import DynamicCounter
 from repro.core.verify import brute_force_counts
 from repro.engine import GraphSession
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, SessionClosedError
 from repro.graph.generators import chung_lu_graph, small_test_graph
 
 
@@ -192,3 +192,89 @@ def test_invalidate_everything_then_rebuild():
         assert s.cached_artifacts() == []
         assert s.fingerprint() == fp
         assert s.artifact_stats()["fingerprint"].builds == 2
+
+
+# --------------------------------------------------------------------- #
+# teardown / use-after-close
+# --------------------------------------------------------------------- #
+def test_close_is_idempotent():
+    s = GraphSession(small_test_graph())
+    assert not s.closed
+    s.close()
+    s.close()  # second close is a no-op, not an error
+    assert s.closed
+
+
+def test_closed_session_raises_session_closed_error():
+    s = GraphSession(small_test_graph())
+    s.count()  # warm, then tear down
+    s.close()
+    with pytest.raises(SessionClosedError, match="count on"):
+        s.count()
+    with pytest.raises(SessionClosedError, match="count pairs"):
+        s.count_pairs([0], [1])
+    with pytest.raises(SessionClosedError, match="apply edits"):
+        s.apply_edits(insertions=[(0, 6)])
+    # Callers that guard on RuntimeError (the historical behavior) still
+    # catch the dedicated error type.
+    assert issubclass(SessionClosedError, RuntimeError)
+
+
+def test_context_manager_exit_then_reuse_raises():
+    with GraphSession(small_test_graph()) as s:
+        s.count_pairs([0], [1])
+    with pytest.raises(SessionClosedError):
+        s.count_pairs([0], [1])
+
+
+# --------------------------------------------------------------------- #
+# sequential-fallback warning dedup
+# --------------------------------------------------------------------- #
+def _break_shared_memory(monkeypatch):
+    import repro.parallel.sharedmem as sharedmem
+    import repro.parallel.threadpool as tp
+
+    def boom(graph):
+        raise OSError("shared memory unavailable")
+
+    monkeypatch.setattr(sharedmem, "SharedGraph", boom)
+    monkeypatch.setattr(tp, "SharedGraph", boom)
+
+
+def test_parallel_fallback_warns_once_per_session(monkeypatch):
+    """Regression: a warm session used to emit one RuntimeWarning per
+    count when the pool degraded to sequential execution.  The fallback
+    reason is a property of the host, so the session warns exactly once —
+    even across pool rebuilds with different worker counts."""
+    import warnings as warnings_mod
+
+    _break_shared_memory(monkeypatch)
+    g = chung_lu_graph(60, 200, seed=4)
+    with GraphSession(g) as s:
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            a = s.count(backend="parallel", num_workers=2)
+            b = s.count(backend="parallel", num_workers=2)
+            c = s.count(backend="parallel", num_workers=3)  # pool rebuild
+        assert np.array_equal(a.counts, b.counts)
+        assert np.array_equal(a.counts, c.counts)
+        fallback = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "sequentially" in str(w.message)
+        ]
+        assert len(fallback) == 1, (
+            f"expected exactly one fallback warning, got {len(fallback)}"
+        )
+
+    # A fresh session is a fresh host report: it warns once again.
+    with GraphSession(g) as s2:
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            s2.count(backend="parallel", num_workers=2)
+        fallback = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "sequentially" in str(w.message)
+        ]
+        assert len(fallback) == 1

@@ -1,0 +1,162 @@
+"""Threaded stress: concurrent reads + interleaved edits on ONE session.
+
+A single :class:`GraphSession` is hammered by reader threads running
+``count`` / ``count_pairs`` while a writer thread applies edit batches
+through :meth:`GraphSession.apply_edits`.  The session serializes on its
+internal lock, so every read must be *linearized*: bit-exact equal to
+the sequential replay of exactly one epoch — never a torn mix of two.
+
+Epoch batches are sized so every epoch's edge count is distinct, which
+lets a full-count read identify the epoch it observed; per-reader epoch
+sequences must then be monotonically non-decreasing (a session can never
+serve an older graph after a newer one).
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.dynamic import DynamicCounter
+from repro.engine import GraphSession
+from repro.graph.generators import chung_lu_graph
+
+#: Distinct batch sizes -> distinct per-epoch edge counts (see module doc).
+BATCH_SIZES = (6, 10)
+
+
+def absent_edges(graph, rng, count, taken):
+    """``count`` fresh u<v edges absent from ``graph`` and ``taken``."""
+    out = []
+    adj = {u: set(map(int, graph.neighbors(u))) for u in range(graph.num_vertices)}
+    while len(out) < count:
+        u, v = rng.integers(0, graph.num_vertices, 2)
+        u, v = int(min(u, v)), int(max(u, v))
+        if u == v or v in adj[u] or (u, v) in taken:
+            continue
+        taken.add((u, v))
+        out.append((u, v))
+    return np.array(out, dtype=np.int64)
+
+
+def build_epochs(graph, rng):
+    """Sequential replay: per-epoch graphs + expected read results.
+
+    Epochs: 0 = base, 1 = +b1, 2 = +b1+b2, 3 = +b2 (b1 deleted again).
+    """
+    taken = set()
+    b1 = absent_edges(graph, rng, BATCH_SIZES[0], taken)
+    b2 = absent_edges(graph, rng, BATCH_SIZES[1], taken)
+    edits = [
+        {"insertions": b1},
+        {"insertions": b2},
+        {"deletions": b1},
+    ]
+    counter = DynamicCounter(graph)
+    graphs = [counter.materialize()]
+    for edit in edits:
+        counter.apply(**edit)
+        graphs.append(counter.materialize())
+    counter.close()
+
+    probes = rng.integers(0, graph.num_vertices, size=(24, 2))
+    expected_full = []
+    expected_pairs = []
+    for g in graphs:
+        with GraphSession(g) as s:
+            expected_full.append(s.count(backend="merge").counts.copy())
+            expected_pairs.append(s.count_pairs(probes[:, 0], probes[:, 1]))
+    return edits, graphs, probes, expected_full, expected_pairs
+
+
+def test_concurrent_reads_with_interleaved_edits_are_linearized():
+    graph = chung_lu_graph(100, 400, seed=2)
+    rng = np.random.default_rng(11)
+    edits, graphs, probes, expected_full, expected_pairs = build_epochs(
+        graph, rng
+    )
+    edges_by_epoch = {len(c): e for e, c in enumerate(expected_full)}
+    assert len(edges_by_epoch) == len(graphs), (
+        "epochs must have distinct counts-array lengths for epoch inference"
+    )
+    pair_tuples = [tuple(a.tolist()) for a in expected_pairs]
+
+    stop = threading.Event()
+    errors = []
+    full_epoch_seqs = [[] for _ in range(2)]
+    pair_reads = []
+
+    session = GraphSession(graphs[0])
+    try:
+        def full_reader(slot):
+            try:
+                while not stop.is_set():
+                    counts = session.count(backend="merge").counts
+                    epoch = edges_by_epoch.get(len(counts))
+                    assert epoch is not None, (
+                        f"read a graph with {len(counts)} edges, matching "
+                        "no epoch — torn read"
+                    )
+                    assert np.array_equal(counts, expected_full[epoch]), (
+                        f"full counts at epoch {epoch} diverge from the "
+                        "sequential replay"
+                    )
+                    full_epoch_seqs[slot].append(epoch)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def pair_reader():
+            try:
+                while not stop.is_set():
+                    got = tuple(
+                        session.count_pairs(probes[:, 0], probes[:, 1]).tolist()
+                    )
+                    assert got in pair_tuples, (
+                        "count_pairs result matches no epoch's replay — "
+                        "torn read"
+                    )
+                    pair_reads.append(got)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def writer():
+            try:
+                for edit, new_graph in zip(edits, graphs[1:]):
+                    time.sleep(0.05)
+                    session.apply_edits(**edit, new_graph=new_graph)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                time.sleep(0.05)  # let readers observe the final epoch
+                stop.set()
+
+        threads = [
+            threading.Thread(target=full_reader, args=(0,)),
+            threading.Thread(target=full_reader, args=(1,)),
+            threading.Thread(target=pair_reader),
+            threading.Thread(target=writer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive(), "stress thread hung"
+        assert not errors, errors
+
+        # Readers saw real traffic, and nobody time-traveled: per-reader
+        # epoch sequences are monotone and end at the final epoch.
+        for seq in full_epoch_seqs:
+            assert seq, "full-count reader never completed a read"
+            assert seq == sorted(seq), f"epoch sequence went backwards: {seq}"
+            assert seq[-1] == len(graphs) - 1
+        assert pair_reads, "pair reader never completed a read"
+        assert pair_reads[-1] == pair_tuples[-1]
+
+        # The session itself ends bit-exact at the final epoch.
+        final = session.count_pairs(probes[:, 0], probes[:, 1])
+        assert np.array_equal(final, expected_pairs[-1])
+        assert np.array_equal(
+            session.count(backend="merge").counts, expected_full[-1]
+        )
+    finally:
+        session.close()

@@ -1,0 +1,289 @@
+"""CountingServer HTTP/1.1 front end: routes, error mapping, keep-alive.
+
+Each test boots the real asyncio server on an ephemeral port inside
+``asyncio.run`` and talks to it over asyncio streams — the actual wire
+protocol, no test client shims.
+"""
+
+import asyncio
+import json
+
+from repro.engine import GraphSession
+from repro.graph.generators import small_test_graph
+from repro.serve import CountingServer, CountingService
+from repro.serve.http import MAX_BODY_BYTES
+
+
+async def started_server(**service_kw):
+    service_kw.setdefault("dispatch_threads", 2)
+    service = CountingService(**service_kw)
+    server = CountingServer(service, port=0)
+    await server.start()
+    return server, service
+
+
+async def http_request(port, method, path, body=None, *, keep_alive=False,
+                       reader_writer=None):
+    """One request over a fresh (or provided keep-alive) connection.
+
+    Returns ``(status, headers, payload, (reader, writer))``.
+    """
+    if reader_writer is None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    else:
+        reader, writer = reader_writer
+    payload = json.dumps(body).encode() if body is not None else b""
+    connection = "keep-alive" if keep_alive else "close"
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: {connection}\r\n\r\n"
+        .encode() + payload
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    data = await reader.readexactly(int(headers["content-length"]))
+    if not keep_alive:
+        writer.close()
+    return status, headers, json.loads(data), (reader, writer)
+
+
+def test_health_load_count_roundtrip():
+    graph = small_test_graph()
+    with GraphSession(graph) as s:
+        expected = int(s.count_pairs([0], [2])[0])
+
+    async def main():
+        server, service = await started_server()
+        try:
+            port = server.port
+            status, _, body, _ = await http_request(port, "GET", "/healthz")
+            assert status == 200 and body == {"status": "ok", "graphs": 0}
+
+            key = (await service.load_graph(graph=graph))["graph"]
+
+            status, _, body, _ = await http_request(port, "GET", "/graphs")
+            assert status == 200
+            assert body["graphs"][0]["graph"] == key
+
+            status, _, body, _ = await http_request(
+                port, "POST", "/count",
+                {"graph": key, "pairs": [[0, 2]]},
+            )
+            assert status == 200
+            assert body == {"graph": key, "epoch": 0, "counts": [expected]}
+
+            status, _, body, _ = await http_request(port, "GET", "/stats")
+            assert status == 200
+            assert body["requests"] == 1
+            assert "latency_ms" in body and "queue_depth" in body
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_load_graph_from_edge_list_path(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n1 2\n0 2\n")
+
+    async def main():
+        server, service = await started_server()
+        try:
+            status, _, body, _ = await http_request(
+                server.port, "POST", "/graphs", {"path": str(path)}
+            )
+            assert status == 200
+            assert body["vertices"] == 3 and body["edges"] == 3
+            assert body["name"] == "g.txt"
+
+            status, _, body, _ = await http_request(
+                server.port, "POST", "/triangles", {"graph": body["graph"]}
+            )
+            assert status == 200 and body["triangles"] == 1
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_edits_roundtrip_and_epoch():
+    async def main():
+        server, service = await started_server()
+        try:
+            key = (await service.load_graph(graph=small_test_graph()))["graph"]
+            status, _, body, _ = await http_request(
+                server.port, "POST", "/edits",
+                {"graph": key, "insert": [[0, 6]], "delete": [[4, 5]]},
+            )
+            assert status == 200
+            assert body["inserted"] == 1 and body["deleted"] == 1
+            assert body["epoch"] == 1
+            status, _, body, _ = await http_request(
+                server.port, "POST", "/count",
+                {"graph": key, "pairs": [[0, 1]]},
+            )
+            assert status == 200 and body["epoch"] == 1
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_error_mapping():
+    async def main():
+        server, service = await started_server()
+        try:
+            port = server.port
+            key = (await service.load_graph(graph=small_test_graph()))["graph"]
+
+            cases = [
+                # (status, method, path, body)
+                (404, "GET", "/nope", None),
+                (405, "POST", "/healthz", None),
+                (404, "POST", "/count", {"graph": "feedfacedead",
+                                         "pairs": [[0, 1]]}),
+                (400, "POST", "/count", {"pairs": [[0, 1]]}),  # no graph
+                (400, "POST", "/count", {"graph": key}),       # no pairs
+                (400, "POST", "/count", {"graph": key, "pairs": []}),
+                (400, "POST", "/count", {"graph": key, "pairs": [[1, 2, 3]]}),
+                (404, "POST", "/graphs", {"path": "/no/such/file.txt"}),
+                (400, "POST", "/graphs", {}),  # no source at all
+            ]
+            for want, method, path, body in cases:
+                status, _, payload, _ = await http_request(
+                    port, method, path, body
+                )
+                assert status == want, (method, path, body, payload)
+                assert "error" in payload
+
+            # Syntactically invalid JSON body.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /count HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 9\r\nConnection: close\r\n\r\nnot json!"
+            )
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_overload_returns_503_with_retry_after():
+    async def main():
+        server, service = await started_server(max_pending=1, retry_after=0.07)
+        try:
+            key = (await service.load_graph(graph=small_test_graph()))["graph"]
+            # Claim the only admission slot by hand: deterministic 503
+            # without racing a real in-flight request.
+            service._inflight = service.max_pending
+            status, headers, body, _ = await http_request(
+                server.port, "POST", "/count",
+                {"graph": key, "pairs": [[0, 1]]},
+            )
+            assert status == 503
+            assert headers["retry-after"] == "0.07"
+            assert body["retry_after"] == 0.07
+            service._inflight = 0
+            status, _, _, _ = await http_request(
+                server.port, "POST", "/count",
+                {"graph": key, "pairs": [[0, 1]]},
+            )
+            assert status == 200
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_keep_alive_serves_multiple_requests_per_connection():
+    async def main():
+        server, service = await started_server()
+        try:
+            key = (await service.load_graph(graph=small_test_graph()))["graph"]
+            conn = None
+            for _ in range(3):
+                status, _, body, conn = await http_request(
+                    server.port, "POST", "/count",
+                    {"graph": key, "pairs": [[0, 2]]},
+                    keep_alive=True, reader_writer=conn,
+                )
+                assert status == 200
+            conn[1].close()
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_oversized_body_rejected_with_413():
+    async def main():
+        server, service = await started_server()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                b"POST /count HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n"
+            )
+            await writer.drain()
+            line = await reader.readline()
+            assert b"413" in line
+            writer.close()
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_malformed_request_line_rejected_with_400():
+    async def main():
+        server, service = await started_server()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GARBAGE\r\n\r\n")
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_ephemeral_port_binding_and_address():
+    async def main():
+        server, service = await started_server()
+        try:
+            assert server.port != 0
+            assert server.address == f"http://127.0.0.1:{server.port}"
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())

@@ -1,0 +1,93 @@
+"""SessionPool LRU semantics: promotion, eviction, closing."""
+
+import pytest
+
+from repro.errors import UnknownGraphError
+from repro.serve.pool import SessionPool
+
+
+class FakeEntry:
+    def __init__(self, tag):
+        self.tag = tag
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def test_add_and_get_roundtrip():
+    pool = SessionPool(capacity=2)
+    a = FakeEntry("a")
+    pool.add("a", a)
+    assert pool.get("a") is a
+    assert len(pool) == 1
+    assert "a" in pool
+
+
+def test_unknown_key_raises_with_known_keys():
+    pool = SessionPool(capacity=2)
+    pool.add("a", FakeEntry("a"))
+    with pytest.raises(UnknownGraphError) as err:
+        pool.get("nope")
+    assert "nope" in str(err.value)
+    assert "a" in str(err.value)
+
+
+def test_lru_eviction_closes_oldest():
+    pool = SessionPool(capacity=2)
+    a, b, c = FakeEntry("a"), FakeEntry("b"), FakeEntry("c")
+    pool.add("a", a)
+    pool.add("b", b)
+    pool.add("c", c)  # capacity 2: "a" is LRU and must go
+    assert a.closed and not b.closed and not c.closed
+    assert pool.keys() == ["b", "c"]
+    assert pool.evictions == 1
+    with pytest.raises(UnknownGraphError):
+        pool.get("a")
+
+
+def test_get_promotes_to_most_recently_used():
+    pool = SessionPool(capacity=2)
+    a, b, c = FakeEntry("a"), FakeEntry("b"), FakeEntry("c")
+    pool.add("a", a)
+    pool.add("b", b)
+    pool.get("a")  # now "b" is LRU
+    pool.add("c", c)
+    assert b.closed and not a.closed
+    assert pool.keys() == ["a", "c"]
+
+
+def test_readding_same_key_replaces_and_closes_old():
+    pool = SessionPool(capacity=2)
+    old, new = FakeEntry("old"), FakeEntry("new")
+    pool.add("k", old)
+    evicted = pool.add("k", new)
+    assert old.closed
+    assert evicted == [old]
+    assert pool.get("k") is new
+    assert len(pool) == 1
+    assert pool.evictions == 0  # a replace is not an eviction
+
+
+def test_remove_closes_and_reports_unknown():
+    pool = SessionPool(capacity=2)
+    a = FakeEntry("a")
+    pool.add("a", a)
+    assert pool.remove("a") is True
+    assert a.closed
+    assert pool.remove("a") is False
+
+
+def test_close_drains_everything():
+    pool = SessionPool(capacity=4)
+    entries = [FakeEntry(i) for i in range(3)]
+    for i, e in enumerate(entries):
+        pool.add(str(i), e)
+    pool.close()
+    assert all(e.closed for e in entries)
+    assert len(pool) == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        SessionPool(capacity=0)

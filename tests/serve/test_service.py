@@ -1,0 +1,313 @@
+"""CountingService: coalescing, epoch snapshots, admission, telemetry.
+
+The service is async; each test drives it inside ``asyncio.run`` (no
+pytest-asyncio dependency).  Determinism notes: the coalescing tests
+park the dispatch executor with sleeps so queries provably accumulate
+before the first batch runs, and the admission test holds a request in
+flight the same way before firing the one that must be rejected.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import GraphSession
+from repro.errors import ServiceOverloadedError, SessionClosedError, UnknownGraphError
+from repro.graph.generators import chung_lu_graph, small_test_graph
+from repro.serve import CountingService
+from repro.serve.service import _parse_edge_array, _parse_pairs
+
+
+def make_service(**kw):
+    kw.setdefault("dispatch_threads", 2)
+    return CountingService(**kw)
+
+
+async def load(service, graph=None):
+    info = await service.load_graph(graph=graph or small_test_graph())
+    return info["graph"]
+
+
+def park_executor(service, seconds):
+    """Occupy every dispatch thread so no batch can start yet."""
+    for _ in range(service._executor._max_workers):
+        service._executor.submit(time.sleep, seconds)
+
+
+# --------------------------------------------------------------------- #
+# correctness
+# --------------------------------------------------------------------- #
+def test_count_pairs_bit_exact_vs_direct_session():
+    graph = chung_lu_graph(80, 300, seed=5)
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, graph.num_vertices, size=(32, 2))
+    with GraphSession(graph) as s:
+        expected = s.count_pairs(pairs[:, 0], pairs[:, 1])
+
+    async def main():
+        service = make_service()
+        try:
+            key = await load(service, graph)
+            resp = await service.count_pairs(key, pairs.tolist())
+            assert resp["graph"] == key
+            assert resp["epoch"] == 0
+            assert resp["counts"] == expected.tolist()
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_unknown_graph_key_raises():
+    async def main():
+        service = make_service()
+        try:
+            await load(service)
+            with pytest.raises(UnknownGraphError):
+                await service.count_pairs("feedfacedead", [[0, 1]])
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# coalescing
+# --------------------------------------------------------------------- #
+def test_concurrent_queries_coalesce_into_batches():
+    graph = chung_lu_graph(80, 300, seed=5)
+    with GraphSession(graph) as s:
+        expected = s.count_pairs(np.arange(10), np.arange(1, 11))
+
+    async def main():
+        service = make_service(coalesce=True)
+        try:
+            key = await load(service, graph)
+            park_executor(service, 0.1)
+            results = await asyncio.gather(
+                *(service.count_pairs(key, [[i, i + 1]]) for i in range(10))
+            )
+            for i, resp in enumerate(results):
+                assert resp["counts"] == [int(expected[i])]
+            stats = service.stats()
+            # 10 queries, executor parked until all were enqueued: far
+            # fewer dispatches than queries, and at least one real batch.
+            assert stats["batch_size"]["max"] >= 2
+            assert stats["batches"] < 10
+            assert stats["pairs"] == 10
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_naive_mode_dispatches_per_request():
+    async def main():
+        service = make_service(coalesce=False)
+        try:
+            key = await load(service)
+            await asyncio.gather(
+                *(service.count_pairs(key, [[0, i]]) for i in range(1, 6))
+            )
+            stats = service.stats()
+            assert stats["batches"] == 5
+            assert stats["batch_size"]["max"] == 1
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# admission control
+# --------------------------------------------------------------------- #
+def test_overload_rejects_with_retry_after():
+    async def main():
+        service = make_service(max_pending=1, retry_after=0.125)
+        try:
+            key = await load(service)
+            park_executor(service, 0.2)
+            first = asyncio.ensure_future(service.count_pairs(key, [[0, 1]]))
+            await asyncio.sleep(0)  # let it admit and block on the batch
+            with pytest.raises(ServiceOverloadedError) as err:
+                await service.count_pairs(key, [[1, 2]])
+            assert err.value.retry_after == 0.125
+            await first  # the admitted request still completes
+            assert service.stats()["rejected"] == 1
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_max_pending_must_be_positive():
+    with pytest.raises(ValueError, match="max_pending"):
+        CountingService(max_pending=0)
+
+
+# --------------------------------------------------------------------- #
+# edits + epochs
+# --------------------------------------------------------------------- #
+def test_edits_advance_epoch_and_change_counts():
+    async def main():
+        service = make_service()
+        try:
+            graph = small_test_graph()
+            key = await load(service, graph)
+            before = await service.count_pairs(key, [[0, 2]])
+
+            # Find a vertex adjacent to neither endpoint, then wire it to
+            # both: the common-neighbor count of (0, 2) must rise by one.
+            n0 = set(graph.neighbors(0))
+            n2 = set(graph.neighbors(2))
+            w = next(
+                x for x in range(graph.num_vertices)
+                if x not in (0, 2) and x not in n0 and x not in n2
+            )
+            resp = await service.apply_edits(key, insertions=[[0, w], [2, w]])
+            assert resp["epoch"] == 1
+            assert resp["inserted"] == 2
+
+            after = await service.count_pairs(key, [[0, 2]])
+            assert after["epoch"] == 1
+            assert after["counts"][0] == before["counts"][0] + 1
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_noop_edit_batch_does_not_advance_epoch():
+    async def main():
+        service = make_service()
+        try:
+            graph = small_test_graph()
+            key = await load(service, graph)
+            u = int(graph.neighbors(0)[0])
+            resp = await service.apply_edits(key, insertions=[[0, u]])
+            assert resp["inserted"] == 0
+            assert resp["skipped"] == 1
+            assert resp["epoch"] == 0
+            resp = await service.count_pairs(key, [[0, 1]])
+            assert resp["epoch"] == 0
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_triangle_count_tracks_edits():
+    async def main():
+        service = make_service()
+        try:
+            graph = small_test_graph()
+            key = await load(service, graph)
+            t0 = (await service.triangle_count(key))["triangles"]
+            with GraphSession(graph) as s:
+                assert t0 == s.count().triangle_count()
+            # Deleting an edge can only lose triangles.
+            e = [[int(graph.neighbors(0)[0]), 0]]
+            await service.apply_edits(key, deletions=e)
+            t1 = (await service.triangle_count(key))["triangles"]
+            assert t1 <= t0
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# lifecycle
+# --------------------------------------------------------------------- #
+def test_evicted_graph_becomes_unknown():
+    async def main():
+        service = make_service(capacity=1)
+        try:
+            key1 = await load(service, chung_lu_graph(40, 100, seed=1))
+            key2 = await load(service, chung_lu_graph(40, 100, seed=2))
+            assert key1 != key2
+            with pytest.raises(UnknownGraphError):
+                await service.count_pairs(key1, [[0, 1]])
+            resp = await service.count_pairs(key2, [[0, 1]])
+            assert resp["graph"] == key2
+            assert service.stats()["pool"]["evictions"] == 1
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_query_after_entry_close_raises_session_closed():
+    async def main():
+        service = make_service()
+        try:
+            key = await load(service)
+            entry = service.pool.get(key)
+            entry.close()
+            entry.close()  # idempotent
+            with pytest.raises(SessionClosedError):
+                await service.count_pairs(key, [[0, 1]])
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_stats_shape():
+    async def main():
+        service = make_service()
+        try:
+            key = await load(service)
+            await service.count_pairs(key, [[0, 1], [1, 2]])
+            stats = service.stats()
+            assert stats["requests"] == 1
+            assert stats["pairs"] == 2
+            for field in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"):
+                assert field in stats["latency_ms"]
+            assert stats["queue_depth"]["max"] >= 1
+            assert stats["pool"]["graphs"] == 1
+            assert key in stats["pool"]["keys"]
+            assert stats["batch_size"]["histogram"] == {1: 1}
+        finally:
+            service.close()
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# input validation
+# --------------------------------------------------------------------- #
+def test_parse_pairs_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="non-empty"):
+        _parse_pairs([])
+    with pytest.raises(ValueError, match="shape"):
+        _parse_pairs([[1, 2, 3]])
+    with pytest.raises(ValueError):
+        _parse_pairs("nonsense")
+    u, v = _parse_pairs([[3, 4], [5, 6]])
+    assert u.tolist() == [3, 5] and v.tolist() == [4, 6]
+
+
+def test_parse_edge_array_accepts_none_and_empty():
+    assert _parse_edge_array(None).shape == (0, 2)
+    assert _parse_edge_array([]).shape == (0, 2)
+    with pytest.raises(ValueError, match="shape"):
+        _parse_edge_array([[1, 2, 3]])
+
+
+def test_load_graph_requires_exactly_one_source():
+    async def main():
+        service = make_service()
+        try:
+            with pytest.raises(ValueError, match="exactly one"):
+                await service.load_graph()
+            with pytest.raises(ValueError, match="exactly one"):
+                await service.load_graph(
+                    dataset="lj", graph=small_test_graph()
+                )
+        finally:
+            service.close()
+
+    asyncio.run(main())

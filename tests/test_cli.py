@@ -204,3 +204,71 @@ def test_fuzz_command_replays_artifact(capsys, tmp_path):
     code, out = run(capsys, "fuzz", "--replay", artifact)
     assert code == 0  # the recorded bug is fixed, so the replay passes
     assert "merge" in out
+
+
+# --------------------------------------------------------------------- #
+# error handling: known failures exit with distinct codes + one stderr line
+# --------------------------------------------------------------------- #
+def test_missing_file_exits_7_with_one_line_stderr(capsys):
+    code = main(["stats", "/no/such/file.txt"])
+    captured = capsys.readouterr()
+    assert code == 7
+    assert captured.err.startswith("repro stats:")
+    assert captured.err.count("\n") == 1
+    assert "Traceback" not in captured.err
+
+
+def test_malformed_edge_list_exits_3(capsys, tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\nbogus line here\n")
+    code = main(["stats", str(path)])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "non-integer vertex id" in captured.err
+    assert captured.err.count("\n") == 1
+
+
+def test_incompatible_algorithm_backend_exits_4(capsys):
+    code = main(["count", "lj", "--scale", "0.05",
+                 "--algorithm", "MPS", "--backend", "bitmap"])
+    captured = capsys.readouterr()
+    assert code == 4
+    assert captured.err.startswith("repro count:")
+    assert "does not execute" in captured.err
+
+
+def test_update_with_missing_edit_file_exits_7(capsys, tmp_path):
+    g = tmp_path / "g.txt"
+    g.write_text("0 1\n1 2\n")
+    code = main(["update", str(g), "--edges", str(tmp_path / "missing.txt")])
+    captured = capsys.readouterr()
+    assert code == 7
+    assert captured.err.startswith("repro update:")
+
+
+def test_usage_error_exits_2_via_system_exit():
+    with pytest.raises(SystemExit) as err:
+        main(["count", "lj", "--backend", "no-such-backend"])
+    assert err.value.code == 2
+
+
+# --------------------------------------------------------------------- #
+# serve subcommand plumbing
+# --------------------------------------------------------------------- #
+def test_serve_preload_spec_parsing():
+    from repro.cli import _parse_preload
+
+    assert _parse_preload("lj") == {"dataset": "lj", "scale": 1.0}
+    assert _parse_preload("lj:0.2") == {"dataset": "lj", "scale": 0.2}
+    spec = _parse_preload("/tmp/some/graph.txt")
+    assert spec == {"path": "/tmp/some/graph.txt"}
+
+
+def test_serve_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--port", "0"])
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.host == "127.0.0.1"
+    assert args.preload is None or args.preload == []
