@@ -23,11 +23,14 @@ import warnings
 
 import numpy as np
 
+from repro import compiled
 from repro.graph.datasets import load_dataset
 from repro.kernels.batch import (
     count_all_edges_bitmap,
     count_all_edges_matmul,
+    count_edges_bitmap,
 )
+from repro.kernels.batchsearch import count_edges_galloping
 from repro.parallel.threadpool import ParallelCounter, count_all_edges_parallel
 from repro.plan import (
     clear_plan_cache,
@@ -114,6 +117,61 @@ def _chunk_imbalance(graph, plan, num_chunks):
     return stats
 
 
+def bench_compiled(graph, ref, rounds):
+    """Compiled-vs-interpreted leg: bit-exact is asserted, speedup recorded.
+
+    Skips cleanly (recording why) when no provider — neither numba nor a
+    system C compiler — is available on this host.
+    """
+    rec = {"available": compiled.available()}
+    if not compiled.available():
+        rec["reason"] = compiled.unavailable_reason()
+        print(f"   compiled              : unavailable ({rec['reason']})")
+        return rec
+    rec["provider"] = compiled.provider()
+    eo = np.flatnonzero(graph.edge_sources() < graph.dst)
+
+    # Warm once so JIT/compile+load cost never lands inside a timed round.
+    compiled.count_edges_galloping_compiled(graph, eo[:1])
+    t_gal_py, gal_py = _best_of(lambda: count_edges_galloping(graph, eo), rounds)
+    t_gal_cc, gal_cc = _best_of(
+        lambda: compiled.count_edges_galloping_compiled(graph, eo), rounds
+    )
+    assert np.array_equal(gal_cc, gal_py), "compiled gallop != interpreted"
+    assert np.array_equal(gal_cc, ref[eo]), "compiled gallop != matmul"
+
+    def bmp_py():
+        out = np.zeros(graph.num_directed_edges, dtype=np.int64)
+        count_edges_bitmap(graph, eo, out)
+        return out
+
+    def bmp_cc():
+        out = np.zeros(graph.num_directed_edges, dtype=np.int64)
+        compiled.count_edges_bitmap_compiled(graph, eo, out)
+        return out
+
+    t_bmp_py, bmp_py_cnt = _best_of(bmp_py, rounds)
+    t_bmp_cc, bmp_cc_cnt = _best_of(bmp_cc, rounds)
+    assert np.array_equal(bmp_cc_cnt, bmp_py_cnt), "compiled bitmap != interpreted"
+
+    rec["gallop"] = {
+        "interpreted_s": t_gal_py,
+        "compiled_s": t_gal_cc,
+        "speedup": t_gal_py / t_gal_cc,
+    }
+    rec["bitmap"] = {
+        "interpreted_s": t_bmp_py,
+        "compiled_s": t_bmp_cc,
+        "speedup": t_bmp_py / t_bmp_cc,
+    }
+    print(
+        f"   compiled ({rec['provider']:5s})      : gallop "
+        f"{rec['gallop']['speedup']:5.1f}x, bitmap "
+        f"{rec['bitmap']['speedup']:5.1f}x vs interpreted (bit-exact)"
+    )
+    return rec
+
+
 def bench_graph(name, scale, rounds=3, num_chunks=8):
     graph = load_dataset(name, scale=scale)
     label = f"{name}-{scale:g}"
@@ -176,6 +234,8 @@ def bench_graph(name, scale, rounds=3, num_chunks=8):
         f"(planning {plan.planning_seconds * 1e3:.1f} ms, amortized)"
     )
 
+    record["compiled"] = bench_compiled(graph, ref, rounds)
+
     equal_stats = _chunk_imbalance(graph, None, num_chunks)
     weighted_stats = _chunk_imbalance(graph, plan, num_chunks)
     record["chunking"] = {
@@ -220,6 +280,15 @@ def main(argv=None):
                 f"WARNING: hybrid is {b['hybrid'] / best:.2f}x the best single "
                 f"backend on {label} (target: within 10%)"
             )
+        comp = rec.get("compiled", {})
+        if comp.get("available"):
+            for kernel in ("gallop", "bitmap"):
+                speedup = comp[kernel]["speedup"]
+                if speedup < 1.0:
+                    print(
+                        f"WARNING: compiled {kernel} is {1 / speedup:.2f}x "
+                        f"SLOWER than interpreted on {label}"
+                    )
 
     if args.json:
         with open(args.json, "w") as fh:

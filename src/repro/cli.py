@@ -72,6 +72,7 @@ def _cmd_count(args) -> int:
             num_workers=args.workers,
             chunks_per_worker=args.chunks_per_worker,
             collect_stats=args.stats,
+            cover=not args.no_cover,
         )
         if args.verify:
             verify_counts(result)
@@ -97,7 +98,7 @@ def _cmd_plan(args) -> int:
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
     with GraphSession(graph) as session:
-        plan = session.plan(args.skew_threshold)
+        plan = session.plan(args.skew_threshold, cover=not args.no_cover)
         print(f"graph            : {graph}")
         print(plan.format())
         if args.execute:
@@ -106,6 +107,7 @@ def _cmd_plan(args) -> int:
                 skew_threshold=args.skew_threshold,
                 num_workers=args.workers,
                 collect_stats=True,
+                cover=not args.no_cover,
             ).hybrid_report
             for t in report.timings:
                 print(
@@ -439,6 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-worker telemetry (implies --backend parallel)")
     p.add_argument("--top", type=int, default=5, help="print the k hottest edges")
     p.add_argument("--verify", action="store_true", help="verify against a reference")
+    p.add_argument("--no-cover", action="store_true",
+                   help="disable the hybrid planner's cover-edge pre-pass "
+                        "(every edge runs on a real intersection kernel)")
     p.add_argument("--output", help="save counts to a .npz file")
     p.set_defaults(fn=_cmd_count)
 
@@ -454,6 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="with --execute, run the bitmap bucket on this many "
                         "worker processes")
+    p.add_argument("--no-cover", action="store_true",
+                   help="plan without the cover-edge pre-pass bucket")
     p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser(

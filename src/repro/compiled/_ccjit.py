@@ -1,0 +1,199 @@
+"""C-toolchain provider: compile the hot loops once, load via ctypes.
+
+Numba is the preferred provider (:mod:`repro.compiled._numbajit`), but
+many deployment images carry a system C compiler and no numba wheel.
+This module embeds the three hot loops as one small C translation unit,
+compiles it on first use with whatever ``cc`` the platform offers
+(``-O3 -shared -fPIC``), and binds the symbols through :mod:`ctypes`
+with :func:`numpy.ctypeslib.ndpointer` signatures.
+
+The build is cached on disk keyed by a SHA-256 of the source, so the
+compiler runs once per source revision per machine, not once per
+process.  Every failure mode — no compiler, sandboxed tmpdir, linker
+error — degrades to "provider unavailable" rather than an exception:
+callers consult :func:`load` and fall back to the interpreted kernels.
+
+Array layouts match :class:`~repro.graph.csr.CSRGraph` exactly:
+``offsets`` is int64, the adjacency array ``dst`` (and therefore every
+search target) is int32, counts are int64.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["load", "build_dir", "KERNEL_SOURCE"]
+
+#: The hot loops, exactly mirroring the numba provider: a per-edge
+#: galloping intersection (exponential + binary lower bound, resuming
+#: from the previous match position), a batched lower-bound search, and
+#: the BMP mark/probe loop over source-grouped edges.
+KERNEL_SOURCE = r"""
+#include <stdint.h>
+
+/* Lower bound of `target` in sorted b[lo, hi). */
+static int64_t lower_bound(const int32_t *b, int64_t lo, int64_t hi,
+                           int32_t target)
+{
+    while (lo < hi) {
+        int64_t mid = (int64_t)(((uint64_t)lo + (uint64_t)hi) >> 1);
+        if (b[mid] < target) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+/* Galloping (exponential) lower bound resuming from `pos`. */
+static int64_t gallop_lower_bound(const int32_t *b, int64_t pos, int64_t n,
+                                  int32_t target)
+{
+    int64_t bound, lo, hi;
+    if (pos >= n || b[pos] >= target) return pos;
+    bound = 1;
+    while (pos + bound < n && b[pos + bound] < target) bound <<= 1;
+    lo = pos + (bound >> 1);
+    hi = pos + bound < n ? pos + bound : n;
+    return lower_bound(b, lo, hi, target);
+}
+
+/* |N(small[i]) ∩ N(large[i])| for m vertex pairs: every element of the
+ * smaller adjacency list is located in the larger one by a galloping
+ * search that never moves backwards (both lists ascend). */
+void repro_gallop_counts(const int64_t *offsets, const int32_t *dst,
+                         const int64_t *small, const int64_t *large,
+                         int64_t m, int64_t *out)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        const int32_t *a = dst + offsets[small[i]];
+        int64_t na = offsets[small[i] + 1] - offsets[small[i]];
+        const int32_t *b = dst + offsets[large[i]];
+        int64_t nb = offsets[large[i] + 1] - offsets[large[i]];
+        int64_t cnt = 0, pos = 0;
+        for (int64_t j = 0; j < na && pos < nb; ++j) {
+            pos = gallop_lower_bound(b, pos, nb, a[j]);
+            if (pos < nb && b[pos] == a[j]) { ++cnt; ++pos; }
+        }
+        out[i] = cnt;
+    }
+}
+
+/* Independent lower-bound searches: out[i] = smallest j in [lo[i], hi[i])
+ * with hay[j] >= targets[i] (hi[i] when none). */
+void repro_lower_bound_batch(const int32_t *hay, const int64_t *lo,
+                             const int64_t *hi, const int32_t *targets,
+                             int64_t m, int64_t *out)
+{
+    for (int64_t i = 0; i < m; ++i)
+        out[i] = lower_bound(hay, lo[i], hi[i], targets[i]);
+}
+
+/* BMP mark/probe over edges pre-sorted by source vertex: mark N(u) once
+ * per source run, probe each edge's N(v) against the mark array.  The
+ * caller provides `mark` as |V| zeroed bytes; it is returned zeroed. */
+void repro_bitmap_counts(const int64_t *offsets, const int32_t *dst,
+                         const int64_t *src, const int64_t *eo,
+                         int64_t m, uint8_t *mark, int64_t *out)
+{
+    int64_t cur = -1;
+    for (int64_t i = 0; i < m; ++i) {
+        int64_t u = src[i];
+        if (u != cur) {
+            if (cur >= 0)
+                for (int64_t k = offsets[cur]; k < offsets[cur + 1]; ++k)
+                    mark[dst[k]] = 0;
+            for (int64_t k = offsets[u]; k < offsets[u + 1]; ++k)
+                mark[dst[k]] = 1;
+            cur = u;
+        }
+        int32_t v = dst[eo[i]];
+        int64_t cnt = 0;
+        for (int64_t k = offsets[v]; k < offsets[v + 1]; ++k)
+            cnt += mark[dst[k]];
+        out[i] = cnt;
+    }
+    if (cur >= 0)
+        for (int64_t k = offsets[cur]; k < offsets[cur + 1]; ++k)
+            mark[dst[k]] = 0;
+}
+"""
+
+#: Compilers tried in order; the first one on PATH that links wins.
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def build_dir() -> str:
+    """Directory holding compiled kernel libraries (override via env)."""
+    custom = os.environ.get("REPRO_COMPILED_CACHE")
+    if custom:
+        return custom
+    return os.path.join(tempfile.gettempdir(), "repro-compiled")
+
+
+def _compile(so_path: str) -> bool:
+    os.makedirs(os.path.dirname(so_path), exist_ok=True)
+    c_path = so_path[: -len(".so")] + ".c"
+    tmp_so = f"{so_path}.{os.getpid()}.tmp"
+    with open(c_path, "w") as fh:
+        fh.write(KERNEL_SOURCE)
+    for compiler in _COMPILERS:
+        try:
+            proc = subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", tmp_so, c_path],
+                capture_output=True,
+                timeout=120,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if proc.returncode == 0:
+            os.replace(tmp_so, so_path)  # atomic vs concurrent builders
+            return True
+    if os.path.exists(tmp_so):  # pragma: no cover - failed link leftovers
+        os.unlink(tmp_so)
+    return False
+
+
+_i64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_i32 = np.ctypeslib.ndpointer(dtype=np.int32, flags="C_CONTIGUOUS")
+_u8 = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+_SIGNATURES = {
+    "repro_gallop_counts": [_i64, _i32, _i64, _i64, ctypes.c_int64, _i64],
+    "repro_lower_bound_batch": [_i32, _i64, _i64, _i32, ctypes.c_int64, _i64],
+    "repro_bitmap_counts": [_i64, _i32, _i64, _i64, ctypes.c_int64, _u8, _i64],
+}
+
+_LIB: ctypes.CDLL | None = None
+_LOAD_FAILED = False
+
+
+def load() -> ctypes.CDLL | None:
+    """The compiled kernel library, building it on first use.
+
+    Returns ``None`` (and remembers the failure for the process) when no
+    working compiler is available or loading fails — the capability
+    probe the provider selection in :mod:`repro.compiled` relies on.
+    """
+    global _LIB, _LOAD_FAILED
+    if _LIB is not None or _LOAD_FAILED:
+        return _LIB
+    digest = hashlib.sha256(KERNEL_SOURCE.encode()).hexdigest()[:16]
+    so_path = os.path.join(build_dir(), f"repro_kernels_{digest}.so")
+    try:
+        if not os.path.exists(so_path) and not _compile(so_path):
+            _LOAD_FAILED = True
+            return None
+        lib = ctypes.CDLL(so_path)
+        for name, argtypes in _SIGNATURES.items():
+            fn = getattr(lib, name)
+            fn.argtypes = argtypes
+            fn.restype = None
+    except (OSError, AttributeError):  # pragma: no cover - host-specific
+        _LOAD_FAILED = True
+        return None
+    _LIB = lib
+    return _LIB

@@ -90,6 +90,13 @@ class BackendSpec:
         Can produce counts for an arbitrary sorted subset of ``u < v``
         edge offsets (the planner uses this to farm its bitmap bucket out
         to the worker pool).
+    ``available``
+        Optional zero-arg callable probed at use time; ``False`` means
+        the backend's dependency is absent on this host.  Unavailable
+        backends stay *registered* (they appear in ``names()`` and CLI
+        choices with a clear error on use) but are skipped by the fuzzer
+        and the bench harness — the capability flag ROADMAP item 3 calls
+        for.  ``requires`` names the dependency for error messages.
     """
 
     name: str
@@ -101,6 +108,12 @@ class BackendSpec:
     supports_edge_subset: bool = False
     fuzz_variants: tuple = (PathVariant(),)
     description: str = ""
+    available: object = None
+    requires: str = ""
+
+    def is_available(self) -> bool:
+        """Probe the optional availability hook (no hook → available)."""
+        return bool(self.available()) if self.available is not None else True
 
 
 class BackendRegistry:
@@ -164,6 +177,21 @@ class BackendRegistry:
     def dynamic_backends(self) -> list[str]:
         return [s.name for s in self._specs.values() if s.dynamic_compatible]
 
+    def available_names(self) -> list[str]:
+        """Names of the backends whose dependencies are present."""
+        return [s.name for s in self._specs.values() if s.is_available()]
+
+    def check_available(self, backend: str) -> BackendSpec:
+        """The spec for ``backend``, or raise naming the missing dependency."""
+        spec = self.get(backend)
+        if not spec.is_available():
+            raise AlgorithmError(
+                f"backend {backend!r} is unavailable on this host: "
+                f"requires {spec.requires or 'an optional dependency'} "
+                f"(available backends: {self.available_names()})"
+            )
+        return spec
+
 
 # --------------------------------------------------------------------- #
 # built-in backend runners
@@ -206,6 +234,36 @@ def _run_gallop(session, **_):
     return batch.symmetric_assign(graph, cnt), None
 
 
+def _compiled_available() -> bool:
+    from repro import compiled
+
+    return compiled.available()
+
+
+def _run_gallop_compiled(session, **_):
+    from repro import compiled
+    from repro.kernels import batch
+
+    graph = session.graph
+    eo = session.upper_edge_offsets()
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    if len(eo):
+        cnt[eo] = compiled.count_edges_galloping_compiled(graph, eo)
+    return batch.symmetric_assign(graph, cnt), None
+
+
+def _run_bitmap_compiled(session, **_):
+    from repro import compiled
+    from repro.kernels import batch
+
+    graph = session.graph
+    eo = session.upper_edge_offsets()
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    if len(eo):
+        compiled.count_edges_bitmap_compiled(graph, eo, cnt)
+    return batch.symmetric_assign(graph, cnt), None
+
+
 def _run_parallel(
     session,
     *,
@@ -231,13 +289,15 @@ def _run_hybrid(
     collect_stats=False,
     skew_threshold=None,
     start_method=None,
+    cover=True,
     **_,
 ):
     from repro.plan.executor import execute_plan
     from repro.plan.planner import DEFAULT_SKEW_THRESHOLD
 
     plan = session.plan(
-        DEFAULT_SKEW_THRESHOLD if skew_threshold is None else skew_threshold
+        DEFAULT_SKEW_THRESHOLD if skew_threshold is None else skew_threshold,
+        cover=cover,
     )
     pool = None
     if num_workers is not None and int(num_workers) != 1 and len(plan.bitmap_edges):
@@ -299,6 +359,24 @@ def _builtin_specs() -> list[BackendSpec]:
             description="batched lockstep lower-bound (pivot-skip structure)",
         ),
         BackendSpec(
+            name="gallop-compiled",
+            run=_run_gallop_compiled,
+            algorithms=frozenset({"MPS"}),
+            supports_edge_subset=True,
+            available=_compiled_available,
+            requires="numba or a system C compiler (repro.compiled)",
+            description="galloping intersection, machine code (no interpreter)",
+        ),
+        BackendSpec(
+            name="bitmap-compiled",
+            run=_run_bitmap_compiled,
+            algorithms=frozenset({"BMP"}),
+            supports_edge_subset=True,
+            available=_compiled_available,
+            requires="numba or a system C compiler (repro.compiled)",
+            description="BMP mark/probe loop, machine code (no interpreter)",
+        ),
+        BackendSpec(
             name="parallel",
             run=_run_parallel,
             algorithms=frozenset({"BMP"}),
@@ -316,6 +394,7 @@ def _builtin_specs() -> list[BackendSpec]:
             fuzz_variants=(
                 PathVariant(suffix="cold"),
                 PathVariant(suffix="warm"),
+                PathVariant(suffix="nocover", opts={"cover": False}),
             ),
             description="cost-model planner splitting edges across kernels",
         ),

@@ -251,19 +251,23 @@ class GraphSession:
             "reorder", lambda: reorder_graph(self._graph), deps={"structure"}
         )
 
-    def plan(self, skew_threshold: float | None = None):
-        """The hybrid :class:`~repro.plan.ExecutionPlan`, memoized per skew.
+    def plan(self, skew_threshold: float | None = None, cover: bool = True):
+        """The hybrid :class:`~repro.plan.ExecutionPlan`, memoized per
+        ``(skew, cover)`` configuration.
 
         The first access consults the global plan cache (so unrelated
         sessions over the same graph still share plans); subsequent
-        accesses skip even the fingerprint hash.
+        accesses skip even the fingerprint hash.  ``cover=False`` plans
+        without the cover-edge pre-pass bucket.
         """
         from repro.plan.planner import DEFAULT_SKEW_THRESHOLD, get_plan
 
         skew = DEFAULT_SKEW_THRESHOLD if skew_threshold is None else float(skew_threshold)
         return self._memo(
-            f"plan:{skew:g}",
-            lambda: get_plan(self._graph, skew, fingerprint=self.fingerprint()),
+            f"plan:{skew:g}:{'cover' if cover else 'nocover'}",
+            lambda: get_plan(
+                self._graph, skew, fingerprint=self.fingerprint(), cover=cover
+            ),
             deps={"structure"},
         )
 
@@ -372,6 +376,7 @@ class GraphSession:
         collect_stats: bool = False,
         skew_threshold: float | None = None,
         start_method: str | None = None,
+        cover: bool = True,
     ):
         """Exact all-edge counts through the registry-resolved backend.
 
@@ -403,7 +408,9 @@ class GraphSession:
                     return EdgeCounts(self._graph, algo.count(self._graph))
                 self.registry.check_algorithm(algorithm, algo.name, backend)
 
-            spec = self.registry.get("hybrid" if backend == "auto" else backend)
+            spec = self.registry.check_available(
+                "hybrid" if backend == "auto" else backend
+            )
             if collect_stats and not spec.supports_stats:
                 stats_capable = [
                     s.name for s in self.registry.specs() if s.supports_stats
@@ -419,6 +426,7 @@ class GraphSession:
                 collect_stats=collect_stats,
                 skew_threshold=skew_threshold,
                 start_method=start_method,
+                cover=cover,
             )
             return self._wrap_result(counts, stats)
 

@@ -294,12 +294,23 @@ _DEEP_CHECKED = {
 
 
 def _register_builtin_paths() -> None:
-    """One fuzz path per registry backend × declared fuzz variant."""
+    """One fuzz path per registry backend × declared fuzz variant.
+
+    Backends whose optional dependency is absent (``spec.is_available()``
+    false — e.g. the compiled kernels on a host with neither numba nor a
+    C toolchain) are skipped *and unregistered*, so re-invoking this
+    after flipping ``REPRO_COMPILED`` converges to the host's real
+    capability set instead of accreting stale paths.
+    """
     from repro.engine import default_registry
 
     for spec in default_registry().specs():
+        usable = spec.is_available()
         for variant in spec.fuzz_variants:
             name = variant.path_name(spec.name)
+            if not usable:
+                unregister_path(name)
+                continue
             runner = _DEEP_CHECKED.get(name) or _make_session_runner(
                 spec.name, dict(variant.opts)
             )

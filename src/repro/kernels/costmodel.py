@@ -32,6 +32,7 @@ __all__ = [
     "mps_work",
     "bmp_work",
     "matmul_work",
+    "cover_work",
     "symmetry_work",
     "skew_mask",
     "measure_work_sample",
@@ -253,6 +254,34 @@ def matmul_work(es: EdgeSet) -> WorkVector:
     w = WorkVector(len(es))
     w["scalar_ops"] = flops
     w["seq_words"] = flops
+    return w
+
+
+def cover_work(
+    es: EdgeSet, zero_mask: np.ndarray, probe_mask: np.ndarray
+) -> WorkVector:
+    """Cost of answering an edge through the cover pre-pass (paper-adjacent
+    Bader et al. cover-edge skipping; see :mod:`repro.plan.coveredge`).
+
+    Valid only where ``zero_mask | probe_mask`` — elsewhere the pre-pass
+    cannot answer the edge and the vector reads zero.  A zero-class edge
+    costs the handful of classification gathers already spent; a
+    probe-class edge additionally runs one binary search of the wedge
+    vertex in the larger adjacency list (``log2 d_large`` random
+    touches), mirroring :func:`symmetry_work`'s search pricing.
+    """
+    w = WorkVector(len(es))
+    if len(es) == 0:
+        return w
+    classify = 4.0  # min/max span gathers + compares, amortized per edge
+    steps = np.log2(1.0 + es.d_large)
+    w["scalar_ops"] = np.where(
+        probe_mask, classify + steps + 2.0, np.where(zero_mask, classify, 0.0)
+    )
+    w["branch_ops"] = np.where(probe_mask, steps, 0.0)
+    w["rand_words"] = np.where(
+        probe_mask, steps + 1.0, np.where(zero_mask, 4.0, 0.0)
+    )
     return w
 
 

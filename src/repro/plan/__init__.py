@@ -8,6 +8,11 @@ vector for work-weighted parallel chunk boundaries.
 """
 
 from repro.plan.chunking import weighted_vertex_chunks
+from repro.plan.coveredge import (
+    CoverClassification,
+    classify_cover_edges,
+    probe_cover_counts,
+)
 from repro.plan.executor import (
     HybridReport,
     count_all_edges_hybrid,
@@ -27,14 +32,17 @@ from repro.plan.planner import (
 __all__ = [
     "DEFAULT_SKEW_THRESHOLD",
     "BucketInfo",
+    "CoverClassification",
     "ExecutionPlan",
     "HybridReport",
     "PlanCacheStats",
     "build_plan",
+    "classify_cover_edges",
     "clear_plan_cache",
     "count_all_edges_hybrid",
     "execute_plan",
     "get_plan",
     "plan_cache_stats",
+    "probe_cover_counts",
     "weighted_vertex_chunks",
 ]

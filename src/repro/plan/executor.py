@@ -5,6 +5,9 @@ edge's count comes from; this module runs the three production kernels
 over their buckets and fuses everything through
 :func:`repro.kernels.batch.symmetric_assign`:
 
+* **cover** bucket → no kernel at all: zero-class edges keep the zeroed
+  count vector, probe-class edges run one batched wedge-closure search
+  (:func:`repro.plan.coveredge.probe_cover_counts`)
 * **gallop** bucket → :func:`repro.kernels.batchsearch.count_edges_galloping`
 * **bitmap** bucket → :func:`repro.kernels.batch.count_edges_bitmap`
 * **matmul** bucket → :func:`repro.kernels.batch.count_all_edges_matmul`
@@ -120,6 +123,24 @@ def execute_plan(
 
     bucket_ns = {b.name: b.predicted_ns for b in plan.buckets()}
 
+    # Cover bucket: zero-class edges need no write (cnt starts zeroed);
+    # probe-class edges are one batched wedge-closure search each.
+    t0 = time.perf_counter()
+    if len(plan.cover_probe_edges):
+        from repro.plan.coveredge import probe_cover_counts
+
+        cnt[plan.cover_probe_edges] = probe_cover_counts(
+            graph, plan.cover_probe_src, plan.cover_probe_target
+        )
+    timings.append(
+        BucketTiming(
+            "cover",
+            plan.num_cover_edges,
+            bucket_ns["cover"],
+            time.perf_counter() - t0,
+        )
+    )
+
     t0 = time.perf_counter()
     if len(plan.gallop_edges):
         cnt[plan.gallop_edges] = count_edges_galloping(graph, plan.gallop_edges)
@@ -185,9 +206,15 @@ def count_all_edges_hybrid(
     graph: CSRGraph,
     skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
     return_report: bool = False,
+    cover: bool = True,
 ):
-    """Plan (cached) + execute; the ``backend="hybrid"`` entry point."""
-    plan = get_plan(graph, skew_threshold)
+    """Plan (cached) + execute; the ``backend="hybrid"`` entry point.
+
+    ``cover=False`` disables the cover-edge pre-pass bucket — every edge
+    runs on a real intersection kernel (the pre-cover behavior, kept as
+    a differential fuzz path and a planner A/B knob).
+    """
+    plan = get_plan(graph, skew_threshold, cover=cover)
     cnt, report = execute_plan(graph, plan)
     if return_report:
         return cnt, report

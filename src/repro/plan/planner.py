@@ -39,6 +39,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.kernels.costmodel import (
     bmp_work,
+    cover_work,
     matmul_work,
     pivot_skip_work,
     upper_edges,
@@ -81,6 +82,9 @@ KERNEL_NS_PER_UNIT = {
     "gallop": 3.8,
     "bitmap": 4.0,
     "matmul": 16.0,
+    # The cover pre-pass is whole-array gathers + one batched search —
+    # same memory physics as the bitmap gather path.
+    "cover": 4.0,
 }
 
 #: Fixed per-edge dispatch overhead (ns) added to the batched NumPy
@@ -141,9 +145,29 @@ class ExecutionPlan:
     #: Predicted cost (ns) per bitmap-bucket edge, aligned with
     #: ``bitmap_edges`` — the executor's weighted parallel chunking key.
     bitmap_cost: np.ndarray | None = None
+    #: Cover pre-pass bucket (:mod:`repro.plan.coveredge`): edges whose
+    #: counts are provably zero, plus wedge-closure edges answered by one
+    #: batched lower-bound probe of ``probe_target`` in ``N(probe_src)``.
+    cover_zero_edges: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    cover_probe_edges: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    cover_probe_src: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    cover_probe_target: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def num_cover_edges(self) -> int:
+        return len(self.cover_zero_edges) + len(self.cover_probe_edges)
 
     def buckets(self) -> list[BucketInfo]:
         return [
+            BucketInfo("cover", self.num_cover_edges, self._bucket_ns("cover")),
             BucketInfo("gallop", len(self.gallop_edges), self._bucket_ns("gallop")),
             BucketInfo("bitmap", len(self.bitmap_edges), self._bucket_ns("bitmap")),
             BucketInfo("matmul", len(self.matmul_edges), self._bucket_ns("matmul")),
@@ -176,6 +200,11 @@ class ExecutionPlan:
             )
         if len(self.matmul_rows):
             lines.append(f"matmul rows      : {len(self.matmul_rows)}")
+        if self.num_cover_edges:
+            lines.append(
+                f"cover split      : {len(self.cover_zero_edges)} provably "
+                f"zero, {len(self.cover_probe_edges)} wedge probes"
+            )
         return "\n".join(lines)
 
 
@@ -210,9 +239,20 @@ def build_plan(
     graph: CSRGraph,
     skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
     fingerprint: str | None = None,
+    cover: bool = True,
 ) -> ExecutionPlan:
-    """Price and partition all ``u < v`` edges (no cache interaction)."""
+    """Price and partition all ``u < v`` edges (no cache interaction).
+
+    With ``cover=True`` (the default, so ``plan="auto"`` exploits it
+    automatically) the cover-edge pre-pass
+    (:mod:`repro.plan.coveredge`) runs first: edges whose counts are
+    provably zero or derivable from one wedge-closure probe go to the
+    ``cover`` bucket whenever the priced skip undercuts every real
+    kernel, and only the remainder is partitioned across
+    gallop/bitmap/matmul.
+    """
     from repro.core.result import graph_fingerprint
+    from repro.plan.coveredge import classify_cover_edges
 
     t0 = time.perf_counter()
     if fingerprint is None:
@@ -246,10 +286,30 @@ def build_plan(
     )
     c_matmul = KERNEL_NS_PER_UNIT["matmul"] * _collapse(matmul_work(es))
 
-    gallop = (es.skew_ratio > skew_threshold) & (
-        c_gallop < np.minimum(c_bitmap, c_matmul)
+    covered = np.zeros(m, dtype=bool)
+    c_cover = np.zeros(m, dtype=np.float64)
+    cover_zero = cover_probe = covered
+    probe_src = probe_target = empty
+    if cover:
+        cls = classify_cover_edges(graph, es)
+        c_cover = KERNEL_NS_PER_UNIT["cover"] * _collapse(
+            cover_work(es, cls.zero_mask, cls.probe_mask)
+        )
+        covered = cls.covered_mask & (
+            c_cover < np.minimum(c_gallop, np.minimum(c_bitmap, c_matmul))
+        )
+        cover_zero = cls.zero_mask & covered
+        cover_probe = cls.probe_mask & covered
+        keep = covered[np.flatnonzero(cls.probe_mask)]
+        probe_src = cls.probe_src[keep]
+        probe_target = cls.probe_target[keep]
+
+    gallop = (
+        ~covered
+        & (es.skew_ratio > skew_threshold)
+        & (c_gallop < np.minimum(c_bitmap, c_matmul))
     )
-    rest = ~gallop
+    rest = ~gallop & ~covered
 
     # Row-granularity bitmap-vs-matmul choice over the surviving edges:
     # SpGEMM computes a row completely or not at all, so compare the full
@@ -271,7 +331,11 @@ def build_plan(
     matmul = rest & matmul_row[es.u]
     bitmap = rest & ~matmul
 
-    edge_cost = np.where(gallop, c_gallop, np.where(bitmap, c_bitmap, c_matmul))
+    edge_cost = np.where(
+        covered,
+        c_cover,
+        np.where(gallop, c_gallop, np.where(bitmap, c_bitmap, c_matmul)),
+    )
     chunk_cost = np.bincount(es.u, weights=c_bitmap, minlength=n)
 
     plan = ExecutionPlan(
@@ -286,8 +350,13 @@ def build_plan(
         chunk_cost=chunk_cost,
         planning_seconds=time.perf_counter() - t0,
         bitmap_cost=c_bitmap[bitmap],
+        cover_zero_edges=es.edge_offsets[cover_zero],
+        cover_probe_edges=es.edge_offsets[cover_probe],
+        cover_probe_src=probe_src,
+        cover_probe_target=probe_target,
     )
     plan._bucket_cost.update(
+        cover=float(edge_cost[covered].sum()),
         gallop=float(edge_cost[gallop].sum()),
         bitmap=float(edge_cost[bitmap].sum()),
         matmul=float(edge_cost[matmul].sum()),
@@ -300,6 +369,7 @@ def get_plan(
     skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
     *,
     fingerprint: str | None = None,
+    cover: bool = True,
 ) -> ExecutionPlan:
     """Cached :func:`build_plan`, keyed by the CSR SHA-256 fingerprint.
 
@@ -315,7 +385,7 @@ def get_plan(
     global _hits, _misses, _evictions
     if fingerprint is None:
         fingerprint = graph_fingerprint(graph)
-    key = (fingerprint, float(skew_threshold))
+    key = (fingerprint, float(skew_threshold), bool(cover))
     cached = _PLAN_CACHE.get(key)
     if cached is not None:
         _hits += 1
@@ -323,7 +393,7 @@ def get_plan(
         cached.from_cache = True
         return cached
     _misses += 1
-    plan = build_plan(graph, skew_threshold, fingerprint=key[0])
+    plan = build_plan(graph, skew_threshold, fingerprint=key[0], cover=cover)
     _PLAN_CACHE[key] = plan
     while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
         _PLAN_CACHE.popitem(last=False)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 
 from repro.errors import ServiceOverloadedError, UnknownGraphError
 from repro.serve.service import CountingService
@@ -153,7 +154,13 @@ class CountingServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                # Server stop can cancel the handler while it awaits the
+                # transport close — already closing, nothing left to do.
+                asyncio.CancelledError,
+            ):  # pragma: no cover
                 pass
 
     async def _read_request(self, reader):
@@ -199,10 +206,14 @@ class CountingServer:
         except _HTTPError as exc:
             return exc.status, {"error": str(exc)}, exc.headers
         except ServiceOverloadedError as exc:
+            # RFC 9110 §10.2.3: the header is integer delta-seconds (a
+            # fractional value like "0.05" is invalid and gets clamped or
+            # ignored by clients); the JSON body keeps the precise float
+            # for clients that can act on sub-second backoff.
             return (
                 503,
                 {"error": str(exc), "retry_after": exc.retry_after},
-                {"Retry-After": f"{exc.retry_after:g}"},
+                {"Retry-After": str(max(1, math.ceil(exc.retry_after)))},
             )
         except UnknownGraphError as exc:
             return 404, {"error": str(exc)}, {}

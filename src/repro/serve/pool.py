@@ -11,7 +11,13 @@ and evicted — its worker pool, shared-memory export, and read snapshot
 all release.
 
 The pool is thread-safe: the HTTP front end touches it from the event
-loop while dispatch threads resolve keys concurrently.
+loop while dispatch threads resolve keys concurrently.  Because lookups
+and evictions race, entries are *leased*: :meth:`SessionPool.acquire`
+pins an entry for the duration of a request, and an evicted entry's
+``close()`` is deferred until its last in-flight lease drains.  A bare
+:meth:`get` (no pin) remains for callers that only peek; request
+dispatch must hold a lease, or a concurrent ``add`` can close the entry
+mid-request.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from collections import OrderedDict
 
 from repro.errors import UnknownGraphError
 
-__all__ = ["SessionPool", "DEFAULT_POOL_CAPACITY", "KEY_LENGTH"]
+__all__ = ["SessionPool", "PoolLease", "DEFAULT_POOL_CAPACITY", "KEY_LENGTH"]
 
 #: Graphs kept live by default; the LRU entry is closed beyond this.
 DEFAULT_POOL_CAPACITY = 4
@@ -30,85 +36,177 @@ DEFAULT_POOL_CAPACITY = 4
 KEY_LENGTH = 12
 
 
+class _PoolSlot:
+    """One pooled entry plus its lease bookkeeping (guarded by pool lock)."""
+
+    __slots__ = ("entry", "leases", "evicted")
+
+    def __init__(self, entry):
+        self.entry = entry
+        self.leases = 0
+        self.evicted = False
+
+
+class PoolLease:
+    """A pinned pool entry: the entry cannot close while the lease is held.
+
+    Usable as a context manager; :meth:`release` is idempotent.  If the
+    entry was evicted while leased, the *last* lease to release performs
+    the deferred ``close()``.
+    """
+
+    __slots__ = ("entry", "_pool", "_slot")
+
+    def __init__(self, pool: "SessionPool", slot: _PoolSlot):
+        self._pool = pool
+        self._slot = slot
+        self.entry = slot.entry
+
+    def release(self) -> None:
+        slot, self._slot = self._slot, None
+        if slot is not None:
+            self._pool._release_slot(slot)
+
+    def __enter__(self):
+        return self.entry
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 class SessionPool:
-    """Ordered ``key -> entry`` mapping with LRU eviction.
+    """Ordered ``key -> entry`` mapping with LRU eviction and leases.
 
     Entries are any object with a ``close()`` method (in practice
     :class:`~repro.serve.service.ServedGraph`).  ``add`` returns the key
     under which the entry is now served; re-adding the same fingerprint
     replaces (and closes) the previous entry, so reloading a graph is
-    idempotent rather than a capacity leak.
+    idempotent rather than a capacity leak.  Eviction never closes an
+    entry out from under an in-flight request: leased entries close only
+    when their last lease releases.
     """
 
     def __init__(self, capacity: int = DEFAULT_POOL_CAPACITY):
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._slots: OrderedDict[str, _PoolSlot] = OrderedDict()
         self._lock = threading.Lock()
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._slots)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._slots
 
     def keys(self) -> list[str]:
         """Keys from least- to most-recently used."""
         with self._lock:
-            return list(self._entries)
+            return list(self._slots)
 
     def add(self, key: str, entry) -> list:
         """Insert ``entry`` under ``key``; returns the entries evicted.
 
-        Evicted entries (including a replaced same-key entry) are closed
-        before this returns, so callers never observe a half-released
-        session.
+        Evicted entries (including a replaced same-key entry) with no
+        in-flight leases are closed before this returns; a leased victim
+        is closed by its final :meth:`PoolLease.release` instead, so a
+        concurrent request never observes a half-released session.
         """
-        closed = []
+        evicted = []
         with self._lock:
-            old = self._entries.pop(key, None)
+            old = self._slots.pop(key, None)
             if old is not None:
-                closed.append(old)
-            self._entries[key] = entry
-            while len(self._entries) > self.capacity:
-                _, victim = self._entries.popitem(last=False)
-                closed.append(victim)
+                old.evicted = True
+                evicted.append(old)
+            self._slots[key] = _PoolSlot(entry)
+            while len(self._slots) > self.capacity:
+                _, victim = self._slots.popitem(last=False)
+                victim.evicted = True
+                evicted.append(victim)
                 self.evictions += 1
-        for victim in closed:
+            closeable = [s.entry for s in evicted if s.leases == 0]
+        for victim in closeable:
             victim.close()
-        return closed
+        return [s.entry for s in evicted]
+
+    def acquire(self, key: str) -> PoolLease:
+        """Lease the entry for ``key`` (promoted to most-recently-used).
+
+        The returned :class:`PoolLease` pins the entry: a concurrent
+        eviction defers the entry's ``close()`` until every lease has
+        released.  Use as a context manager around request dispatch.
+        """
+        with self._lock:
+            slot = self._lookup(key)
+            slot.leases += 1
+            return PoolLease(self, slot)
 
     def get(self, key: str):
-        """The entry for ``key``, promoted to most-recently-used."""
+        """The entry for ``key``, promoted to most-recently-used.
+
+        No lease is taken: the entry may be evicted and closed by a
+        concurrent ``add`` at any point after this returns.  Request
+        paths must use :meth:`acquire` instead.
+        """
         with self._lock:
-            try:
-                entry = self._entries[key]
-            except KeyError:
-                raise UnknownGraphError(key, tuple(self._entries)) from None
-            self._entries.move_to_end(key)
-            return entry
+            return self._lookup(key).entry
+
+    def _lookup(self, key: str) -> _PoolSlot:
+        try:
+            slot = self._slots[key]
+        except KeyError:
+            raise UnknownGraphError(key, tuple(self._slots)) from None
+        self._slots.move_to_end(key)
+        return slot
+
+    def _release_slot(self, slot: _PoolSlot) -> None:
+        with self._lock:
+            slot.leases -= 1
+            close_now = slot.evicted and slot.leases == 0
+        if close_now:
+            slot.entry.close()
+
+    def lease_counts(self) -> dict[str, int]:
+        """In-flight lease count per pooled key (telemetry)."""
+        with self._lock:
+            return {key: slot.leases for key, slot in self._slots.items()}
 
     def remove(self, key: str) -> bool:
-        """Close and drop one entry; ``False`` when the key is unknown."""
+        """Close and drop one entry; ``False`` when the key is unknown.
+
+        A leased entry is dropped from the pool immediately but closed
+        only when its last lease releases.
+        """
         with self._lock:
-            entry = self._entries.pop(key, None)
-        if entry is None:
-            return False
-        entry.close()
+            slot = self._slots.pop(key, None)
+            if slot is None:
+                return False
+            slot.evicted = True
+            close_now = slot.leases == 0
+        if close_now:
+            slot.entry.close()
         return True
 
     def close(self) -> None:
-        """Close and drop every entry (server shutdown)."""
+        """Close and drop every entry (server shutdown); leased entries
+        close when their last lease releases."""
         with self._lock:
-            entries = list(self._entries.values())
-            self._entries.clear()
-        for entry in entries:
+            slots = list(self._slots.values())
+            self._slots.clear()
+            for slot in slots:
+                slot.evicted = True
+            closeable = [s.entry for s in slots if s.leases == 0]
+        for entry in closeable:
             entry.close()
 
     def __repr__(self) -> str:
+        with self._lock:
+            size = len(self._slots)
+            leased = sum(1 for s in self._slots.values() if s.leases)
         return (
-            f"SessionPool({len(self._entries)}/{self.capacity} entries, "
+            f"SessionPool({size}/{self.capacity} entries, {leased} leased, "
             f"{self.evictions} evictions)"
         )

@@ -47,7 +47,11 @@ import numpy as np
 
 from repro.core.dynamic import DynamicCounter
 from repro.engine.session import GraphSession
-from repro.errors import ServiceOverloadedError, SessionClosedError
+from repro.errors import (
+    ServiceOverloadedError,
+    SessionClosedError,
+    UnknownGraphError,
+)
 from repro.graph.csr import CSRGraph
 from repro.serve.pool import DEFAULT_POOL_CAPACITY, KEY_LENGTH, SessionPool
 
@@ -476,49 +480,62 @@ class CountingService:
         )
 
     def graphs(self) -> list[dict]:
-        return [self.pool.get(key).info() for key in self.pool.keys()]
+        out = []
+        for key in self.pool.keys():
+            try:
+                with self.pool.acquire(key) as entry:
+                    out.append(entry.info())
+            except UnknownGraphError:  # evicted between keys() and acquire()
+                continue
+        return out
 
     # ------------------------------------------------------------------ #
     # requests
     # ------------------------------------------------------------------ #
     async def count_pairs(self, key: str, pairs) -> dict:
-        """Common neighbor counts for ``pairs`` on graph ``key``."""
-        entry = self.pool.get(key)
-        u, v = _parse_pairs(pairs)
-        self._admit()
-        self._inflight += 1
-        try:
-            counts, epoch = await entry.count_pairs(u, v)
-        finally:
-            self._inflight -= 1
-        return {
-            "graph": key,
-            "epoch": epoch,
-            "counts": counts.tolist(),
-        }
+        """Common neighbor counts for ``pairs`` on graph ``key``.
+
+        The pool lease is held across the whole dispatch: a concurrent
+        ``load_graph`` evicting this entry defers its ``close()`` until
+        the request (and every other in-flight lease) finishes, so a
+        reader never observes a closed session mid-request.
+        """
+        with self.pool.acquire(key) as entry:
+            u, v = _parse_pairs(pairs)
+            self._admit()
+            self._inflight += 1
+            try:
+                counts, epoch = await entry.count_pairs(u, v)
+            finally:
+                self._inflight -= 1
+            return {
+                "graph": key,
+                "epoch": epoch,
+                "counts": counts.tolist(),
+            }
 
     async def apply_edits(self, key: str, insertions=None, deletions=None) -> dict:
         """Apply an edit batch to graph ``key``; returns the new epoch."""
-        entry = self.pool.get(key)
-        ins = _parse_edge_array(insertions)
-        dels = _parse_edge_array(deletions)
-        result, epoch = await entry.apply_edits(ins, dels)
-        return {
-            "graph": key,
-            "epoch": epoch,
-            "inserted": result.inserted,
-            "deleted": result.deleted,
-            "skipped": result.skipped,
-            "mode": result.mode,
-        }
+        with self.pool.acquire(key) as entry:
+            ins = _parse_edge_array(insertions)
+            dels = _parse_edge_array(deletions)
+            result, epoch = await entry.apply_edits(ins, dels)
+            return {
+                "graph": key,
+                "epoch": epoch,
+                "inserted": result.inserted,
+                "deleted": result.deleted,
+                "skipped": result.skipped,
+                "mode": result.mode,
+            }
 
     async def triangle_count(self, key: str) -> dict:
-        entry = self.pool.get(key)
-        return {
-            "graph": key,
-            "epoch": entry.epoch,
-            "triangles": await entry.triangle_count(),
-        }
+        with self.pool.acquire(key) as entry:
+            return {
+                "graph": key,
+                "epoch": entry.epoch,
+                "triangles": await entry.triangle_count(),
+            }
 
     def _admit(self) -> None:
         if self._inflight >= self.max_pending:
@@ -540,6 +557,7 @@ class CountingService:
                 "capacity": self.pool.capacity,
                 "evictions": self.pool.evictions,
                 "keys": self.pool.keys(),
+                "leases": self.pool.lease_counts(),
             },
             **self.telemetry.snapshot(),
         }

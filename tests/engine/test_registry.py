@@ -26,8 +26,8 @@ def test_unknown_backend_raises_with_choices():
 def test_capability_tables_match_old_contract():
     reg = default_registry()
     assert set(reg.backends_for("M")) == {"merge"}
-    assert set(reg.backends_for("MPS")) == {"merge", "gallop"}
-    assert set(reg.backends_for("BMP")) == {"bitmap", "parallel"}
+    assert set(reg.backends_for("MPS")) == {"merge", "gallop", "gallop-compiled"}
+    assert set(reg.backends_for("BMP")) == {"bitmap", "bitmap-compiled", "parallel"}
     assert reg.get("parallel").supports_stats
     assert reg.get("hybrid").supports_stats
     assert reg.get("hybrid").supports_num_workers

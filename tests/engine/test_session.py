@@ -35,7 +35,7 @@ def test_plan_memoized_per_skew_threshold():
         p_tight = s.plan(2.0)
         assert p_tight is not p_default
         assert s.plan(2.0) is p_tight
-        assert s.artifact_stats()["plan:50"].builds == 1
+        assert s.artifact_stats()["plan:50:cover"].builds == 1
 
 
 def test_repeated_counts_reuse_plan_and_fingerprint():
@@ -44,8 +44,8 @@ def test_repeated_counts_reuse_plan_and_fingerprint():
         b = s.count(backend="hybrid")
         assert np.array_equal(a.counts, b.counts)
         stats = s.artifact_stats()
-        assert stats["plan:50"].builds == 1
-        assert stats["plan:50"].hits >= 1
+        assert stats["plan:50:cover"].builds == 1
+        assert stats["plan:50:cover"].hits >= 1
         assert stats["fingerprint"].builds == 1
 
 
@@ -82,7 +82,10 @@ def test_hybrid_collect_stats_surfaces_bucket_timings():
         result = s.count(backend="hybrid", collect_stats=True)
         report = result.hybrid_report
         assert report is not None
-        assert {t.name for t in report.timings} == {"gallop", "bitmap", "matmul"}
+        names = {t.name for t in report.timings}
+        assert {"gallop", "bitmap", "matmul"} <= names <= {
+            "cover", "gallop", "bitmap", "matmul",
+        }
         assert sum(t.edges for t in report.timings) == report.plan.num_upper_edges
 
 
@@ -107,7 +110,7 @@ def test_apply_edits_drops_structure_keeps_size_artifacts():
         assert "mark_buffer" in warm  # |V| unchanged → survives
         assert "degrees" in warm  # patched in place, not dropped
         assert "fingerprint" not in warm
-        assert "plan:50" not in warm
+        assert "plan:50:cover" not in warm
         assert "upper_edges" not in warm
         assert s.mark_buffer() is mark
         stats = s.artifact_stats()

@@ -1,0 +1,163 @@
+"""Cover-edge pre-pass: exact classification, probe counts, plan wiring."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import chung_lu_graph
+from repro.kernels.batch import count_all_edges_merge
+from repro.kernels.costmodel import cover_work, upper_edges
+from repro.plan import (
+    build_plan,
+    classify_cover_edges,
+    clear_plan_cache,
+    count_all_edges_hybrid,
+    get_plan,
+    probe_cover_counts,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def brute_counts(graph):
+    """Reference per-directed-edge counts via per-edge set intersection."""
+    src = graph.edge_sources()
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    for e in range(graph.num_directed_edges):
+        u, v = int(src[e]), int(graph.dst[e])
+        nu = graph.dst[graph.offsets[u]:graph.offsets[u + 1]]
+        nv = graph.dst[graph.offsets[v]:graph.offsets[v + 1]]
+        cnt[e] = len(np.intersect1d(nu, nv))
+    return cnt
+
+
+# --------------------------------------------------------------------- #
+# classification on handcrafted graphs
+# --------------------------------------------------------------------- #
+def test_star_edges_are_all_zero_class():
+    # K_{1,6}: every edge has a degree-1 endpoint, every count is zero.
+    g = csr_from_pairs([(0, i) for i in range(1, 7)])
+    cls = classify_cover_edges(g, upper_edges(g))
+    assert cls.zero_mask.all()
+    assert not cls.probe_mask.any()
+    assert cls.num_covered == 6
+
+
+def test_path_interior_edge_zero_by_disjoint_spans():
+    # 0-1-2-3: the middle edge (1,2) has both degrees 2, but the trimmed
+    # spans N(1)\{2}=[0,0] and N(2)\{1}=[3,3] are disjoint — the zero
+    # class must claim it before the probe class gets a look.
+    g = csr_from_pairs([(0, 1), (1, 2), (2, 3)])
+    es = upper_edges(g)
+    cls = classify_cover_edges(g, es)
+    assert cls.zero_mask.all()
+    assert not cls.probe_mask.any()
+
+
+def test_triangle_edges_probe_and_close():
+    # Every triangle edge has d_small == 2 and a wedge that closes.
+    g = csr_from_pairs([(0, 1), (1, 2), (0, 2)])
+    es = upper_edges(g)
+    cls = classify_cover_edges(g, es)
+    assert not cls.zero_mask.any()
+    assert cls.probe_mask.all()
+    counts = probe_cover_counts(g, cls.probe_src, cls.probe_target)
+    assert counts.tolist() == [1, 1, 1]
+
+
+def test_non_closing_wedge_probe_returns_zero():
+    # Edge (0,1): N(0)\{1} spans [2,4], N(1)\{0} = {3} — overlapping
+    # spans (not zero class) but the wedge 0-1-3 does not close, so the
+    # probe must answer 0.
+    g = csr_from_pairs([(0, 1), (0, 2), (0, 4), (1, 3)])
+    es = upper_edges(g)
+    cls = classify_cover_edges(g, es)
+    e01 = int(np.flatnonzero((es.u == 0) & (es.v == 1))[0])
+    assert not cls.zero_mask[e01]
+    assert cls.probe_mask[e01]
+    pos = int(np.searchsorted(np.flatnonzero(cls.probe_mask), e01))
+    assert cls.probe_src[pos] == 0 and cls.probe_target[pos] == 3
+    counts = probe_cover_counts(g, cls.probe_src, cls.probe_target)
+    assert counts[pos] == 0
+
+
+def test_classes_are_disjoint_and_exact_on_random_graphs():
+    for seed in range(5):
+        g = chung_lu_graph(300, 1500, exponent=2.1, seed=seed)
+        es = upper_edges(g)
+        cls = classify_cover_edges(g, es)
+        assert not (cls.zero_mask & cls.probe_mask).any()
+        ref = brute_counts(g)[es.edge_offsets]
+        # Zero-class edges really have count zero.
+        assert not ref[cls.zero_mask].any()
+        # Probe-class answers match the reference exactly.
+        got = probe_cover_counts(g, cls.probe_src, cls.probe_target)
+        np.testing.assert_array_equal(got, ref[cls.probe_mask])
+
+
+def test_cover_work_prices_only_the_masks():
+    g = chung_lu_graph(200, 900, exponent=2.0, seed=7)
+    es = upper_edges(g)
+    cls = classify_cover_edges(g, es)
+    w = cover_work(es, cls.zero_mask, cls.probe_mask)
+    cost = w["scalar_ops"] + w["rand_words"]
+    covered = cls.covered_mask
+    assert (cost[covered] > 0).all()
+    assert not cost[~covered].any()
+
+
+# --------------------------------------------------------------------- #
+# planner wiring
+# --------------------------------------------------------------------- #
+def test_plan_buckets_stay_a_partition_with_cover():
+    g = chung_lu_graph(400, 2000, exponent=2.0, seed=3)
+    plan = build_plan(g, cover=True)
+    planned = np.concatenate(
+        [
+            plan.cover_zero_edges,
+            plan.cover_probe_edges,
+            plan.gallop_edges,
+            plan.bitmap_edges,
+            plan.matmul_edges,
+        ]
+    )
+    src = g.edge_sources()
+    expected = np.flatnonzero(src < g.dst)
+    assert np.array_equal(np.sort(planned), expected)
+    assert plan.num_cover_edges > 0  # real graphs always have cover edges
+    assert "cover split" in plan.format()
+
+
+def test_cover_false_disables_the_bucket():
+    g = chung_lu_graph(400, 2000, exponent=2.0, seed=3)
+    plan = build_plan(g, cover=False)
+    assert plan.num_cover_edges == 0
+    assert len(plan.gallop_edges) + len(plan.bitmap_edges) + len(
+        plan.matmul_edges
+    ) == plan.num_upper_edges
+
+
+def test_hybrid_cover_and_nocover_bit_exact():
+    for seed in (11, 12):
+        g = chung_lu_graph(350, 1800, exponent=2.1, seed=seed)
+        ref = count_all_edges_merge(g)
+        with_cover = count_all_edges_hybrid(g, cover=True)
+        without = count_all_edges_hybrid(g, cover=False)
+        np.testing.assert_array_equal(with_cover, ref)
+        np.testing.assert_array_equal(without, ref)
+
+
+def test_plan_cache_keys_cover_variants_separately():
+    g = chung_lu_graph(300, 1500, exponent=2.0, seed=5)
+    covered = get_plan(g, cover=True)
+    plain = get_plan(g, cover=False)
+    assert covered is not plain
+    assert plain.num_cover_edges == 0
+    # Each flag value hits its own cached plan on re-request.
+    assert get_plan(g, cover=True) is covered
+    assert get_plan(g, cover=False) is plain

@@ -27,7 +27,13 @@ def test_buckets_partition_upper_edges():
     g = chung_lu_graph(500, 2500, exponent=2.0, seed=1)
     plan = build_plan(g)
     all_planned = np.concatenate(
-        [plan.gallop_edges, plan.bitmap_edges, plan.matmul_edges]
+        [
+            plan.cover_zero_edges,
+            plan.cover_probe_edges,
+            plan.gallop_edges,
+            plan.bitmap_edges,
+            plan.matmul_edges,
+        ]
     )
     src = g.edge_sources()
     expected = np.flatnonzero(src < g.dst)
@@ -61,7 +67,10 @@ def test_execute_matches_matmul():
     cnt, report = execute_plan(g, build_plan(g))
     assert np.array_equal(cnt, count_all_edges_matmul(g))
     assert report.total_seconds > 0
-    assert {t.name for t in report.timings} == {"gallop", "bitmap", "matmul"}
+    names = {t.name for t in report.timings}
+    assert {"gallop", "bitmap", "matmul"} <= names <= {
+        "cover", "gallop", "bitmap", "matmul",
+    }
 
 
 # --------------------------------------------------------------------- #

@@ -198,7 +198,9 @@ def test_overload_returns_503_with_retry_after():
                 {"graph": key, "pairs": [[0, 1]]},
             )
             assert status == 503
-            assert headers["retry-after"] == "0.07"
+            # RFC 9110: the header is integer delta-seconds (>= 1); the
+            # precise float stays in the JSON body.
+            assert headers["retry-after"] == "1"
             assert body["retry_after"] == 0.07
             service._inflight = 0
             status, _, _, _ = await http_request(

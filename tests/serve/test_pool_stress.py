@@ -1,0 +1,170 @@
+"""Lease pinning under eviction churn: no request sees a closed session.
+
+The regression this guards: ``SessionPool.get`` used to return an entry
+with no pin, so a concurrent ``add`` on a full pool could evict and
+``close()`` it mid-request — a ``SessionClosedError`` surfacing as a
+500.  With leases, an evicted entry's close defers until its last
+in-flight lease drains.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import UnknownGraphError
+from repro.serve.pool import SessionPool
+
+
+class FakeEntry:
+    def __init__(self, tag):
+        self.tag = tag
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+# --------------------------------------------------------------------- #
+# deterministic lease semantics
+# --------------------------------------------------------------------- #
+def test_lease_defers_eviction_close():
+    pool = SessionPool(capacity=1)
+    a, b = FakeEntry("a"), FakeEntry("b")
+    pool.add("a", a)
+    lease = pool.acquire("a")
+    evicted = pool.add("b", b)  # capacity 1: evicts the leased entry
+    assert evicted == [a]
+    assert not a.closed  # close deferred: a lease is in flight
+    lease.release()
+    assert a.closed  # last lease out performs the deferred close
+    assert not b.closed
+
+
+def test_lease_release_is_idempotent():
+    pool = SessionPool(capacity=1)
+    a = FakeEntry("a")
+    pool.add("a", a)
+    lease = pool.acquire("a")
+    pool.remove("a")
+    lease.release()
+    lease.release()  # second release must not double-close or underflow
+    assert a.closed
+    assert pool.lease_counts() == {}
+
+
+def test_lease_context_manager_yields_entry():
+    pool = SessionPool(capacity=2)
+    a = FakeEntry("a")
+    pool.add("a", a)
+    with pool.acquire("a") as entry:
+        assert entry is a
+        assert pool.lease_counts() == {"a": 1}
+    assert pool.lease_counts() == {"a": 0}
+
+
+def test_overlapping_leases_close_once_after_last():
+    pool = SessionPool(capacity=1)
+    a = FakeEntry("a")
+    pool.add("a", a)
+    l1 = pool.acquire("a")
+    l2 = pool.acquire("a")
+    pool.add("b", FakeEntry("b"))
+    l1.release()
+    assert not a.closed
+    l2.release()
+    assert a.closed
+
+
+def test_replace_defers_close_of_leased_predecessor():
+    pool = SessionPool(capacity=4)
+    old, new = FakeEntry("old"), FakeEntry("new")
+    pool.add("k", old)
+    lease = pool.acquire("k")
+    pool.add("k", new)  # same-key replace while the old entry is leased
+    assert pool.get("k") is new
+    assert not old.closed
+    lease.release()
+    assert old.closed
+
+
+def test_pool_close_defers_for_leased_entries():
+    pool = SessionPool(capacity=2)
+    a = FakeEntry("a")
+    pool.add("a", a)
+    lease = pool.acquire("a")
+    pool.close()
+    assert len(pool) == 0
+    assert not a.closed
+    lease.release()
+    assert a.closed
+
+
+def test_unknown_key_acquire_raises():
+    pool = SessionPool(capacity=2)
+    with pytest.raises(UnknownGraphError):
+        pool.acquire("nope")
+
+
+def test_dunder_queries_and_lease_counts():
+    pool = SessionPool(capacity=2)
+    pool.add("a", FakeEntry("a"))
+    lease = pool.acquire("a")
+    assert len(pool) == 1
+    assert "a" in pool
+    assert "leased" in repr(pool)
+    assert pool.lease_counts() == {"a": 1}
+    lease.release()
+
+
+# --------------------------------------------------------------------- #
+# concurrent stress: get/acquire vs capacity-1 add churn
+# --------------------------------------------------------------------- #
+def test_stress_no_request_observes_closed_entry():
+    """Readers lease a hot key while writers churn a capacity-1 pool.
+
+    Every reader asserts its leased entry stays open for the whole
+    simulated request; ``UnknownGraphError`` (the entry vanished before
+    acquire) is an acceptable answer, a closed entry mid-request is not.
+    """
+    pool = SessionPool(capacity=1)
+    pool.add("hot", FakeEntry("hot-0"))
+    violations = []
+    stop = threading.Event()
+    barrier = threading.Barrier(5)
+
+    def writer():
+        barrier.wait()
+        for i in range(400):
+            # Alternate same-key replacement and LRU displacement — both
+            # eviction paths must respect in-flight leases.
+            pool.add("hot", FakeEntry(f"hot-{i}"))
+            pool.add(f"cold-{i}", FakeEntry(f"cold-{i}"))
+        stop.set()
+
+    def reader():
+        barrier.wait()
+        while not stop.is_set():
+            try:
+                with pool.acquire("hot") as entry:
+                    if entry.closed:
+                        violations.append(f"closed at acquire: {entry.tag}")
+                    time.sleep(0)  # yield mid-request to widen the race
+                    if entry.closed:
+                        violations.append(f"closed mid-lease: {entry.tag}")
+            except UnknownGraphError:
+                continue
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not violations, violations[:5]
+    # Churn done, all leases drained: every displaced entry must have
+    # been closed exactly through the deferred path; the survivor and
+    # only the survivor stays open.
+    assert pool.lease_counts() == {key: 0 for key in pool.keys()}
+    assert pool.evictions > 0
