@@ -25,14 +25,17 @@ fuzz-smoke:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Quick backend sweep with plan stats plus the cold-vs-warm session leg;
-# writes BENCH_counting.json and BENCH_session.json (mirrors the
-# bench-smoke CI leg).
+# Quick backend sweep with plan stats plus the cold-vs-warm session leg
+# and the sharded memory-bound/throughput gates; writes
+# BENCH_counting.json, BENCH_session.json and BENCH_sharding.json
+# (mirrors the bench-smoke CI leg).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_counting_backends.py \
 		--quick --json BENCH_counting.json
 	PYTHONPATH=src python benchmarks/bench_session.py \
 		--quick --json BENCH_session.json
+	PYTHONPATH=src python benchmarks/bench_sharding.py \
+		--quick --json BENCH_sharding.json
 
 # Boot the real serving stack in-process and drive it with closed-loop
 # clients: batched dispatch must beat naive per-request dispatch at

@@ -63,9 +63,11 @@ def _cmd_count(args) -> int:
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
     backend = args.backend
-    if backend == "auto" and (args.workers is not None or args.stats):
+    if backend == "auto" and args.shard_mb is not None:
+        backend = "sharded"
+    elif backend == "auto" and (args.workers is not None or args.stats):
         backend = "parallel"
-    with GraphSession(graph) as session:
+    with GraphSession(graph, shard_budget_mb=args.shard_mb) as session:
         result = session.count(
             algorithm=args.algorithm,
             backend=backend,
@@ -439,6 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="over-decomposition knob |T| for dynamic scheduling")
     p.add_argument("--stats", action="store_true",
                    help="print per-worker telemetry (implies --backend parallel)")
+    p.add_argument("--shard-mb", type=float, default=None,
+                   help="per-worker shared-memory budget in MiB; implies "
+                        "--backend sharded (overrides REPRO_SHARD_BUDGET)")
     p.add_argument("--top", type=int, default=5, help="print the k hottest edges")
     p.add_argument("--verify", action="store_true", help="verify against a reference")
     p.add_argument("--no-cover", action="store_true",

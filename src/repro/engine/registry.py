@@ -310,6 +310,52 @@ def _run_hybrid(
     return cnt, (report if collect_stats else None)
 
 
+def _run_sharded(
+    session,
+    *,
+    num_workers=None,
+    chunks_per_worker=4,
+    collect_stats=False,
+    start_method=None,
+    **_,
+):
+    # ``num_workers`` doubles as the shard count: one worker per shard.
+    pool = session.sharded_counter(
+        num_shards=num_workers, start_method=start_method
+    )
+    if collect_stats:
+        return pool.count_all_edges(
+            chunks_per_shard=chunks_per_worker, with_stats=True
+        )
+    return pool.count_all_edges(chunks_per_shard=chunks_per_worker), None
+
+
+def _sharded_fuzz_variants() -> tuple:
+    """Shard-arithmetic and real-pool flavors of the sharded path.
+
+    The inline flavor runs K=3 shards in-process over their attached
+    segments every few cases (cheap, covers boundary/delta math); one
+    process-backed flavor per platform keeps the worker protocol honest.
+    """
+    variants = [
+        PathVariant(
+            suffix="inline",
+            stride=3,
+            opts={"num_workers": 3, "start_method": "inline"},
+        )
+    ]
+    available = mp.get_all_start_methods()
+    method = "fork" if "fork" in available else "spawn"
+    variants.append(
+        PathVariant(
+            suffix=method,
+            stride=16,
+            opts={"num_workers": 2, "start_method": method},
+        )
+    )
+    return tuple(variants)
+
+
 def _parallel_fuzz_variants() -> tuple:
     """Fork/spawn fuzz flavors, gated on platform availability."""
     variants = []
@@ -385,6 +431,18 @@ def _builtin_specs() -> list[BackendSpec]:
             supports_edge_subset=True,
             fuzz_variants=_parallel_fuzz_variants(),
             description="shared-memory multiprocessing with work-weighted chunks",
+        ),
+        BackendSpec(
+            name="sharded",
+            run=_run_sharded,
+            algorithms=frozenset({"BMP"}),
+            supports_stats=True,
+            supports_num_workers=True,
+            fuzz_variants=_sharded_fuzz_variants(),
+            description=(
+                "K-way 2D shard partitioning; each worker attaches only "
+                "its own shared-memory segment"
+            ),
         ),
         BackendSpec(
             name="hybrid",

@@ -65,7 +65,28 @@ from repro.engine.registry import BackendRegistry, default_registry
 from repro.errors import AlgorithmError, SessionClosedError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["GraphSession", "ArtifactStats"]
+__all__ = ["GraphSession", "ArtifactStats", "SHARD_BUDGET_ENV"]
+
+#: Environment override (in MiB) for the sharded-execution memory budget:
+#: when a session's CSR export would exceed it, ``backend="auto"`` routes
+#: to the ``sharded`` backend instead of ``hybrid``.  The CI leg forces
+#: this low so K>1 shard paths execute on the bundled graphs.
+SHARD_BUDGET_ENV = "REPRO_SHARD_BUDGET"
+
+
+def _budget_from_env() -> int | None:
+    raw = os.environ.get(SHARD_BUDGET_ENV)
+    if not raw:
+        return None
+    try:
+        return int(float(raw) * 2**20)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {SHARD_BUDGET_ENV}={raw!r} (expected MiB)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 @dataclass
@@ -124,6 +145,12 @@ class GraphSession:
     start_method:
         Default ``multiprocessing`` start method for the worker-pool
         artifact (per-request override wins).
+    shard_budget_mb:
+        Memory budget (MiB) for one worker's attached shared memory.
+        When the CSR export exceeds it, ``backend="auto"`` routes to the
+        ``sharded`` backend, which bounds each worker to one shard
+        segment.  Defaults to the ``REPRO_SHARD_BUDGET`` environment
+        variable; ``None`` (and no env) disables budget routing.
 
     Use as a context manager (or call :meth:`close`) to release the
     worker pool and shared-memory export deterministically; a finalizer
@@ -135,10 +162,16 @@ class GraphSession:
         graph: CSRGraph,
         registry: BackendRegistry | None = None,
         start_method: str | None = None,
+        shard_budget_mb: float | None = None,
     ):
         self._graph = graph
         self.registry = registry if registry is not None else default_registry()
         self.start_method = start_method
+        self.shard_budget_bytes = (
+            int(shard_budget_mb * 2**20)
+            if shard_budget_mb is not None
+            else _budget_from_env()
+        )
         self._artifacts: dict[str, _Artifact] = {}
         self._stats: dict[str, ArtifactStats] = {}
         self._closed = False
@@ -356,6 +389,80 @@ class GraphSession:
                 close=lambda entry: entry[1].close(),
             )[1]
 
+    def sharded_export(self, num_shards: int | None = None):
+        """K per-shard shared-memory segments (`ShardedGraph`), memoized
+        per requested shard count.
+
+        ``num_shards=None`` resolves K from the session's shard budget
+        (smallest K whose largest segment fits, simulator-arbitrated);
+        the shard plan reuses the session's memoized execution plan as
+        the cost curve.  Unlinked on invalidation or :meth:`close`.
+        """
+        from repro.parallel.sharding import ShardedGraph
+        from repro.plan.shardplan import plan_shards
+
+        def build():
+            plan = plan_shards(
+                self._graph,
+                num_shards=num_shards,
+                budget_bytes=(
+                    self.shard_budget_bytes if num_shards is None else None
+                ),
+                plan=self.plan(),
+            )
+            return ShardedGraph(self._graph, plan)
+
+        return self._memo(
+            f"sharded_export:{num_shards if num_shards is not None else 'auto'}",
+            build,
+            deps={"structure"},
+            close=lambda sharded: sharded.unlink(),
+        )
+
+    def sharded_counter(
+        self,
+        num_shards: int | None = None,
+        start_method: str | None = None,
+        chunks_per_shard: int = 4,
+    ):
+        """Persistent :class:`~repro.parallel.sharding.ShardedCounter`.
+
+        Started once and reused across requests; a request with a
+        different shard count or start method rebuilds the pool (the
+        sharded export is kept).  Borrows :meth:`sharded_export`, so the
+        session owns segment lifetime and workers never unlink.
+        """
+        from repro.parallel.sharding import ShardedCounter
+
+        with self._lock:
+            method = start_method if start_method is not None else self.start_method
+            key = (
+                None if num_shards is None else int(num_shards),
+                method,
+            )
+            art = self._artifacts.get("sharded_pool")
+            if art is not None and art.value[0] != key:
+                self.invalidate("sharded_pool")
+
+            def build():
+                sharded = self.sharded_export(num_shards)
+                pool = ShardedCounter(
+                    self._graph,
+                    chunks_per_shard=chunks_per_shard,
+                    start_method=method,
+                    sharded=sharded,
+                    on_fallback=self._warn_fallback_once,
+                )
+                pool.start()
+                return (key, pool)
+
+            return self._memo(
+                "sharded_pool",
+                build,
+                deps={"structure"},
+                close=lambda entry: entry[1].close(),
+            )[1]
+
     def _warn_fallback_once(self, message: str) -> None:
         """Emit the pool's sequential-fallback warning at most once."""
         if self._fallback_warned:
@@ -409,7 +516,7 @@ class GraphSession:
                 self.registry.check_algorithm(algorithm, algo.name, backend)
 
             spec = self.registry.check_available(
-                "hybrid" if backend == "auto" else backend
+                self._auto_backend() if backend == "auto" else backend
             )
             if collect_stats and not spec.supports_stats:
                 stats_capable = [
@@ -429,6 +536,18 @@ class GraphSession:
                 cover=cover,
             )
             return self._wrap_result(counts, stats)
+
+    def _auto_backend(self) -> str:
+        """``backend="auto"`` resolution: hybrid, unless the CSR export
+        would blow the shard budget — then sharded execution bounds each
+        worker to one segment."""
+        if (
+            self.shard_budget_bytes is not None
+            and self._graph.memory_bytes() > self.shard_budget_bytes
+            and "sharded" in self.registry
+        ):
+            return "sharded"
+        return "hybrid"
 
     def _wrap_result(self, counts, stats):
         from repro.core.result import EdgeCounts

@@ -78,6 +78,25 @@ class UnknownGraphError(ReproError, KeyError):
         self.known = known
 
 
+class SharedExportError(ReproError):
+    """A shared-memory CSR export could not be attached.
+
+    Raised (instead of the incidental ``FileNotFoundError`` from
+    ``multiprocessing.shared_memory``) when a worker attaches a handle
+    whose blocks were already unlinked by the exporting process — the
+    session closed, or the export was invalidated by an edit batch while
+    a request was still in flight.
+    """
+
+    def __init__(self, name: str, detail: str = ""):
+        super().__init__(
+            f"cannot attach shared-memory block {name!r}: the export was "
+            "already unlinked by its owner (session closed or invalidated)"
+            + (f"; {detail}" if detail else "")
+        )
+        self.name = name
+
+
 class SimulationError(ReproError):
     """The architecture simulator was given inconsistent parameters."""
 

@@ -17,15 +17,27 @@ from repro.parallel.findsrc import SourceFinder
 from repro.parallel.scheduler import (
     Schedule,
     simulate_dynamic,
+    simulate_sharded,
     simulate_static,
     chunk_work,
 )
-from repro.parallel.metrics import ChunkStat, ParallelStats, WorkerTelemetry
+from repro.parallel.metrics import (
+    ChunkStat,
+    ParallelStats,
+    ShardStat,
+    WorkerTelemetry,
+)
 from repro.parallel.sharedmem import AttachedCSR, SharedCSRHandle, SharedGraph
 from repro.parallel.threadpool import (
     ParallelCounter,
     count_all_edges_parallel,
     resolve_start_method,
+)
+from repro.parallel.sharding import (
+    ShardedCounter,
+    ShardedGraph,
+    ShardHandle,
+    count_all_edges_sharded,
 )
 from repro.parallel.skeleton import run_parallel_skeleton, SkeletonStats
 
@@ -36,10 +48,12 @@ __all__ = [
     "SourceFinder",
     "Schedule",
     "simulate_dynamic",
+    "simulate_sharded",
     "simulate_static",
     "chunk_work",
     "ChunkStat",
     "ParallelStats",
+    "ShardStat",
     "WorkerTelemetry",
     "AttachedCSR",
     "SharedCSRHandle",
@@ -47,6 +61,10 @@ __all__ = [
     "ParallelCounter",
     "count_all_edges_parallel",
     "resolve_start_method",
+    "ShardedCounter",
+    "ShardedGraph",
+    "ShardHandle",
+    "count_all_edges_sharded",
     "run_parallel_skeleton",
     "SkeletonStats",
 ]

@@ -19,7 +19,28 @@ import numpy as np
 from repro.parallel.scheduler import Schedule, simulate_dynamic
 from repro.types import OpCounts
 
-__all__ = ["ChunkStat", "WorkerTelemetry", "ParallelStats"]
+__all__ = [
+    "ChunkStat",
+    "ShardStat",
+    "WorkerTelemetry",
+    "ParallelStats",
+    "rss_bytes",
+]
+
+
+def rss_bytes() -> int:
+    """Peak resident-set size of the calling process, in bytes (0 if
+    the platform exposes no ``getrusage``).  Workers report this so the
+    bench can verify the per-worker memory claim of sharded execution."""
+    try:
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(rss) * (1 if sys.platform == "darwin" else 1024)
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
 
 
 @dataclass(frozen=True)
@@ -29,6 +50,11 @@ class ChunkStat:
     ``predicted_cost`` is the planner's cost estimate for the chunk's
     vertex range (arbitrary units, comparable across chunks of the same
     request); ``None`` when the request ran without a plan.
+    ``bytes_attached`` is the shared-memory footprint the worker mapped to
+    serve the chunk (the whole export for the single-export backend, one
+    shard segment for sharded execution); ``shard`` is the owning shard
+    index, or ``None`` outside sharded runs.  ``rss_bytes`` is the
+    worker's peak RSS when it finished the chunk.
     """
 
     worker_pid: int
@@ -38,6 +64,26 @@ class ChunkStat:
     seconds: float
     ops: OpCounts | None = None
     predicted_cost: float | None = None
+    bytes_attached: int = 0
+    shard: int | None = None
+    rss_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class ShardStat:
+    """Parent-side summary of one shard of a sharded request."""
+
+    index: int
+    lo: int
+    hi: int
+    owned_bytes: int
+    boundary_bytes: int
+    boundary_vertices: int
+    attached_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.attached_bytes
 
 
 @dataclass(frozen=True)
@@ -48,6 +94,8 @@ class WorkerTelemetry:
     chunks: int
     edges: int
     busy_seconds: float
+    bytes_attached: int = 0
+    rss_bytes: int = 0
 
     @property
     def edges_per_sec(self) -> float:
@@ -72,6 +120,8 @@ class ParallelStats:
     wall_seconds: float
     chunk_stats: list[ChunkStat] = field(default_factory=list)
     fallback_reason: str | None = None
+    shard_stats: list[ShardStat] = field(default_factory=list)
+    replication_factor: float | None = None
 
     # ------------------------------------------------------------------ #
     # aggregates
@@ -107,9 +157,19 @@ class ParallelStats:
                 chunks=len(cs),
                 edges=sum(c.edges for c in cs),
                 busy_seconds=float(sum(c.seconds for c in cs)),
+                bytes_attached=max(c.bytes_attached for c in cs),
+                rss_bytes=max(c.rss_bytes for c in cs),
             )
             for pid, cs in sorted(agg.items())
         ]
+
+    @property
+    def max_worker_bytes_attached(self) -> int:
+        """Largest shared-memory footprint any single worker mapped —
+        the quantity the shard budget bounds."""
+        if not self.chunk_stats:
+            return 0
+        return max(c.bytes_attached for c in self.chunk_stats)
 
     def aggregate_ops(self) -> OpCounts:
         """Sum of the kernel op counts charged by every chunk."""
@@ -209,9 +269,25 @@ class ParallelStats:
         if self.fallback_reason:
             lines.append(f"fallback         : {self.fallback_reason}")
         for w in self.per_worker():
-            lines.append(
+            line = (
                 f"worker {w.pid:<9d} : {w.chunks} chunks, {w.edges} edges, "
                 f"{w.busy_seconds:.4f} s busy ({w.edges_per_sec:,.0f} edges/s)"
+            )
+            if w.bytes_attached:
+                line += f", {w.bytes_attached / 2**20:.2f} MiB attached"
+            lines.append(line)
+        for s in self.shard_stats:
+            lines.append(
+                f"shard {s.index:<10d} : vertices [{s.lo}, {s.hi}), "
+                f"{s.owned_bytes / 2**20:.2f} MiB owned + "
+                f"{s.boundary_bytes / 2**20:.2f} MiB boundary "
+                f"({s.boundary_vertices} cols), "
+                f"{s.attached_bytes / 2**20:.2f} MiB attached"
+            )
+        if self.replication_factor is not None:
+            lines.append(
+                f"replication      : {self.replication_factor:.2f}x of the "
+                "single export across all shards"
             )
         if self.chunk_stats:
             sched = self.simulated_schedule()

@@ -15,7 +15,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Schedule", "chunk_work", "simulate_dynamic", "simulate_static"]
+__all__ = [
+    "Schedule",
+    "chunk_work",
+    "simulate_dynamic",
+    "simulate_sharded",
+    "simulate_static",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +95,53 @@ def simulate_dynamic(
         makespan = max(makespan, t)
         heapq.heappush(free, t)
     return Schedule(makespan, total, overhead_total, n, num_workers)
+
+
+def simulate_sharded(
+    shard_costs,
+    shard_bytes,
+    workers_per_shard: int = 1,
+    copy_ns_per_byte: float = 0.25,
+    dequeue_overhead: float = 0.0,
+) -> Schedule:
+    """Model a sharded run: per-shard dynamic schedules plus export copy.
+
+    ``shard_costs`` is one entry per shard — either a scalar (the shard's
+    total predicted cost) or an array of the shard's chunk costs.
+    ``shard_bytes`` is the shared-memory footprint of each shard's
+    segment, *including* the replicated boundary columns; the serial
+    export copy the parent pays before any worker can start is modeled as
+    ``sum(shard_bytes) * copy_ns_per_byte``.  This is the term that grows
+    with cross-shard replication volume, and the reason the planner does
+    not simply pick the largest K: more shards bound per-worker memory
+    tighter but replicate more boundary columns.
+
+    Shards execute concurrently (one worker set each), so compute
+    makespan is the *max* over per-shard dynamic makespans; the returned
+    ``overhead`` is the replication copy cost.
+    """
+    shard_bytes = np.asarray(shard_bytes, dtype=np.float64)
+    if len(shard_costs) != len(shard_bytes):
+        raise ValueError("shard_costs and shard_bytes must align")
+    if workers_per_shard < 1:
+        raise ValueError("workers_per_shard must be >= 1")
+    copy_cost = float(shard_bytes.sum()) * copy_ns_per_byte
+    total_work = 0.0
+    compute_makespan = 0.0
+    num_chunks = 0
+    for cost in shard_costs:
+        chunks = np.atleast_1d(np.asarray(cost, dtype=np.float64))
+        sub = simulate_dynamic(chunks, workers_per_shard, dequeue_overhead)
+        total_work += sub.total_work
+        compute_makespan = max(compute_makespan, sub.makespan)
+        num_chunks += sub.num_chunks
+    return Schedule(
+        makespan=copy_cost + compute_makespan,
+        total_work=total_work,
+        overhead=copy_cost,
+        num_chunks=num_chunks,
+        num_workers=max(1, len(shard_costs) * workers_per_shard),
+    )
 
 
 def simulate_static(chunk_costs: np.ndarray, num_workers: int) -> Schedule:

@@ -1,0 +1,576 @@
+"""Sharded multi-process counting over per-shard shared-memory segments.
+
+The single-export pool (:mod:`repro.parallel.threadpool`) maps the whole
+CSR into every worker; here each worker attaches only *its shard's*
+segment — the owned source rows plus the replicated boundary columns a
+:class:`~repro.plan.shardplan.ShardPlan` computed — so per-worker memory
+stays bounded by the shard budget while the counting kernels run
+unmodified.
+
+The trick that keeps results bit-exact is the local CSR layout: a shard
+segment keeps the **full-length offsets array** (vertex ids stay global)
+with the degrees of non-resident rows zeroed, and gathers ``dst`` only
+for resident rows.  Owned rows are then contiguous and byte-identical to
+the global CSR, so a worker's locally-computed edge offsets map to
+global ones by a single per-shard scalar::
+
+    global_eo = local_eo + (graph.offsets[lo] - local_offsets[lo])
+
+Workers return global offsets; the parent scatters them into one count
+vector and finishes through the same
+:func:`~repro.kernels.batch.symmetric_assign` as every other backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+import warnings
+from dataclasses import dataclass, field, replace
+from queue import Empty
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.batch import symmetric_assign
+from repro.parallel.metrics import ChunkStat, ParallelStats, ShardStat, rss_bytes
+from repro.parallel.sharedmem import SharedCSRHandle, SharedGraph
+from repro.parallel.threadpool import count_vertex_range, resolve_start_method
+from repro.plan.chunking import weighted_vertex_chunks
+from repro.plan.shardplan import ShardPlan, ShardSpec, plan_shards
+from repro.types import OpCounts
+
+__all__ = [
+    "ShardHandle",
+    "ShardedGraph",
+    "ShardedCounter",
+    "build_shard_csr",
+    "count_all_edges_sharded",
+]
+
+#: ``start_method`` value that runs every shard in-process through the
+#: same attach/count/remap data path (no worker processes).  Used by the
+#: fuzzer and property tests to exercise shard arithmetic cheaply.
+INLINE = "inline"
+
+_STOP = None  # queue sentinel
+
+
+def build_shard_csr(graph: CSRGraph, spec: ShardSpec) -> tuple[CSRGraph, int]:
+    """Materialize one shard's local CSR; returns ``(local, eo_delta)``.
+
+    Resident rows are the owned range ``[lo, hi)`` plus the boundary
+    columns; every other row keeps its global id but degree zero.  The
+    returned delta maps local edge offsets of owned rows to global ones.
+    """
+    n = graph.num_vertices
+    degrees = graph.degrees
+    keep = np.zeros(n, dtype=bool)
+    keep[spec.lo : spec.hi] = True
+    if len(spec.boundary):
+        keep[spec.boundary] = True
+    local_deg = np.where(keep, degrees, 0).astype(np.int64)
+    local_off = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(local_deg)]
+    )
+    rows = np.flatnonzero(keep)
+    if len(rows):
+        starts = graph.offsets[rows]
+        lens = degrees[rows].astype(np.int64)
+        # Flat gather: one index array covering every resident row's slice.
+        ends = np.cumsum(lens)
+        flat = np.arange(int(ends[-1]), dtype=np.int64)
+        flat += np.repeat(starts - np.concatenate(([0], ends[:-1])), lens)
+        local_dst = graph.dst[flat]
+    else:
+        local_dst = graph.dst[:0].copy()
+    local = CSRGraph(local_off, local_dst, validate=False)
+    delta = int(graph.offsets[spec.lo] - local_off[spec.lo]) if n else 0
+    return local, delta
+
+
+@dataclass(frozen=True)
+class ShardHandle:
+    """Picklable reference to one exported shard segment."""
+
+    index: int
+    lo: int
+    hi: int
+    csr: SharedCSRHandle
+    edge_offset_delta: int
+    nbytes: int
+    owned_bytes: int
+    boundary_bytes: int
+    boundary_vertices: int
+    predicted_cost: float = field(default=0.0, compare=False)
+
+    def attach(self):
+        return self.csr.attach()
+
+
+class ShardedGraph:
+    """Parent-side owner of the K per-shard shared-memory segments.
+
+    Generalizes :class:`~repro.parallel.sharedmem.SharedGraph` from one
+    export to a plan's worth of them; :attr:`handles` are the picklable
+    per-shard references workers attach.  ``unlink()`` is idempotent and
+    releases every segment (cleaning up partially-built state if
+    construction itself fails).
+    """
+
+    def __init__(self, graph: CSRGraph, plan: ShardPlan):
+        self.plan = plan
+        self._segments: list[SharedGraph] = []
+        self.handles: list[ShardHandle] = []
+        self._unlinked = False
+        try:
+            for spec in plan.shards:
+                local, delta = build_shard_csr(graph, spec)
+                seg = SharedGraph(local)
+                self._segments.append(seg)
+                self.handles.append(
+                    ShardHandle(
+                        index=spec.index,
+                        lo=spec.lo,
+                        hi=spec.hi,
+                        csr=seg.handle,
+                        edge_offset_delta=delta,
+                        nbytes=seg.nbytes(),
+                        owned_bytes=spec.owned_bytes,
+                        boundary_bytes=spec.boundary_bytes,
+                        boundary_vertices=len(spec.boundary),
+                    )
+                )
+        except BaseException:
+            self.unlink()
+            raise
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.handles)
+
+    def nbytes(self) -> int:
+        return sum(h.nbytes for h in self.handles)
+
+    def max_shard_bytes(self) -> int:
+        return max((h.nbytes for h in self.handles), default=0)
+
+    @property
+    def replication_factor(self) -> float:
+        return self.plan.replication_factor
+
+    def unlink(self) -> None:
+        """Release every segment.  Idempotent."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for seg in self._segments:
+            seg.unlink()
+
+    def __enter__(self) -> "ShardedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedGraph(shards={self.num_shards}, "
+            f"bytes={self.nbytes()}, "
+            f"replication={self.replication_factor:.2f}x)"
+        )
+
+
+def _shard_worker(handle: ShardHandle, task_q, result_q) -> None:
+    """Shard worker loop: attach one segment, serve ``("range", lo, hi)``
+    tasks over owned sub-ranges, return **global** edge offsets."""
+    try:
+        attached = handle.attach()
+    except BaseException:  # surface attach failures as task errors
+        result_q.put(("err", traceback.format_exc()))
+        return
+    graph = attached.graph
+    pid = os.getpid()
+    attached_bytes = attached.nbytes()
+    delta = handle.edge_offset_delta
+    while True:
+        task = task_q.get()
+        if task is _STOP:
+            break
+        try:
+            _, lo, hi = task
+            ops = OpCounts()
+            t0 = time.perf_counter()
+            eo, vals = count_vertex_range(graph, lo, hi, ops)
+            dt = time.perf_counter() - t0
+        except BaseException:  # pragma: no cover - defensive
+            result_q.put(("err", traceback.format_exc()))
+            continue
+        stat = ChunkStat(
+            pid,
+            lo,
+            hi,
+            len(eo),
+            dt,
+            ops,
+            bytes_attached=attached_bytes,
+            shard=handle.index,
+            rss_bytes=rss_bytes(),
+        )
+        result_q.put(("ok", eo + delta, vals, stat))
+
+
+class ShardedCounter:
+    """Persistent sharded counting service (context manager).
+
+    One worker process per shard, each attaching only its own segment;
+    requests split every shard's owned range into ``chunks_per_shard``
+    cost-balanced sub-chunks served off that shard's task queue, and the
+    parent merges global-offset partial counts through
+    ``symmetric_assign`` — bit-exact against the single-export backends.
+
+    Parameters mirror :class:`~repro.parallel.threadpool.ParallelCounter`
+    where they overlap.  ``num_shards``/``budget_bytes``/``plan`` feed
+    :func:`~repro.plan.shardplan.plan_shards` unless an explicit
+    ``shard_plan`` or a borrowed :class:`ShardedGraph` (``sharded``) is
+    given.  ``start_method=\"inline\"`` runs every shard in-process over
+    the same attached segments — the cheap path the differential fuzzer
+    and property tests drive.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_shards: int | None = None,
+        budget_bytes: int | None = None,
+        chunks_per_shard: int = 4,
+        start_method: str | None = None,
+        plan="auto",
+        shard_plan: ShardPlan | None = None,
+        sharded: ShardedGraph | None = None,
+        on_fallback=None,
+    ):
+        self.graph = graph
+        self.chunks_per_shard = max(1, int(chunks_per_shard))
+        self._start_method_arg = start_method
+        self._plan_arg = plan
+        self._num_shards_arg = num_shards
+        self._budget_bytes = budget_bytes
+        self._shard_plan = shard_plan
+        self._borrowed_sharded = sharded
+        self._on_fallback = on_fallback
+        self.sharded: ShardedGraph | None = None
+        self.start_method = INLINE
+        self.fallback_reason: str | None = None
+        self._procs: list = []
+        self._task_qs: list = []
+        self._result_q = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ShardedCounter":
+        """Build (or borrow) the sharded export and launch the workers."""
+        if self._started:
+            return self
+        self._started = True
+
+        if self._borrowed_sharded is not None:
+            self.sharded = self._borrowed_sharded
+        else:
+            plan = self._shard_plan
+            if plan is None:
+                plan = plan_shards(
+                    self.graph,
+                    num_shards=self._resolve_num_shards(),
+                    budget_bytes=(
+                        self._budget_bytes
+                        if self._num_shards_arg is None
+                        else None
+                    ),
+                    plan=self._plan_arg,
+                )
+            self.sharded = ShardedGraph(self.graph, plan)
+
+        if not self.sharded.plan.fits_budget:
+            p = self.sharded.plan
+            warnings.warn(
+                f"shard budget {p.budget_bytes} B is unsatisfiable: the "
+                f"largest of {p.num_shards} shards still attaches "
+                f"{p.max_shard_bytes} B (replicated offsets and hub "
+                "boundary lists set a per-shard floor); proceeding over "
+                "budget",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+        # A single shard is the whole graph; a worker process would add
+        # pickling and queue latency for nothing, so K=1 runs in-process
+        # unless a start method was explicitly requested.
+        if (
+            self._start_method_arg == INLINE
+            or not self.sharded.handles
+            or (len(self.sharded.handles) == 1 and self._start_method_arg is None)
+        ):
+            return self
+
+        try:
+            method = resolve_start_method(self._start_method_arg)
+            ctx = mp.get_context(method)
+            self._result_q = ctx.Queue()
+            for handle in self.sharded.handles:
+                task_q = ctx.Queue()
+                p = ctx.Process(
+                    target=_shard_worker,
+                    args=(handle, task_q, self._result_q),
+                    daemon=True,
+                )
+                p.start()
+                self._task_qs.append(task_q)
+                self._procs.append(p)
+        except (OSError, ValueError, ImportError) as exc:
+            self._teardown_pool()
+            self.fallback_reason = f"sharded pool setup failed: {exc}"
+            message = (
+                f"sharded backend running in-process "
+                f"({self.fallback_reason}); shards still attach their own "
+                f"segments"
+            )
+            if self._on_fallback is not None:
+                self._on_fallback(message)
+            else:
+                warnings.warn(message, RuntimeWarning, stacklevel=3)
+            return self
+
+        self.start_method = method
+        return self
+
+    def _resolve_num_shards(self) -> int | None:
+        if self._num_shards_arg is not None:
+            if self._num_shards_arg < 1:
+                raise ValueError("num_shards must be >= 1")
+            return int(self._num_shards_arg)
+        if self._budget_bytes is not None:
+            return None  # budget-driven search inside plan_shards
+        return max(1, min(os.cpu_count() or 1, 4))
+
+    @property
+    def is_parallel(self) -> bool:
+        return bool(self._procs)
+
+    @property
+    def num_shards(self) -> int:
+        if self.sharded is None:
+            return 0
+        return self.sharded.num_shards
+
+    def worker_pids(self) -> list[int]:
+        return [p.pid for p in self._procs]
+
+    def close(self) -> None:
+        """Stop the workers and release owned shard segments."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_pool()
+        if self.sharded is not None:
+            if self.sharded is not self._borrowed_sharded:
+                self.sharded.unlink()
+            self.sharded = None
+
+    def _teardown_pool(self) -> None:
+        for task_q in self._task_qs:
+            try:
+                task_q.put(_STOP)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for p in self._procs:
+            p.join(timeout=10)
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+                p.join(timeout=5)
+        self._procs = []
+        for q in [*self._task_qs, self._result_q]:
+            if q is not None:
+                q.close()
+                q.join_thread()
+        self._task_qs = []
+        self._result_q = None
+        self.start_method = INLINE
+
+    def __enter__(self) -> "ShardedCounter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # requests
+    # ------------------------------------------------------------------ #
+    def count_all_edges(
+        self,
+        chunks_per_shard: int | None = None,
+        with_stats: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, ParallelStats]:
+        """All-edge common neighbor counts, aligned with ``graph.dst``."""
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise RuntimeError("ShardedCounter is closed")
+        cps = (
+            self.chunks_per_shard
+            if chunks_per_shard is None
+            else max(1, int(chunks_per_shard))
+        )
+        per_shard_tasks, pred_map = self._make_tasks(cps)
+        cnt = np.zeros(self.graph.num_directed_edges, dtype=np.int64)
+        t0 = time.perf_counter()
+        if self.is_parallel:
+            chunk_stats = self._run_pool(per_shard_tasks, cnt)
+        else:
+            chunk_stats = self._run_inline(per_shard_tasks, cnt)
+        if pred_map:
+            chunk_stats = [
+                replace(s, predicted_cost=pred_map.get((s.lo, s.hi)))
+                for s in chunk_stats
+            ]
+        wall = time.perf_counter() - t0
+        counts = symmetric_assign(self.graph, cnt)
+        if not with_stats:
+            return counts
+        stats = ParallelStats(
+            requested_workers=max(1, self.num_shards),
+            effective_workers=(
+                self.num_shards if self.is_parallel else 1
+            ),
+            start_method=self.start_method,
+            wall_seconds=wall,
+            chunk_stats=chunk_stats,
+            fallback_reason=self.fallback_reason,
+            shard_stats=self.shard_stats(),
+            replication_factor=self.sharded.replication_factor,
+        )
+        return counts, stats
+
+    def shard_stats(self) -> list[ShardStat]:
+        return [
+            ShardStat(
+                index=h.index,
+                lo=h.lo,
+                hi=h.hi,
+                owned_bytes=h.owned_bytes,
+                boundary_bytes=h.boundary_bytes,
+                boundary_vertices=h.boundary_vertices,
+                attached_bytes=h.nbytes,
+            )
+            for h in self.sharded.handles
+        ]
+
+    def _make_tasks(
+        self, chunks_per_shard: int
+    ) -> tuple[list[list[tuple[int, int]]], dict[tuple[int, int], float]]:
+        """Per-shard lists of (lo, hi) sub-chunks cut on the cost curve."""
+        cost = self.sharded.plan.chunk_cost
+        per_shard: list[list[tuple[int, int]]] = []
+        pred_map: dict[tuple[int, int], float] = {}
+        for h in self.sharded.handles:
+            bounds, predicted = weighted_vertex_chunks(
+                cost[h.lo : h.hi], chunks_per_shard
+            )
+            tasks = []
+            for (lo, hi), pred in zip(bounds, predicted):
+                glo, ghi = h.lo + lo, h.lo + hi
+                tasks.append((glo, ghi))
+                pred_map[(glo, ghi)] = float(pred)
+            per_shard.append(tasks)
+        return per_shard, pred_map
+
+    def _run_pool(self, per_shard_tasks, cnt) -> list[ChunkStat]:
+        pending = 0
+        for task_q, tasks in zip(self._task_qs, per_shard_tasks):
+            for lo, hi in tasks:
+                task_q.put(("range", lo, hi))
+                pending += 1
+        chunk_stats: list[ChunkStat] = []
+        while pending:
+            try:
+                msg = self._result_q.get(timeout=1.0)
+            except Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    codes = [p.exitcode for p in dead]
+                    raise RuntimeError(
+                        f"{len(dead)} shard worker(s) died "
+                        f"(exit codes {codes}) with {pending} chunks pending"
+                    )
+                continue
+            if msg[0] == "err":
+                raise RuntimeError(f"shard worker failed:\n{msg[1]}")
+            _, eo, vals, stat = msg
+            cnt[eo] = vals
+            chunk_stats.append(stat)
+            pending -= 1
+        return chunk_stats
+
+    def _run_inline(self, per_shard_tasks, cnt) -> list[ChunkStat]:
+        """Serve every shard in-process over its attached segment.
+
+        Same data path as the workers — attach the shared segment, count
+        on the local CSR, remap offsets by the shard delta — minus the
+        processes; this is what makes shard arithmetic cheaply fuzzable.
+        """
+        pid = os.getpid()
+        chunk_stats: list[ChunkStat] = []
+        for handle, tasks in zip(self.sharded.handles, per_shard_tasks):
+            attached = handle.attach()
+            try:
+                local = attached.graph
+                for lo, hi in tasks:
+                    ops = OpCounts()
+                    t0 = time.perf_counter()
+                    eo, vals = count_vertex_range(local, lo, hi, ops)
+                    dt = time.perf_counter() - t0
+                    cnt[eo + handle.edge_offset_delta] = vals
+                    chunk_stats.append(
+                        ChunkStat(
+                            pid,
+                            lo,
+                            hi,
+                            len(eo),
+                            dt,
+                            ops,
+                            bytes_attached=attached.nbytes(),
+                            shard=handle.index,
+                            rss_bytes=rss_bytes(),
+                        )
+                    )
+            finally:
+                attached.close()
+        return chunk_stats
+
+
+def count_all_edges_sharded(
+    graph: CSRGraph,
+    num_shards: int | None = None,
+    budget_bytes: int | None = None,
+    chunks_per_shard: int = 4,
+    *,
+    start_method: str | None = None,
+    return_stats: bool = False,
+    plan="auto",
+) -> np.ndarray | tuple[np.ndarray, ParallelStats]:
+    """One-shot sharded counts using a transient :class:`ShardedCounter`."""
+    with ShardedCounter(
+        graph,
+        num_shards=num_shards,
+        budget_bytes=budget_bytes,
+        chunks_per_shard=chunks_per_shard,
+        start_method=start_method,
+        plan=plan,
+    ) as counter:
+        return counter.count_all_edges(with_stats=return_stats)

@@ -24,6 +24,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.errors import SharedExportError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["SharedCSRHandle", "AttachedCSR", "SharedGraph"]
@@ -56,16 +57,45 @@ class AttachedCSR:
     """
 
     def __init__(self, handle: SharedCSRHandle):
-        self._shm_offsets = shared_memory.SharedMemory(name=handle.offsets_name)
-        self._shm_dst = shared_memory.SharedMemory(name=handle.dst_name)
+        self._shm_offsets = None
+        self._shm_dst = None
+        self._closed = False
+        try:
+            self._shm_offsets = shared_memory.SharedMemory(
+                name=handle.offsets_name
+            )
+            self._shm_dst = shared_memory.SharedMemory(name=handle.dst_name)
+        except FileNotFoundError as exc:
+            # Attaching after the owner unlinked is a lifecycle bug on the
+            # caller's side; surface it as a package error instead of the
+            # incidental OSError, and release the block we did open.
+            self.close()
+            raise SharedExportError(str(exc.filename or exc)) from exc
         self.graph: CSRGraph | None = CSRGraph.from_buffers(
             self._shm_offsets.buf, self._shm_dst.buf, handle.spec
         )
 
+    def nbytes(self) -> int:
+        """Total bytes of shared memory mapped by this attachment."""
+        total = 0
+        for shm in (self._shm_offsets, self._shm_dst):
+            if shm is not None:
+                total += shm.size
+        return total
+
     def close(self) -> None:
-        """Release the mapping (the exporter still owns the blocks)."""
+        """Release the mapping (the exporter still owns the blocks).
+
+        Idempotent: double-close (e.g. explicit close followed by a
+        defensive close in a ``finally`` block) is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.graph = None
         for shm in (self._shm_offsets, self._shm_dst):
+            if shm is None:  # partial attach failure
+                continue
             try:
                 shm.close()
             except BufferError:  # a live view still references the buffer

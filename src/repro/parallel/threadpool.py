@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.kernels.batch import count_edges_bitmap, symmetric_assign
-from repro.parallel.metrics import ChunkStat, ParallelStats
+from repro.parallel.metrics import ChunkStat, ParallelStats, rss_bytes
 from repro.parallel.sharedmem import SharedCSRHandle, SharedGraph
 from repro.types import OpCounts
 
@@ -123,6 +123,7 @@ def _worker_main(handle: SharedCSRHandle, task_q, result_q) -> None:
     attached = handle.attach()
     graph = attached.graph
     pid = os.getpid()
+    attached_bytes = attached.nbytes()
     while True:
         task = task_q.get()
         if task is _STOP:
@@ -143,7 +144,16 @@ def _worker_main(handle: SharedCSRHandle, task_q, result_q) -> None:
         except BaseException:  # pragma: no cover - defensive
             result_q.put(("err", traceback.format_exc()))
             continue
-        stat = ChunkStat(pid, lo, hi, len(eo), dt, ops)
+        stat = ChunkStat(
+            pid,
+            lo,
+            hi,
+            len(eo),
+            dt,
+            ops,
+            bytes_attached=attached_bytes,
+            rss_bytes=rss_bytes(),
+        )
         result_q.put(("ok", eo, vals, stat))
 
 
@@ -432,8 +442,8 @@ class ParallelCounter:
         return results
 
     def run_edge_chunks(
-        self, chunks: list[np.ndarray]
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        self, chunks: list[np.ndarray], with_stats: bool = False
+    ) -> list[tuple]:
         """Count explicit edge-offset chunks on the pool; ``(eo, vals)`` pairs.
 
         Each chunk is a sorted int64 array of upper (``u < v``) edge
@@ -441,6 +451,11 @@ class ParallelCounter:
         work-weighted across the persistent workers.  Results come back in
         arbitrary order (callers scatter by offset).  Falls back to
         in-process execution when the pool is sequential.
+
+        With ``with_stats=True`` each element is ``(eo, vals, ChunkStat)``
+        — edge tasks report the same per-worker telemetry (timings,
+        bytes attached, peak RSS) as range tasks, so ``--stats`` covers
+        the hybrid planner's pool-farmed bitmap bucket too.
         """
         if not self._started:
             self.start()
@@ -450,18 +465,26 @@ class ParallelCounter:
         if not chunks:
             return []
         if not self.is_parallel:
+            pid = os.getpid()
             out = []
             for eo in chunks:
+                ops = OpCounts()
+                t0 = time.perf_counter()
                 vals = np.zeros(len(eo), dtype=np.int64)
-                count_edges_bitmap(self.graph, eo, vals, None, aligned=True)
-                out.append((eo, vals))
+                count_edges_bitmap(self.graph, eo, vals, ops, aligned=True)
+                dt = time.perf_counter() - t0
+                if with_stats:
+                    stat = ChunkStat(
+                        pid, -1, -1, len(eo), dt, ops, rss_bytes=rss_bytes()
+                    )
+                    out.append((eo, vals, stat))
+                else:
+                    out.append((eo, vals))
             return out
-        return [
-            (eo, vals)
-            for eo, vals, _ in self._submit_and_collect(
-                [("edges", eo) for eo in chunks]
-            )
-        ]
+        results = self._submit_and_collect([("edges", eo) for eo in chunks])
+        if with_stats:
+            return results
+        return [(eo, vals) for eo, vals, _ in results]
 
     def _run_inline(self, chunks, cnt) -> list[ChunkStat]:
         pid = os.getpid()

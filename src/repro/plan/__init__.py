@@ -28,6 +28,7 @@ from repro.plan.planner import (
     get_plan,
     plan_cache_stats,
 )
+from repro.plan.shardplan import ShardPlan, ShardSpec, plan_shards, shard_boundary
 
 __all__ = [
     "DEFAULT_SKEW_THRESHOLD",
@@ -43,6 +44,10 @@ __all__ = [
     "execute_plan",
     "get_plan",
     "plan_cache_stats",
+    "plan_shards",
     "probe_cover_counts",
+    "ShardPlan",
+    "ShardSpec",
+    "shard_boundary",
     "weighted_vertex_chunks",
 ]

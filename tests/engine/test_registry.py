@@ -11,7 +11,15 @@ from repro.engine import BackendSpec, BackendRegistry, GraphSession, default_reg
 from repro.errors import AlgorithmError
 from tests.strategies import csr_graphs
 
-EXPECTED_BUILTINS = {"merge", "bitmap", "matmul", "gallop", "parallel", "hybrid"}
+EXPECTED_BUILTINS = {
+    "merge",
+    "bitmap",
+    "matmul",
+    "gallop",
+    "parallel",
+    "sharded",
+    "hybrid",
+}
 
 
 def test_builtin_backends_registered():
@@ -27,8 +35,15 @@ def test_capability_tables_match_old_contract():
     reg = default_registry()
     assert set(reg.backends_for("M")) == {"merge"}
     assert set(reg.backends_for("MPS")) == {"merge", "gallop", "gallop-compiled"}
-    assert set(reg.backends_for("BMP")) == {"bitmap", "bitmap-compiled", "parallel"}
+    assert set(reg.backends_for("BMP")) == {
+        "bitmap",
+        "bitmap-compiled",
+        "parallel",
+        "sharded",
+    }
     assert reg.get("parallel").supports_stats
+    assert reg.get("sharded").supports_stats
+    assert reg.get("sharded").supports_num_workers
     assert reg.get("hybrid").supports_stats
     assert reg.get("hybrid").supports_num_workers
     assert not reg.get("merge").supports_stats

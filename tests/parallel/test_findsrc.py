@@ -2,11 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graph.build import csr_from_pairs
 from repro.graph.generators import chung_lu_graph
 from repro.parallel.findsrc import SourceFinder
 from repro.types import OpCounts
+from tests.strategies import csr_graphs
 
 
 def test_sequential_scan_matches(small_graph):
@@ -56,3 +59,21 @@ def test_reset(medium_graph):
     sf.find(last)
     sf.reset()
     assert sf.find(0) == medium_graph.edge_sources()[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=csr_graphs(max_vertex=25, max_size=100), data=st.data())
+def test_find_matches_edge_sources_property(graph, data):
+    """On arbitrary strategy graphs, any access pattern — including the
+    shard router's jumps between shard-local offset runs — resolves the
+    same source as the materialized edge_sources vector."""
+    m = graph.num_directed_edges
+    if m == 0:
+        return
+    pattern = data.draw(
+        st.lists(st.integers(0, m - 1), min_size=1, max_size=60)
+    )
+    sf = SourceFinder(graph)
+    src = graph.edge_sources()
+    for eo in pattern:
+        assert sf.find(eo) == src[eo]

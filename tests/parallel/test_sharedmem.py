@@ -5,6 +5,7 @@ import pickle
 import numpy as np
 import pytest
 
+from repro.errors import ReproError, SharedExportError
 from repro.graph.build import csr_from_pairs
 from repro.graph.csr import CSRGraph
 from repro.parallel.sharedmem import SharedGraph
@@ -83,3 +84,45 @@ def test_unlink_is_idempotent(small_graph):
 def test_nbytes_covers_csr(medium_graph):
     with SharedGraph(medium_graph) as shared:
         assert shared.nbytes() >= medium_graph.memory_bytes()
+
+
+def test_double_close_context_manager(small_graph):
+    """Explicit unlink inside the with-block must not break __exit__."""
+    with SharedGraph(small_graph) as shared:
+        shared.unlink()
+    shared.unlink()  # and a third time after exit
+
+
+def test_attach_after_unlink_raises_repro_error(small_graph):
+    shared = SharedGraph(small_graph)
+    handle = shared.handle
+    shared.unlink()
+    with pytest.raises(SharedExportError, match="already unlinked"):
+        handle.attach()
+    # The package base class catches it too (no raw FileNotFoundError).
+    with pytest.raises(ReproError):
+        handle.attach()
+
+
+def test_attach_partial_failure_releases_first_block(small_graph):
+    """If only the dst block is gone, attach must close the offsets block
+    it already opened before raising (no leaked mapping)."""
+    from dataclasses import replace as dc_replace
+
+    with SharedGraph(small_graph) as shared:
+        broken = dc_replace(shared.handle, dst_name="repro-missing-block")
+        with pytest.raises(SharedExportError):
+            broken.attach()
+        # The healthy export is unaffected and still attachable.
+        ok = shared.handle.attach()
+        assert ok.graph == small_graph
+        ok.close()
+
+
+def test_attached_close_idempotent(small_graph):
+    with SharedGraph(small_graph) as shared:
+        attached = shared.handle.attach()
+        assert attached.nbytes() >= small_graph.memory_bytes()
+        attached.close()
+        attached.close()  # double close is a no-op
+        assert attached.graph is None

@@ -2,10 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.graph.reorder import reorder_graph
-from repro.kernels.batch import count_all_edges_matmul
+from repro.kernels.batch import count_all_edges_matmul, count_all_edges_merge
 from repro.parallel.skeleton import run_parallel_skeleton
+from tests.strategies import csr_graphs
 
 
 @pytest.fixture
@@ -65,3 +67,16 @@ def test_stats_fields(medium_graph):
     assert stats.threads == 4
     assert stats.tasks == -(-medium_graph.num_directed_edges // 64)
     assert stats.op_counts.bitmap_test > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=csr_graphs(max_vertex=20, max_size=80))
+def test_skeleton_bit_equal_merge_property(graph):
+    """Decomposition invariance on arbitrary strategy graphs: the modeled
+    dynamic schedule produces reference counts for both structures."""
+    expected = count_all_edges_merge(graph)
+    for algorithm in ("bmp", "mps"):
+        stats = run_parallel_skeleton(
+            graph, algorithm, num_threads=3, task_size=5
+        )
+        assert np.array_equal(stats.counts, expected)

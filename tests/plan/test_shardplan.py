@@ -1,0 +1,171 @@
+"""ShardPlan: coverage, boundary correctness, byte accounting, K choice."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.parallel.scheduler import simulate_dynamic, simulate_sharded
+from repro.plan.shardplan import MAX_SHARDS, plan_shards, shard_boundary
+from tests.strategies import csr_graphs
+
+
+def _cover(plan, n):
+    """Owned ranges must tile [0, n) disjointly in order."""
+    cursor = 0
+    for s in plan.shards:
+        assert s.lo == cursor
+        assert s.hi > s.lo
+        cursor = s.hi
+    assert cursor == n
+
+
+def test_shards_tile_vertex_space(medium_graph):
+    for k in (1, 2, 4, 7):
+        plan = plan_shards(medium_graph, num_shards=k)
+        _cover(plan, medium_graph.num_vertices)
+        assert plan.num_shards <= k
+
+
+def test_boundary_is_exactly_the_upper_out_of_range_dsts(medium_graph):
+    g = medium_graph
+    plan = plan_shards(g, num_shards=4)
+    for s in plan.shards:
+        src = np.repeat(
+            np.arange(s.lo, s.hi, dtype=np.int64), g.degrees[s.lo : s.hi]
+        )
+        d = g.dst[g.offsets[s.lo] : g.offsets[s.hi]].astype(np.int64)
+        expected = np.unique(d[(d > src) & ((d < s.lo) | (d >= s.hi))])
+        assert np.array_equal(s.boundary, expected)
+        # Upper-edge destinations are never below the owned range.
+        assert len(s.boundary) == 0 or s.boundary.min() >= s.hi
+
+
+def test_byte_accounting(medium_graph):
+    g = medium_graph
+    plan = plan_shards(g, num_shards=3)
+    item = g.dst.dtype.itemsize
+    for s in plan.shards:
+        assert s.owned_bytes == (g.offsets[s.hi] - g.offsets[s.lo]) * item
+        assert s.boundary_bytes == g.degrees[s.boundary].sum() * item
+        assert s.offsets_bytes == g.offsets.nbytes
+        assert s.total_bytes == (
+            s.owned_bytes + s.boundary_bytes + s.offsets_bytes
+        )
+    # One shard owning everything replicates nothing.
+    single = plan_shards(g, num_shards=1)
+    assert single.replication_bytes == 0
+    assert single.total_bytes == g.memory_bytes()
+    assert single.replication_factor == pytest.approx(1.0)
+    assert plan.replication_factor >= 1.0
+    assert plan.total_bytes == g.memory_bytes() + plan.replication_bytes
+
+
+def test_cost_curve_drives_boundaries(medium_graph):
+    """Loading all predicted cost onto the low vertices must pull every
+    cut toward them, versus a uniform-cost split."""
+    n = medium_graph.num_vertices
+    skewed = np.zeros(n)
+    skewed[: n // 4] = 100.0
+    skewed[n // 4 :] = 1.0
+    uniform_plan = plan_shards(medium_graph, num_shards=4, plan=np.ones(n))
+    skew_plan = plan_shards(medium_graph, num_shards=4, plan=skewed)
+    assert skew_plan.shards[0].hi < uniform_plan.shards[0].hi
+
+
+def test_budget_driven_k_fits(medium_graph):
+    # A budget exactly at the K=2 layout's largest shard forces K > 1
+    # (the single export is bigger) while staying feasible.
+    single = plan_shards(medium_graph, num_shards=1)
+    budget = plan_shards(medium_graph, num_shards=2).max_shard_bytes
+    assert budget < single.max_shard_bytes
+    plan = plan_shards(medium_graph, budget_bytes=budget)
+    assert plan.fits_budget
+    assert plan.num_shards > 1
+    assert plan.max_shard_bytes <= budget
+
+
+def test_budget_infeasible_flags_instead_of_raising(medium_graph):
+    plan = plan_shards(medium_graph, budget_bytes=1, max_shards=4)
+    assert not plan.fits_budget
+    assert plan.num_shards <= 4
+    assert plan.max_shard_bytes > 1
+
+
+def test_explicit_k_with_budget_reports_fit(medium_graph):
+    plan = plan_shards(medium_graph, num_shards=2, budget_bytes=1)
+    assert not plan.fits_budget
+
+
+def test_bad_inputs(medium_graph):
+    with pytest.raises(ValueError, match="num_shards"):
+        plan_shards(medium_graph, num_shards=0)
+    with pytest.raises(ValueError, match="cost vector"):
+        plan_shards(medium_graph, plan=np.ones(3))
+
+
+def test_shard_for_vertex(medium_graph):
+    plan = plan_shards(medium_graph, num_shards=4)
+    for s in plan.shards:
+        assert plan.shard_for_vertex(s.lo) is s
+        assert plan.shard_for_vertex(s.hi - 1) is s
+    with pytest.raises(IndexError):
+        plan.shard_for_vertex(medium_graph.num_vertices)
+
+
+def test_default_max_shards_bound():
+    assert 1 <= MAX_SHARDS
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=csr_graphs(max_vertex=25, max_size=100))
+def test_shard_boundary_makes_upper_edges_resolvable(graph):
+    """Every u<v edge with an owned source has its destination's row
+    resident (owned or boundary) — the 2D 'own both endpoints' invariant."""
+    plan = plan_shards(graph, num_shards=3, plan=None)
+    _cover(plan, graph.num_vertices)
+    for s in plan.shards:
+        resident = set(range(s.lo, s.hi)) | set(s.boundary.tolist())
+        for u in range(s.lo, s.hi):
+            for v in graph.neighbors(u):
+                if v > u:
+                    assert int(v) in resident
+
+
+# --------------------------------------------------------------------- #
+# simulate_sharded
+# --------------------------------------------------------------------- #
+def test_simulate_sharded_charges_replication_copy():
+    free = simulate_sharded([10.0, 10.0], [0, 0], copy_ns_per_byte=1.0)
+    paid = simulate_sharded([10.0, 10.0], [3, 4], copy_ns_per_byte=1.0)
+    assert free.makespan == 10.0
+    assert paid.makespan == 10.0 + 7.0
+    assert paid.overhead == 7.0
+    assert paid.total_work == 20.0
+
+
+def test_simulate_sharded_concurrent_shards_take_the_max():
+    sched = simulate_sharded([5.0, 9.0, 2.0], [0, 0, 0])
+    assert sched.makespan == 9.0
+    assert sched.num_workers == 3
+
+
+def test_simulate_sharded_chunked_costs_match_dynamic():
+    chunks = np.array([3.0, 1.0, 4.0, 1.0])
+    sched = simulate_sharded([chunks], [0], workers_per_shard=2)
+    assert sched.makespan == simulate_dynamic(chunks, 2).makespan
+    assert sched.num_chunks == 4
+
+
+def test_simulate_sharded_validates():
+    with pytest.raises(ValueError, match="align"):
+        simulate_sharded([1.0], [1, 2])
+    with pytest.raises(ValueError, match="workers_per_shard"):
+        simulate_sharded([1.0], [1], workers_per_shard=0)
+
+
+def test_plan_simulate_prefers_fewer_shards_when_copy_dominates(medium_graph):
+    """With an enormous copy cost the simulator must rank K=1 fastest —
+    the guard that budget search never picks gratuitous replication."""
+    k1 = plan_shards(medium_graph, num_shards=1).simulate(copy_ns_per_byte=1e9)
+    k4 = plan_shards(medium_graph, num_shards=4).simulate(copy_ns_per_byte=1e9)
+    assert k1.makespan < k4.makespan
