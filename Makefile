@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test verify fuzz-smoke bench bench-smoke serve-smoke examples experiments all clean
+.PHONY: install test verify fuzz-smoke bench bench-smoke serve-smoke stream-smoke examples experiments all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,10 +25,12 @@ fuzz-smoke:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Quick backend sweep with plan stats plus the cold-vs-warm session leg
-# and the sharded memory-bound/throughput gates; writes
-# BENCH_counting.json, BENCH_session.json and BENCH_sharding.json
-# (mirrors the bench-smoke CI leg).
+# Quick backend sweep with plan stats plus the cold-vs-warm session leg,
+# the sharded memory-bound/throughput gates, and the streaming gates
+# (bit-exact sliding window vs model replay, ingest throughput floor,
+# reservoir-estimator interval honesty); writes BENCH_counting.json,
+# BENCH_session.json, BENCH_sharding.json and BENCH_streaming.json
+# (mirrors the bench-smoke + streaming-smoke CI legs).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_counting_backends.py \
 		--quick --json BENCH_counting.json
@@ -36,6 +38,8 @@ bench-smoke:
 		--quick --json BENCH_session.json
 	PYTHONPATH=src python benchmarks/bench_sharding.py \
 		--quick --json BENCH_sharding.json
+	PYTHONPATH=src python benchmarks/bench_streaming.py \
+		--quick --json BENCH_streaming.json
 
 # Boot the real serving stack in-process and drive it with closed-loop
 # clients: batched dispatch must beat naive per-request dispatch at
@@ -45,6 +49,13 @@ bench-smoke:
 serve-smoke:
 	PYTHONPATH=src python benchmarks/bench_serving.py \
 		--quick --json BENCH_serving.json
+
+# Streaming gates alone: trace replay through the sliding-window
+# counter with the bit-exact model check, the throughput floor, and the
+# estimator interval check (mirrors the streaming-smoke CI leg).
+stream-smoke:
+	PYTHONPATH=src python benchmarks/bench_streaming.py \
+		--quick --json BENCH_streaming.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

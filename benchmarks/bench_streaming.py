@@ -1,0 +1,181 @@
+"""Streaming benchmark: sustained ingest throughput + bit-exact window.
+
+Replays a seeded synthetic trace through :class:`repro.stream.
+StreamCounter` with a finite sliding window and gates three properties:
+
+1. **Bit-exactness** — after the full replay, the counter's live CSR
+   and per-edge counts must equal a from-scratch model: replay the
+   stamp map, keep every pair with ``now - t < window``, rebuild the
+   graph, and brute-force its counts.  The overlay/expiry/compaction
+   machinery must be invisible in the final state.
+2. **Throughput floor** — sustained ingest must hold at least
+   :data:`EDGES_PER_SEC_FLOOR` edges/sec end-to-end (batched ingest,
+   including expiry and kernel delta maintenance).  The floor is set
+   ~10x under typical local throughput so only a real regression —
+   not CI machine jitter — trips it.
+3. **Estimator honesty** — a byte-budgeted :class:`repro.stream.
+   SampledCounter` fed the same stream must produce a (ε, δ) interval
+   containing the true triangle total of the cumulative distinct-edge
+   graph (fixed seed: deterministic, not a flaky statistical test; the
+   statistical harness lives in tests/stream/test_sampled_stats.py).
+
+``--json BENCH_streaming.json`` writes the record the CI
+streaming-smoke job uploads.
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.verify import brute_force_counts
+from repro.graph.build import csr_from_pairs
+from repro.stream import SampledCounter, StreamCounter, generate_trace
+
+#: (num_events, num_vertices) per mode.
+QUICK_SHAPE = (20_000, 400)
+FULL_SHAPE = (100_000, 1_500)
+
+#: Hard gate on sustained ingest throughput (edges/sec).  Local runs
+#: sustain ~100k/s; CI machines are slower but not 10x slower.
+EDGES_PER_SEC_FLOOR = 10_000
+
+BATCH = 1024
+TRACE_SEED = 11
+
+
+def _model_live_pairs(events, window):
+    """From-scratch replay: the stamp map nothing can disagree with."""
+    stamps = {}
+    now = float("-inf")
+    for t, u, v in events:
+        now = max(now, t)
+        if u != v:
+            key = (min(u, v), max(u, v))
+            stamps[key] = t
+    return sorted(k for k, t in stamps.items() if now - t < window)
+
+
+def bench(num_events, num_vertices, record):
+    events = list(generate_trace(num_events, num_vertices, seed=TRACE_SEED))
+    span = events[-1][0] - events[0][0]
+    window = span / 4.0
+    print(
+        f"== trace: {num_events} events over {num_vertices} vertices, "
+        f"span {span:.0f}, window {window:.0f}"
+    )
+
+    counter = StreamCounter(window)
+    t0 = time.perf_counter()
+    for i in range(0, len(events), BATCH):
+        counter.ingest(events[i : i + BATCH])
+    elapsed = time.perf_counter() - t0
+    rate = num_events / elapsed
+
+    # Gate 1: bit-exact final window vs the from-scratch model.
+    model_pairs = _model_live_pairs(events, window)
+    model_graph = csr_from_pairs(model_pairs, counter.num_vertices)
+    snap = counter.snapshot()
+    assert np.array_equal(snap.graph.offsets, model_graph.offsets), (
+        "live window offsets diverged from model replay"
+    )
+    assert np.array_equal(snap.graph.dst, model_graph.dst), (
+        "live window adjacency diverged from model replay"
+    )
+    expected = brute_force_counts(model_graph)
+    assert np.array_equal(snap.counts, expected), (
+        "live window counts diverged from brute force"
+    )
+    counter.verify()
+    triangles = counter.triangle_count()
+    stats = counter.stats()
+    counter.close()
+    print(
+        f"   exact: {rate:,.0f} edges/s, {stats['live_edges']} live edges, "
+        f"{triangles} triangles, {stats['expiries']} expiries, "
+        f"{stats['compactions']} compactions"
+    )
+
+    # Gate 2: throughput floor.
+    assert rate >= EDGES_PER_SEC_FLOOR, (
+        f"sustained ingest {rate:,.0f} edges/s is under the "
+        f"{EDGES_PER_SEC_FLOOR:,} floor"
+    )
+
+    # Gate 3: the reservoir estimator's bars cover the truth on the
+    # cumulative distinct-edge graph (deterministic: fixed seeds).  The
+    # estimator models a stream of *distinct* edges (re-arrivals of
+    # evicted edges would give high-multiplicity pairs extra inclusion
+    # chances and bias the triple estimate), so feed first occurrences
+    # in arrival order — the windowed exact counter above is the tool
+    # that owns re-arrival semantics.
+    seen = set()
+    stream = []
+    for _, u, v in events:
+        key = (min(u, v), max(u, v))
+        if u != v and key not in seen:
+            seen.add(key)
+            stream.append((u, v))
+    cumulative = csr_from_pairs(sorted(seen), num_vertices)
+    true_total = int(brute_force_counts(cumulative).sum() // 6)
+    sampler = SampledCounter(capacity=max(len(stream) // 2, 64), seed=3)
+    t0 = time.perf_counter()
+    sampler.ingest(stream)
+    sampled_rate = len(stream) / (time.perf_counter() - t0)
+    est = sampler.triangle_estimate()
+    assert est["low"] <= true_total <= est["high"], (
+        f"sampled interval [{est['low']:.0f}, {est['high']:.0f}] misses "
+        f"the true total {true_total}"
+    )
+    print(
+        f"   sampled: {sampled_rate:,.0f} edges/s, "
+        f"estimate {est['triangles']:.0f} in "
+        f"[{est['low']:.0f}, {est['high']:.0f}] vs true {true_total}"
+    )
+
+    record.update(
+        {
+            "num_events": num_events,
+            "num_vertices": num_vertices,
+            "window": window,
+            "batch": BATCH,
+            "exact": {
+                "edges_per_sec": rate,
+                "elapsed_seconds": elapsed,
+                "triangles": triangles,
+                **stats,
+            },
+            "sampled": {
+                "edges_per_sec": sampled_rate,
+                "true_triangles": true_total,
+                "estimate": est,
+                **sampler.stats(),
+            },
+            "floor_edges_per_sec": EDGES_PER_SEC_FLOOR,
+        }
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized trace"
+    )
+    parser.add_argument("--json", help="write machine-readable results here")
+    args = parser.parse_args(argv)
+
+    num_events, num_vertices = QUICK_SHAPE if args.quick else FULL_SHAPE
+    record = {"mode": "quick" if args.quick else "full"}
+    bench(num_events, num_vertices, record)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    print("all streaming gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ Commands
 ``plan``        Inspect the hybrid planner's kernel buckets for a graph.
 ``update``      Apply edge insertions/deletions with live count maintenance.
 ``serve``       Long-lived HTTP/JSON counting service with request batching.
+``stream``      Sliding-window counting over a timestamped edge stream.
 ``fuzz``        Differential fuzzing across every registered execution path.
 ``simulate``    Modeled run on one of the paper's three processors.
 ``experiment``  Regenerate one paper table/figure (table1..table7, fig3..fig10).
@@ -228,13 +229,116 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import itertools
+    import json
+    import math
+    import time
+
+    from repro.stream import SampledCounter, StreamCounter, parse_trace, read_trace
+
+    window = math.inf if args.window is None else float(args.window)
+    events = (
+        read_trace(args.trace)
+        if args.trace
+        else parse_trace(sys.stdin, source="<stdin>")
+    )
+    if args.max_events:
+        events = itertools.islice(events, args.max_events)
+
+    sampler = None
+    if args.sampled_budget is not None:
+        sampler = SampledCounter(
+            args.sampled_budget, seed=args.seed, delta=args.delta
+        )
+
+    counter = StreamCounter(window)
+    # Pull-model backpressure: events are read from the pipe only as fast
+    # as they are ingested, in batches sized to a target wall-time per
+    # batch — large enough to amortize per-event cost, small enough that
+    # snapshots stay fresh when the producer outruns the counter.
+    adaptive = args.batch == 0
+    batch_size = 256 if adaptive else max(1, args.batch)
+    target = max(1e-3, args.target_batch_seconds)
+    total = 0
+    next_snapshot = args.snapshot_every
+    t0 = time.perf_counter()
+    it = iter(events)
+    try:
+        while True:
+            chunk = list(itertools.islice(it, batch_size))
+            if not chunk:
+                break
+            tb = time.perf_counter()
+            counter.ingest(chunk)
+            if sampler is not None:
+                sampler.ingest((int(u), int(v)) for _, u, v in chunk)
+            batch_s = time.perf_counter() - tb
+            total += len(chunk)
+            if adaptive:
+                if batch_s > target and batch_size > 64:
+                    batch_size //= 2
+                elif batch_s < target / 4 and batch_size < 65536:
+                    batch_size *= 2
+            if args.snapshot_every and total >= next_snapshot:
+                next_snapshot += args.snapshot_every
+                elapsed = time.perf_counter() - t0
+                snap = {
+                    "type": "snapshot",
+                    "events": total,
+                    "now": counter.now,
+                    "live_edges": counter.live_edges,
+                    "triangles": counter.triangle_count(),
+                    "edges_per_sec": total / elapsed if elapsed > 0 else 0.0,
+                    "batch_size": batch_size,
+                }
+                if sampler is not None:
+                    snap["sampled"] = sampler.triangle_estimate()
+                print(json.dumps(snap), flush=True)
+    except KeyboardInterrupt:
+        print("stream interrupted; emitting final summary", file=sys.stderr)
+    elapsed = time.perf_counter() - t0
+    summary = {
+        "type": "summary",
+        "events": total,
+        "elapsed_seconds": elapsed,
+        "edges_per_sec": total / elapsed if elapsed > 0 else 0.0,
+        "triangles": counter.triangle_count(),
+        **counter.stats(),
+    }
+    if sampler is not None:
+        summary["sampled"] = {
+            **sampler.stats(),
+            "estimate": sampler.triangle_estimate(),
+        }
+    counter.close()
+    print(json.dumps(summary), flush=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=1)
+            fh.write("\n")
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import registered_paths, replay_artifact, run_fuzz
 
     if args.replay:
-        report = replay_artifact(args.replay, paths=args.paths)
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", RuntimeWarning)
+            report = replay_artifact(args.replay, paths=args.paths)
         print(f"replay           : {args.replay}")
         print(f"case             : {report.case.describe()}")
+        for w in caught:
+            print(f"warning          : {w.message}", file=sys.stderr)
+        if report.skipped:
+            # The recorded path cannot run here (e.g. a compiled-backend
+            # artifact on a host without the compiled provider): not a
+            # reproduction, not a crash — an explicit skip.
+            print(f"result           : skipped — {report.skipped}")
+            return 0
         print(f"paths run        : {', '.join(report.paths_run) or '(none)'}")
         if report.ok:
             print("result           : no failure reproduced")
@@ -507,6 +611,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset[:scale] or edge-list path to load at startup "
                         "(repeatable)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "stream",
+        help="sliding-window counting over a timestamped edge stream",
+    )
+    p.add_argument("--trace", default=None,
+                   help="trace file of 't u v' lines (default: read stdin)")
+    p.add_argument("--window", type=float, default=None,
+                   help="sliding window width in stream time units "
+                        "(default: infinite — nothing ever expires)")
+    p.add_argument("--batch", type=int, default=0,
+                   help="events per ingest batch; 0 picks adaptively from "
+                        "measured batch latency (backpressure)")
+    p.add_argument("--target-batch-seconds", type=float, default=0.05,
+                   help="latency target steering the adaptive batch size")
+    p.add_argument("--snapshot-every", type=int, default=0,
+                   help="emit a JSON snapshot line every N events (0: off)")
+    p.add_argument("--sampled-budget", type=int, default=None, metavar="BYTES",
+                   help="also run a byte-budgeted reservoir estimator and "
+                        "report its (ε, δ) interval")
+    p.add_argument("--seed", type=int, default=0,
+                   help="reservoir RNG seed (with --sampled-budget)")
+    p.add_argument("--delta", type=float, default=0.05,
+                   help="error-bar confidence parameter (with --sampled-budget)")
+    p.add_argument("--max-events", type=int, default=0,
+                   help="stop after N events (0: run the stream dry)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the final summary to this file")
+    p.set_defaults(fn=_cmd_stream)
 
     p = sub.add_parser(
         "fuzz", help="differential fuzzing across all execution paths"

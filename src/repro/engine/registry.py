@@ -97,6 +97,11 @@ class BackendSpec:
         choices with a clear error on use) but are skipped by the fuzzer
         and the bench harness — the capability flag ROADMAP item 3 calls
         for.  ``requires`` names the dependency for error messages.
+    ``exact``
+        Counts are bit-identical to the brute-force reference.  ``False``
+        marks estimators (``stream-sampled``): they are excluded from
+        bit-exact agreement sweeps and cross-checked statistically
+        instead (fuzz path + the streaming statistical test harness).
     """
 
     name: str
@@ -110,6 +115,7 @@ class BackendSpec:
     description: str = ""
     available: object = None
     requires: str = ""
+    exact: bool = True
 
     def is_available(self) -> bool:
         """Probe the optional availability hook (no hook → available)."""
@@ -330,6 +336,56 @@ def _run_sharded(
     return pool.count_all_edges(chunks_per_shard=chunks_per_worker), None
 
 
+def _run_stream_exact(session, **_):
+    """Replay the graph's edges through the sliding-window engine.
+
+    Every edge is ingested as one timestamped batch under an infinite
+    window, so the snapshot's live set is exactly the input graph and the
+    counts must be bit-identical to the batch kernels — streaming's
+    equivalence anchor in the registry (and therefore the fuzzer).
+    """
+    import math
+
+    from repro.graph.build import csr_to_undirected_pairs
+    from repro.stream import StreamCounter
+
+    graph = session.graph
+    u, v = csr_to_undirected_pairs(graph)
+    with StreamCounter(
+        window=math.inf, num_vertices=graph.num_vertices
+    ) as stream:
+        stream.ingest(
+            (float(i), a, b)
+            for i, (a, b) in enumerate(zip(u.tolist(), v.tolist()))
+        )
+        return stream.snapshot().counts, None
+
+
+def _run_stream_sampled(session, *, byte_budget=None, seed=0, delta=0.05, **_):
+    """Reservoir-sampled estimates, rounded to the counts-array contract.
+
+    Approximate by design (``exact=False``): under the default budget the
+    reservoir may be smaller than the edge set, so counts carry sampling
+    error bounded by the estimator's (ε, δ) bars — see
+    :mod:`repro.stream.sampled`.
+    """
+    from repro.graph.build import csr_to_undirected_pairs
+    from repro.kernels import batch
+    from repro.stream import SampledCounter
+
+    graph = session.graph
+    u, v = csr_to_undirected_pairs(graph)
+    sampler = SampledCounter(byte_budget, seed=seed, delta=delta)
+    sampler.ingest(zip(u.tolist(), v.tolist()))
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    src = graph.edge_sources()
+    eo = np.flatnonzero(src < graph.dst)
+    for i in eo.tolist():
+        est = sampler.edge_estimate(int(src[i]), int(graph.dst[i]))
+        cnt[i] = int(round(est["count"]))
+    return batch.symmetric_assign(graph, cnt), None
+
+
 def _sharded_fuzz_variants() -> tuple:
     """Shard-arithmetic and real-pool flavors of the sharded path.
 
@@ -455,6 +511,23 @@ def _builtin_specs() -> list[BackendSpec]:
                 PathVariant(suffix="nocover", opts={"cover": False}),
             ),
             description="cost-model planner splitting edges across kernels",
+        ),
+        BackendSpec(
+            name="stream-exact",
+            run=_run_stream_exact,
+            dynamic_compatible=False,
+            fuzz_variants=(PathVariant(stride=4),),
+            description="sliding-window stream replay (exact, per-edge deltas)",
+        ),
+        BackendSpec(
+            name="stream-sampled",
+            run=_run_stream_sampled,
+            dynamic_compatible=False,
+            exact=False,
+            # No generic bit-exact fuzz path — the estimator is validated
+            # by its own statistical fuzz path (repro.fuzz.differential).
+            fuzz_variants=(),
+            description="edge-reservoir estimator (approximate, byte-budgeted)",
         ),
     ]
 

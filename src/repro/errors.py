@@ -97,6 +97,23 @@ class SharedExportError(ReproError):
         self.name = name
 
 
+class StreamOrderError(ReproError, ValueError):
+    """A stream event carried a timestamp earlier than the stream clock.
+
+    Sliding-window expiry relies on non-decreasing timestamps (the
+    arrival log is a monotone deque); out-of-order events would silently
+    corrupt the live-edge set, so they are rejected loudly instead.
+    """
+
+    def __init__(self, timestamp: float, now: float):
+        super().__init__(
+            f"stream timestamp {timestamp:g} precedes the current stream "
+            f"clock {now:g}; events must arrive in non-decreasing time order"
+        )
+        self.timestamp = timestamp
+        self.now = now
+
+
 class SimulationError(ReproError):
     """The architecture simulator was given inconsistent parameters."""
 

@@ -38,6 +38,7 @@ __all__ = [
     "register_path",
     "unregister_path",
     "registered_paths",
+    "refresh_paths",
     "run_case",
     "run_fuzz",
 ]
@@ -82,6 +83,10 @@ class CaseReport:
     case: FuzzCase
     paths_run: list[str] = field(default_factory=list)
     failures: list[Failure] = field(default_factory=list)
+    #: Set when the whole report was skipped (e.g. replay of an artifact
+    #: whose recorded path is not runnable on this host) — the reason,
+    #: human-readable.  A skipped report is "ok" but ran nothing.
+    skipped: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -245,6 +250,178 @@ def _run_hybrid_warm(graph: CSRGraph) -> np.ndarray:
     return cnt
 
 
+def _stream_events(case: FuzzCase) -> list[tuple[float, int, int]]:
+    """The case's edges + edit-batch insertions as a timestamped stream.
+
+    Base edges arrive at t = 0, 1, 2, ...; each edit batch's insertions
+    continue the clock.  Deletions have no stream counterpart — expiry is
+    the stream's deletion — so they are dropped; the window chosen by
+    :func:`_run_stream_window` makes the earlier half of the stream
+    expire, which exercises the same delete machinery.
+    """
+    events = []
+    t = 0
+    for u, v in case.edges.tolist():
+        events.append((float(t), int(u), int(v)))
+        t += 1
+    for batch in case.edits:
+        for u, v in batch.insert.tolist():
+            events.append((float(t), int(u), int(v)))
+            t += 1
+    return events
+
+
+def _model_live_graph(
+    events, upto: int, window: float, num_vertices: int
+) -> CSRGraph:
+    """From-scratch reference: CSR of the window's live set after
+    ``events[:upto]`` (latest arrival per edge, strict-inequality expiry)."""
+    from repro.graph.build import csr_from_pairs
+
+    now = events[upto - 1][0]
+    stamps: dict[tuple[int, int], float] = {}
+    for t, u, v in events[:upto]:
+        if u != v:
+            stamps[(min(u, v), max(u, v))] = t
+    live = [key for key, t in stamps.items() if now - t < window]
+    return csr_from_pairs(live, num_vertices)
+
+
+def _run_stream_window(
+    case: FuzzCase, graph: CSRGraph
+) -> tuple[CSRGraph, np.ndarray]:
+    """Drive the sliding-window counter and cross-check every checkpoint.
+
+    The case becomes a timestamped arrival stream; the window is sized so
+    roughly the older half has expired by the end.  At each edit-batch
+    boundary the counter's live CSR and counts must match a from-scratch
+    replay of the window — any divergence raises
+    :class:`InvariantViolation` naming the checkpoint.  The final live
+    graph and counts are returned for the outer brute-force comparison.
+    """
+    from repro.core.verify import brute_force_counts
+    from repro.stream import StreamCounter
+
+    events = _stream_events(case)
+    if not events:
+        return graph, brute_force_counts(graph)
+    window = max(2.0, len(events) / 2.0)
+    # Checkpoints: after the base edges, after each edit batch.
+    marks = {len(case.edges)} if len(case.edges) else set()
+    n = len(case.edges)
+    for batch in case.edits:
+        n += len(batch.insert)
+        marks.add(n)
+    marks.add(len(events))
+    marks.discard(0)
+
+    counter = StreamCounter(window, num_vertices=case.num_vertices)
+    try:
+        pos = 0
+        for mark in sorted(marks):
+            counter.ingest(events[pos:mark])
+            pos = mark
+            snap = counter.snapshot()
+            model = _model_live_graph(
+                events, mark, window, counter.num_vertices
+            )
+            if not (
+                np.array_equal(snap.graph.offsets, model.offsets)
+                and np.array_equal(snap.graph.dst, model.dst)
+            ):
+                raise InvariantViolation(
+                    f"window live set diverged from replay at event {mark} "
+                    f"({snap.graph.num_edges} live edges vs "
+                    f"{model.num_edges} in the model)"
+                )
+            if mark != len(events):
+                expected = brute_force_counts(model)
+                if not np.array_equal(snap.counts, expected):
+                    raise InvariantViolation(
+                        f"window counts diverged from replay at event "
+                        f"{mark}: {_first_mismatch(model, snap.counts, expected)}"
+                    )
+        final = counter.snapshot()
+        return final.graph, final.counts
+    finally:
+        counter.close()
+
+
+def _run_stream_sampled_check(graph: CSRGraph) -> np.ndarray:
+    """Statistical path for the reservoir estimator.
+
+    Three internal invariants (deterministic, so safe under fuzz):
+
+    1. ``tau`` must equal a brute-force triangle count of the reservoir
+       subgraph after the whole stream (the incremental maintenance
+       check);
+    2. a same-seed rerun must reproduce the sample and estimate exactly
+       (determinism);
+    3. with a half-size reservoir, the stated (ε, δ=0.01) interval must
+       contain the true triangle total — the bars are empirically far
+       more conservative than δ, and the stream order and seed are fixed
+       by the case, so a pass is reproducible, not probabilistic.
+
+    Returns counts from an exhaustive-capacity run (every edge sampled →
+    estimates exact), which the outer layer compares bit-exactly.
+    """
+    from repro.core.verify import brute_force_counts
+    from repro.graph.build import csr_to_undirected_pairs
+    from repro.kernels import batch
+    from repro.stream import SampledCounter
+
+    u, v = csr_to_undirected_pairs(graph)
+    edges = list(zip(u.tolist(), v.tolist()))
+    expected = brute_force_counts(graph)
+    true_triangles = int(expected.sum()) // 6
+
+    # (3) statistical interval on a lossy reservoir, deterministic seed.
+    if len(edges) >= 24:
+        lossy = SampledCounter(capacity=len(edges) // 2, seed=7, delta=0.01)
+        lossy.ingest(edges)
+        est = lossy.triangle_estimate()
+        if not est["low"] <= true_triangles <= est["high"]:
+            raise InvariantViolation(
+                f"sampled triangle interval [{est['low']:.1f}, "
+                f"{est['high']:.1f}] (δ=0.01) misses the true total "
+                f"{true_triangles} (tau={est['tau']}, "
+                f"reservoir {lossy.sampled_edges}/{lossy.stream_edges})"
+            )
+        # (1) incremental tau == recount of the reservoir subgraph.
+        from repro.graph.build import csr_from_pairs
+
+        sub = csr_from_pairs(lossy.reservoir(), graph.num_vertices)
+        sub_triangles = int(brute_force_counts(sub).sum()) // 6
+        if lossy.tau != sub_triangles:
+            raise InvariantViolation(
+                f"incremental tau {lossy.tau} != reservoir subgraph "
+                f"triangle count {sub_triangles}"
+            )
+        # (2) determinism under the same seed.
+        twin = SampledCounter(capacity=len(edges) // 2, seed=7, delta=0.01)
+        twin.ingest(edges)
+        if twin.reservoir() != lossy.reservoir() or twin.tau != lossy.tau:
+            raise InvariantViolation(
+                "same-seed reservoir runs diverged (non-deterministic "
+                "sampling)"
+            )
+
+    sampler = SampledCounter(capacity=max(len(edges), 8), seed=1)
+    sampler.ingest(edges)
+    cnt = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    src = graph.edge_sources()
+    eo = np.flatnonzero(src < graph.dst)
+    for i in eo.tolist():
+        est = sampler.edge_estimate(int(src[i]), int(graph.dst[i]))
+        if not est["exact"]:
+            raise InvariantViolation(
+                f"exhaustive reservoir produced an inexact estimate for "
+                f"edge ({int(src[i])}, {int(graph.dst[i])})"
+            )
+        cnt[i] = int(round(est["count"]))
+    return batch.symmetric_assign(graph, cnt)
+
+
 def _run_dynamic_replay(
     case: FuzzCase, graph: CSRGraph
 ) -> tuple[CSRGraph, np.ndarray]:
@@ -317,6 +494,21 @@ def _register_builtin_paths() -> None:
             register_path(name, runner, stride=variant.stride)
     register_path("count-pairs", _run_count_pairs)
     register_path("dynamic-replay", _run_dynamic_replay, kind="dynamic")
+    register_path("stream-window", _run_stream_window, kind="dynamic", stride=2)
+    register_path("stream-sampled", _run_stream_sampled_check, stride=2)
+
+
+def refresh_paths() -> list[str]:
+    """Re-derive the builtin path set from *current* backend availability.
+
+    Registration happens once at import, so a path whose optional
+    dependency disappeared afterwards (``REPRO_COMPILED`` flipped, a
+    provider cache reset) would stay registered and crash with
+    ``AlgorithmError`` when run.  Replay calls this first so "registered"
+    always means "runnable on this host right now".
+    """
+    _register_builtin_paths()
+    return registered_paths()
 
 
 _register_builtin_paths()

@@ -237,15 +237,32 @@ def load_artifact(path: str | os.PathLike) -> tuple[FuzzCase, dict]:
 def replay_artifact(path: str | os.PathLike, paths=None):
     """Re-run a saved reproducer; returns its :class:`CaseReport`.
 
-    By default only the artifact's recorded failing path runs (falling
-    back to all registered paths if that path no longer exists); pass
-    ``paths`` to override.
+    By default only the artifact's recorded failing path runs.  If that
+    path is not runnable on this host — its backend's optional dependency
+    is absent (say the artifact came from ``gallop-compiled`` and
+    ``REPRO_COMPILED=off`` here) — the replay is *skipped with a
+    warning* (``report.skipped`` carries the reason) rather than either
+    crashing with ``AlgorithmError`` or silently re-running every other
+    path, neither of which reproduces anything.  Pass ``paths`` to
+    override the path selection explicitly.
     """
+    import warnings
+
     from repro.fuzz import differential
 
     case, failure = load_artifact(path)
     if paths is None:
         recorded = failure.get("path")
-        if recorded in differential.registered_paths():
+        if recorded is not None:
+            # Converge the path set to current availability first: a path
+            # registered at import can have lost its dependency since.
+            if recorded not in differential.refresh_paths():
+                reason = (
+                    f"recorded path {recorded!r} is not runnable on this "
+                    f"host (its backend is unregistered or its optional "
+                    f"dependency is unavailable); skipping replay of {path}"
+                )
+                warnings.warn(reason, RuntimeWarning, stacklevel=2)
+                return differential.CaseReport(case=case, skipped=reason)
             paths = [recorded]
     return differential.run_case(case, paths=paths)

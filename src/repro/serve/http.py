@@ -17,6 +17,9 @@ POST    ``/count``      ``{"graph": key, "pairs": [[u, v], ...]}`` →
                         per-pair counts + the answering epoch
 POST    ``/edits``      ``{"graph": key, "insert": [...], "delete": [...]}``
 POST    ``/triangles``  ``{"graph": key}`` → live triangle total
+POST    ``/stream``     ``{"stream": name, "window": W, "events":
+                        [[t, u, v], ...]}`` → sliding-window ingest +
+                        live summary (first request creates the stream)
 ======  ==============  ====================================================
 
 Failure mapping: unknown graph key → 404, malformed request → 400,
@@ -87,6 +90,7 @@ class CountingServer:
             ("POST", "/count"): self._count,
             ("POST", "/edits"): self._edits,
             ("POST", "/triangles"): self._triangles,
+            ("POST", "/stream"): self._stream,
         }
 
     # ------------------------------------------------------------------ #
@@ -270,6 +274,13 @@ class CountingServer:
 
     async def _triangles(self, payload) -> dict:
         return await self.service.triangle_count(_require(payload, "graph"))
+
+    async def _stream(self, payload) -> dict:
+        return await self.service.stream_ingest(
+            _require(payload, "stream"),
+            window=payload.get("window"),
+            events=payload.get("events"),
+        )
 
 
 def _require(payload: dict, field: str):

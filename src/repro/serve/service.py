@@ -69,6 +69,9 @@ DEFAULT_MAX_PENDING = 256
 #: Seconds suggested to a rejected client (the Retry-After header).
 DEFAULT_RETRY_AFTER = 0.05
 
+#: Cap on concurrently open sliding-window stream sessions.
+MAX_STREAM_SESSIONS = 16
+
 
 class ReadSnapshot:
     """One immutable epoch of a served graph, refcounted by its readers.
@@ -425,6 +428,11 @@ class CountingService:
             max_workers=threads, thread_name_prefix="repro-serve"
         )
         self._inflight = 0  # event-loop thread only
+        #: Sliding-window stream sessions, keyed by client-chosen name.
+        #: Each entry is (StreamCounter, asyncio.Lock) — the lock
+        #: serializes ingest batches per stream (the counter's clock is
+        #: monotone state) while distinct streams ingest concurrently.
+        self._streams: dict[str, tuple[object, asyncio.Lock]] = {}
         self.started_at = time.time()
 
     # ------------------------------------------------------------------ #
@@ -537,6 +545,56 @@ class CountingService:
                 "triangles": await entry.triangle_count(),
             }
 
+    async def stream_ingest(self, name, *, window=None, events=None) -> dict:
+        """Ingest timestamped events into the named stream session.
+
+        The first request naming a stream creates it (``window`` sets
+        the sliding-window width; omitted means infinite).  Later
+        requests append events — timestamps must be non-decreasing per
+        stream, enforced by :class:`~repro.stream.StreamCounter` — and
+        get back the live-window summary including the triangle total.
+        An empty ``events`` list is a pure poll.
+        """
+        import math
+
+        from repro.stream import StreamCounter
+
+        name = str(name)
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        entry = self._streams.get(name)
+        if entry is None:
+            if len(self._streams) >= MAX_STREAM_SESSIONS:
+                raise ServiceOverloadedError(
+                    len(self._streams), self.retry_after
+                )
+            width = math.inf if window is None else float(window)
+            entry = (StreamCounter(width), asyncio.Lock())
+            self._streams[name] = entry
+        counter, lock = entry
+        if window is not None and float(window) != counter.window:
+            raise ValueError(
+                f"stream {name!r} already exists with window "
+                f"{counter.window:g}; cannot reopen with {float(window):g}"
+            )
+        parsed = [(float(t), int(u), int(v)) for t, u, v in (events or [])]
+        self._admit()
+        self._inflight += 1
+        try:
+            async with lock:
+                loop = asyncio.get_running_loop()
+                summary = await loop.run_in_executor(
+                    self._executor, _stream_ingest_sync, counter, parsed
+                )
+        finally:
+            self._inflight -= 1
+        # Unbounded window / untouched clock go out as null: strict JSON
+        # has no Infinity literal, and stdlib json would emit one.
+        width = counter.window if math.isfinite(counter.window) else None
+        if not math.isfinite(summary.get("now", 0.0)):
+            summary["now"] = None
+        return {"stream": name, "window": width, **summary}
+
     def _admit(self) -> None:
         if self._inflight >= self.max_pending:
             self.telemetry.note_rejected()
@@ -559,13 +617,28 @@ class CountingService:
                 "keys": self.pool.keys(),
                 "leases": self.pool.lease_counts(),
             },
+            "streams": {
+                name: counter.live_edges
+                for name, (counter, _lock) in self._streams.items()
+            },
             **self.telemetry.snapshot(),
         }
 
     def close(self) -> None:
         """Close every served graph and stop the dispatch executor."""
         self.pool.close()
+        for counter, _lock in self._streams.values():
+            counter.close()
+        self._streams.clear()
         self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _stream_ingest_sync(counter, events) -> dict:
+    """Executor body for one stream batch: ingest, then summarize."""
+    summary = counter.ingest(events)
+    summary["triangles"] = counter.triangle_count()
+    summary["num_vertices"] = counter.num_vertices
+    return summary
 
 
 def _parse_pairs(pairs) -> tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,39 @@
+"""Streaming and sliding-window counting (ROADMAP item 2).
+
+Two estimators over unbounded timestamped edge streams:
+
+* :class:`~repro.stream.window.StreamCounter` — **exact** counts within
+  a sliding time window, a timestamped overlay on the dynamic engine
+  with lazy expiry;
+* :class:`~repro.stream.sampled.SampledCounter` — **approximate** global
+  and per-edge counts under a fixed byte budget via edge reservoir
+  sampling, with computed (ε, δ) error bars;
+
+plus :mod:`~repro.stream.trace` for the replayable timestamped-edge
+trace format the ``repro stream`` CLI and the streaming bench consume.
+"""
+
+from repro.stream.sampled import BYTES_PER_EDGE_SLOT, DEFAULT_BYTE_BUDGET, SampledCounter
+from repro.stream.trace import (
+    generate_trace,
+    load_trace,
+    parse_trace,
+    read_trace,
+    trace_from_graph,
+    write_trace,
+)
+from repro.stream.window import DEFAULT_CAPACITY, StreamCounter
+
+__all__ = [
+    "StreamCounter",
+    "SampledCounter",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_BYTE_BUDGET",
+    "BYTES_PER_EDGE_SLOT",
+    "generate_trace",
+    "load_trace",
+    "parse_trace",
+    "read_trace",
+    "trace_from_graph",
+    "write_trace",
+]

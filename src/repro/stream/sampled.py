@@ -1,0 +1,311 @@
+"""Bounded-memory approximate counting via edge reservoir sampling.
+
+:class:`SampledCounter` maintains a uniform reservoir of ``capacity``
+edges over an unbounded stream (Tangwongsan et al. / TRIÈST-style
+reservoir sampling) and an *incrementally maintained* count ``tau`` of
+the triangles closed inside the reservoir.  Unbiased estimates follow
+from inclusion probabilities alone:
+
+* every unordered edge *pair* is in the reservoir with probability
+  ``p2 = M(M-1) / (t(t-1))``, so a per-edge common neighbor count that
+  observed ``c`` sampled wedges estimates ``c / p2``;
+* every edge *triple* survives with ``p3 = M(M-1)(M-2) / (t(t-1)(t-2))``,
+  so the global triangle estimate is ``tau / p3``;
+
+where ``M`` is the reservoir size and ``t`` the number of distinct edges
+seen.  While ``t <= capacity`` the sample is exhaustive and every
+estimate is exact with zero-width error bars.
+
+Error bars are plug-in concentration bounds in sampled units.  For the
+*per-edge* count — a sum of wedge indicators that share no sampled
+edge, hence nearly independent — a Chernoff form suffices: observed
+mass ``n`` deviates from its mean by at most
+``w = sqrt(3 n ln(2/delta)) + 3 ln(2/delta)`` with probability at least
+``1 - delta`` (the additive term keeps a zero observation from
+collapsing to ``[0, 0]``).  The *global* bar must account for positive
+correlation: two triangles sharing an edge survive together with
+probability ``p5 > p3^2``, so the variance of ``tau`` carries a
+pair-covariance term.  The reservoir estimates it from itself —
+``tau2 = sum_e c_e (c_e - 1)`` over sampled edges, the observed count
+of ordered triangle pairs sharing an edge — giving the plug-in
+variance ``var = tau (1 - p3) + tau2 (1 - p3^2 / p5)`` and the bar
+``w = sqrt(2 var ln(2/delta)) + 3 ln(2/delta)``.  Either way the
+reported interval is ``[(n - w) / p, (n + w) / p]`` clamped at zero.
+The statistical test harness (``tests/stream/test_sampled_stats.py``)
+checks the *empirical* failure rate of these bars against ``delta``
+with a Chernoff tolerance over many seeds.
+
+Memory is a fixed byte budget: the reservoir list, its index map, and
+the sampled adjacency sets cost :data:`BYTES_PER_EDGE_SLOT` per edge
+(measured on CPython 3.11), so ``capacity = budget // slot_bytes``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.dynamic.delta import edge_key
+
+__all__ = ["SampledCounter", "BYTES_PER_EDGE_SLOT", "DEFAULT_BYTE_BUDGET"]
+
+#: Estimated resident bytes per sampled edge on CPython: one reservoir
+#: list slot (8) + one index dict entry (~100 at typical load) + two
+#: adjacency set entries (~2×60) + the shared key tuple (~70 amortized
+#: across its three references).
+BYTES_PER_EDGE_SLOT = 300
+
+#: Default budget: 1 MiB ≈ 3 400 sampled edges.
+DEFAULT_BYTE_BUDGET = 1 << 20
+
+#: Floor on the reservoir so triple statistics exist at all.
+MIN_CAPACITY = 8
+
+
+class SampledCounter:
+    """Approximate global + per-edge counts under a fixed byte budget.
+
+    Parameters
+    ----------
+    byte_budget:
+        Memory allowance for the reservoir state; converted to a
+        capacity via :data:`BYTES_PER_EDGE_SLOT`.  Mutually exclusive
+        with ``capacity``.
+    capacity:
+        Explicit reservoir size (overrides the byte conversion).
+    seed:
+        Seeds the replacement RNG; a fixed seed makes the whole
+        estimator deterministic for a given stream.
+    delta:
+        Error-bar confidence parameter: bars hold with probability
+        at least ``1 - delta`` each.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int | None = None,
+        *,
+        capacity: int | None = None,
+        seed: int = 0,
+        delta: float = 0.05,
+    ):
+        if capacity is not None and byte_budget is not None:
+            raise ValueError("pass byte_budget or capacity, not both")
+        if capacity is None:
+            budget = DEFAULT_BYTE_BUDGET if byte_budget is None else int(byte_budget)
+            if budget <= 0:
+                raise ValueError(f"byte_budget must be positive, got {budget}")
+            capacity = budget // BYTES_PER_EDGE_SLOT
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        self.capacity = max(int(capacity), MIN_CAPACITY)
+        self.byte_budget = byte_budget
+        self.delta = float(delta)
+        self.seed = int(seed)
+        self._rng = random.Random(seed)
+        #: Reservoir as a list (O(1) uniform eviction) + position index.
+        self._sample: list[tuple[int, int]] = []
+        self._index: dict[tuple[int, int], int] = {}
+        #: Adjacency restricted to sampled edges.
+        self._adj: dict[int, set[int]] = {}
+        #: Triangles currently closed inside the reservoir.
+        self.tau = 0
+        #: Distinct edges seen on the stream.
+        self.stream_edges = 0
+        self.duplicates = 0
+        self.ignored = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def observe(self, u: int, v: int) -> bool:
+        """Feed one stream edge; returns True if it entered the reservoir.
+
+        Re-arrivals of an edge already *in the reservoir* are counted as
+        duplicates and do not advance the stream clock (the estimator
+        models a stream of distinct edges; the exact windowed counter is
+        the tool for re-arrival/expiry semantics).
+        """
+        u = int(u)
+        v = int(v)
+        if u == v:
+            self.ignored += 1
+            return False
+        key = edge_key(u, v)
+        if key in self._index:
+            self.duplicates += 1
+            return False
+        self.stream_edges += 1
+        if len(self._sample) < self.capacity:
+            self._insert(key)
+            return True
+        # Classic reservoir step: keep with probability M / t.
+        if self._rng.random() * self.stream_edges < self.capacity:
+            self._evict(self._rng.randrange(self.capacity))
+            self._insert(key)
+            return True
+        return False
+
+    def ingest(self, edges) -> int:
+        """Feed an iterable of ``(u, v)`` pairs; returns edges admitted."""
+        return sum(1 for u, v in edges if self.observe(u, v))
+
+    def _insert(self, key: tuple[int, int]) -> None:
+        u, v = key
+        adj_u = self._adj.setdefault(u, set())
+        adj_v = self._adj.setdefault(v, set())
+        self.tau += len(adj_u & adj_v)
+        adj_u.add(v)
+        adj_v.add(u)
+        self._index[key] = len(self._sample)
+        self._sample.append(key)
+
+    def _evict(self, pos: int) -> None:
+        key = self._sample[pos]
+        u, v = key
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self.tau -= len(self._adj[u] & self._adj[v])
+        if not self._adj[u]:
+            del self._adj[u]
+        if not self._adj[v]:
+            del self._adj[v]
+        last = self._sample.pop()
+        if pos < len(self._sample):
+            self._sample[pos] = last
+            self._index[last] = pos
+        del self._index[key]
+        self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # estimates
+    # ------------------------------------------------------------------ #
+    def _inclusion(self, k: int) -> float:
+        """P[k specific distinct edges are all in the reservoir]."""
+        m = len(self._sample)
+        t = self.stream_edges
+        if t <= self.capacity:
+            return 1.0
+        p = 1.0
+        for i in range(k):
+            p *= (m - i) / (t - i)
+        return p
+
+    @staticmethod
+    def _half_width(observed: int, delta: float) -> float:
+        """Chernoff half-width in sampled units at confidence 1-δ.
+
+        The additive ``3 ln(2/δ)`` term keeps the bound informative at
+        ``observed == 0``: seeing nothing rules out means much above
+        ``3 ln(2/δ)``, not everything.
+        """
+        ln_term = math.log(2.0 / delta)
+        return math.sqrt(3.0 * observed * ln_term) + 3.0 * ln_term
+
+    def _pair_correlation(self) -> int:
+        """Ordered pairs of reservoir triangles sharing an edge.
+
+        ``sum_e c_e (c_e - 1)`` over sampled edges: the observed second
+        moment driving the pair-covariance term of ``Var(tau)``.  Each
+        unordered pair of triangles sharing edge ``e`` is counted twice
+        at ``e`` (and a pair shares at most one edge).
+        """
+        total = 0
+        for u, v in self._sample:
+            c = len(self._adj[u] & self._adj[v])
+            total += c * (c - 1)
+        return total
+
+    def triangle_estimate(self) -> dict:
+        """Global triangle estimate with its (ε, δ) interval."""
+        p3 = self._inclusion(3)
+        est = self.tau / p3 if p3 > 0 else 0.0
+        if p3 == 1.0:
+            w = 0.0
+        else:
+            # Triangles sharing an edge survive together with
+            # probability p5 > p3^2, so the naive per-indicator Chernoff
+            # bar undercovers exactly when triangles cluster.  Plug the
+            # observed clustering (tau2) into the variance instead.
+            p5 = self._inclusion(5)
+            tau2 = self._pair_correlation()
+            var = self.tau * (1.0 - p3)
+            if p5 > 0:
+                var += tau2 * max(0.0, 1.0 - p3 * p3 / p5)
+            ln_term = math.log(2.0 / self.delta)
+            w = math.sqrt(2.0 * var * ln_term) + 3.0 * ln_term
+        return {
+            "triangles": est,
+            "tau": self.tau,
+            "scale": 1.0 / p3 if p3 > 0 else 0.0,
+            "epsilon": w / max(self.tau, 1),
+            "delta": self.delta,
+            "half_width": w,
+            "low": max(0.0, (self.tau - w) / p3) if p3 > 0 else 0.0,
+            "high": (self.tau + w) / p3 if p3 > 0 else 0.0,
+            "exact": p3 == 1.0,
+        }
+
+    def edge_estimate(self, u: int, v: int) -> dict:
+        """Common neighbor estimate for the pair ``(u, v)``.
+
+        Counts wedges closed through sampled edges and rescales by the
+        pair-inclusion probability; the query pair itself need not be
+        sampled (both wedge legs must be).
+        """
+        u = int(u)
+        v = int(v)
+        adj_u = self._adj.get(u)
+        adj_v = self._adj.get(v)
+        observed = len(adj_u & adj_v) if adj_u and adj_v else 0
+        p2 = self._inclusion(2)
+        est = observed / p2 if p2 > 0 else 0.0
+        w = 0.0 if p2 == 1.0 else self._half_width(observed, self.delta)
+        return {
+            "u": u,
+            "v": v,
+            "count": est,
+            "observed": observed,
+            "epsilon": w / max(observed, 1),
+            "delta": self.delta,
+            "low": max(0.0, (observed - w) / p2) if p2 > 0 else 0.0,
+            "high": (observed + w) / p2 if p2 > 0 else 0.0,
+            "exact": p2 == 1.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def sampled_edges(self) -> int:
+        return len(self._sample)
+
+    def reservoir(self) -> list[tuple[int, int]]:
+        """The sampled edge set, in reservoir order (a copy)."""
+        return list(self._sample)
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of the reservoir state."""
+        return len(self._sample) * BYTES_PER_EDGE_SLOT
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "sampled_edges": len(self._sample),
+            "stream_edges": self.stream_edges,
+            "duplicates": self.duplicates,
+            "ignored": self.ignored,
+            "evictions": self.evictions,
+            "tau": self.tau,
+            "memory_bytes": self.memory_bytes(),
+            "seed": self.seed,
+            "delta": self.delta,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SampledCounter(capacity={self.capacity}, "
+            f"sampled={len(self._sample)}/{self.stream_edges}, "
+            f"tau={self.tau})"
+        )

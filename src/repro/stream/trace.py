@@ -1,0 +1,166 @@
+"""Timestamped edge traces: the replayable input format for streaming.
+
+A *trace* is a sequence of ``(t, u, v)`` events with non-decreasing
+timestamps — the on-disk twin of what `repro stream` reads from stdin.
+The text format is one event per line (``t u v``, whitespace separated,
+``#`` comments and blank lines ignored), so traces pipe cleanly through
+standard tools and stay diffable in benchmark fixtures.
+
+Besides parse/write, this module generates deterministic synthetic
+traces (seeded R-MAT-free random endpoints with exponential interarrival
+gaps) and converts a frozen CSR graph into a replay trace — the bridge
+the streaming bench uses to compare windowed counts against the static
+batch kernels on the same edge set.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import csr_to_undirected_pairs
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_trace",
+    "parse_trace",
+    "write_trace",
+    "load_trace",
+    "generate_trace",
+    "trace_from_graph",
+]
+
+Event = tuple[float, int, int]
+
+
+def parse_trace(lines: Iterable[str], source: str = "<stream>") -> Iterator[Event]:
+    """Yield ``(t, u, v)`` events from an iterable of text lines.
+
+    Malformed lines raise :class:`GraphFormatError` naming the line — a
+    truncated trace should fail the replay, not silently shorten it.
+    Timestamp monotonicity is *not* enforced here; the consumer
+    (:class:`~repro.stream.window.StreamCounter`) owns that invariant.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"{source}:{lineno}: expected 't u v', got {line.strip()!r}"
+            )
+        try:
+            t = float(parts[0])
+            u = int(parts[1])
+            v = int(parts[2])
+        except ValueError:
+            raise GraphFormatError(
+                f"{source}:{lineno}: non-numeric event {line.strip()!r}"
+            ) from None
+        if u < 0 or v < 0:
+            raise GraphFormatError(
+                f"{source}:{lineno}: negative vertex id in {line.strip()!r}"
+            )
+        yield t, u, v
+
+
+def read_trace(path: str | os.PathLike) -> Iterator[Event]:
+    """Stream events from a trace file (lazily; the file closes at end)."""
+    with open(path, encoding="utf-8") as fh:
+        yield from parse_trace(fh, source=str(path))
+
+
+def load_trace(path: str | os.PathLike) -> np.ndarray:
+    """Whole trace as a ``(n, 3)`` float64 array (columns ``t, u, v``)."""
+    events = list(read_trace(path))
+    if not events:
+        return np.empty((0, 3), dtype=np.float64)
+    return np.asarray(events, dtype=np.float64)
+
+
+def write_trace(path_or_file: str | os.PathLike | IO[str], events) -> int:
+    """Write events as trace lines; returns the number written.
+
+    ``events`` is any iterable of ``(t, u, v)``.  Timestamps are written
+    with ``repr``-level precision so write → read round-trips bit-exactly
+    for the float64 timestamps the generators produce.
+    """
+    own = not hasattr(path_or_file, "write")
+    fh = open(path_or_file, "w", encoding="utf-8") if own else path_or_file
+    n = 0
+    try:
+        for t, u, v in events:
+            fh.write(f"{float(t)!r} {int(u)} {int(v)}\n")
+            n += 1
+    finally:
+        if own:
+            fh.close()
+    return n
+
+
+def generate_trace(
+    num_events: int,
+    num_vertices: int,
+    seed: int = 0,
+    *,
+    start: float = 0.0,
+    mean_gap: float = 1.0,
+    duplicate_fraction: float = 0.1,
+) -> np.ndarray:
+    """Deterministic synthetic trace as a ``(n, 3)`` array.
+
+    Endpoints are skewed toward low ids (square of a uniform draw) so the
+    trace produces triangles rather than a near-forest; ``mean_gap`` sets
+    the exponential interarrival mean, so a window of ``k * mean_gap``
+    holds ~k live edges in steady state.  A ``duplicate_fraction`` of
+    events re-emit an earlier pair, exercising re-arrival refresh.
+    """
+    if num_vertices < 2:
+        raise ValueError(f"need at least 2 vertices, got {num_vertices}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap, size=num_events)
+    times = start + np.cumsum(gaps)
+    u = (rng.random(num_events) ** 2 * num_vertices).astype(np.int64)
+    v = (rng.random(num_events) ** 2 * num_vertices).astype(np.int64)
+    # Repair self-loops deterministically instead of rejecting rows.
+    loops = u == v
+    v[loops] = (v[loops] + 1) % num_vertices
+    # Re-emit earlier pairs for a slice of the tail.
+    if num_events > 4 and duplicate_fraction > 0:
+        dup = rng.random(num_events) < duplicate_fraction
+        dup[: num_events // 4] = False  # need history to duplicate from
+        idx = np.flatnonzero(dup)
+        src_idx = (rng.random(len(idx)) * idx).astype(np.int64)
+        u[idx] = u[src_idx]
+        v[idx] = v[src_idx]
+    out = np.empty((num_events, 3), dtype=np.float64)
+    out[:, 0] = times
+    out[:, 1] = u
+    out[:, 2] = v
+    return out
+
+
+def trace_from_graph(
+    graph: CSRGraph, seed: int = 0, *, mean_gap: float = 1.0, start: float = 0.0
+) -> np.ndarray:
+    """Replay trace visiting every undirected edge of ``graph`` once.
+
+    Edge order is a seeded shuffle with exponential interarrival gaps.
+    Feeding the result to a :class:`StreamCounter` whose window spans the
+    whole trace must reproduce the static batch counts bit-exactly — the
+    invariant the streaming bench and fuzz paths gate on.
+    """
+    u, v = csr_to_undirected_pairs(graph)
+    m = len(u)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(m)
+    times = start + np.cumsum(rng.exponential(mean_gap, size=m))
+    out = np.empty((m, 3), dtype=np.float64)
+    out[:, 0] = times
+    out[:, 1] = u[order]
+    out[:, 2] = v[order]
+    return out

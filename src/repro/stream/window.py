@@ -1,0 +1,310 @@
+"""Exact sliding-window counting over an unbounded edge stream.
+
+:class:`StreamCounter` keeps all-edge common neighbor counts exact for
+the *live* edge set — every edge whose most recent arrival lies within
+``window`` of the stream clock — by generalizing the dynamic overlay's
+threshold compaction to timestamp expiry.  Each ingested batch reconciles
+arrivals and expiries into one disjoint insert/delete set and applies it
+through a :class:`~repro.core.dynamic.DynamicCounter`, so the ±1 delta
+rule, the recount fallback past ``recount_fraction``, and the session's
+selective artifact invalidation are all inherited rather than rebuilt.
+
+Expiry is *lazy*: an append-only arrival log (a deque, monotone in time)
+plus a latest-stamp map.  Re-arrival of a live edge refreshes its stamp;
+the stale log entry is discarded when it surfaces because its timestamp
+no longer matches.  Reconciliation is O(batch), not O(live set): an edge
+that arrives and expires within one batch never touches the kernel.
+
+The vertex universe grows on demand — an arrival naming an id beyond the
+current capacity doubles the CSR (offset padding only; counts are
+untouched because new vertices are isolated) and rebuilds the counter
+from the snapshot, skipping the initial count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.core.dynamic import DEFAULT_RECOUNT_FRACTION, DynamicCounter
+from repro.core.result import EdgeCounts
+from repro.dynamic.delta import edge_key
+from repro.dynamic.overlay import DEFAULT_COMPACTION_THRESHOLD
+from repro.errors import StreamOrderError
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+
+__all__ = ["StreamCounter", "DEFAULT_CAPACITY"]
+
+#: Initial vertex capacity when the caller does not size the universe.
+DEFAULT_CAPACITY = 16
+
+
+def _empty_graph(num_vertices: int) -> CSRGraph:
+    offsets = np.zeros(num_vertices + 1, dtype=OFFSET_DTYPE)
+    return CSRGraph(offsets, np.empty(0, dtype=VERTEX_DTYPE))
+
+
+class StreamCounter:
+    """Exact common neighbor counts within a sliding time window.
+
+    Parameters
+    ----------
+    window:
+        Window width in stream-time units; an edge whose latest arrival
+        was at ``t`` stays live while ``now - t < window``.  ``math.inf``
+        turns the counter into a plain grow-only stream accumulator.
+    num_vertices:
+        Initial vertex capacity (grown automatically on demand).
+    algorithm, backend, num_workers, chunks_per_worker,
+    compaction_threshold, recount_fraction:
+        Forwarded to the underlying :class:`DynamicCounter` (and through
+        it to the engine) for recounts and compaction policy.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        num_vertices: int = DEFAULT_CAPACITY,
+        *,
+        algorithm: str = "auto",
+        backend: str = "auto",
+        num_workers: int | None = None,
+        chunks_per_worker: int = 4,
+        compaction_threshold: float = DEFAULT_COMPACTION_THRESHOLD,
+        recount_fraction: float = DEFAULT_RECOUNT_FRACTION,
+    ):
+        window = float(window)
+        if not window > 0:
+            raise ValueError(f"window must be positive, got {window:g}")
+        self.window = window
+        self._counter_kwargs = dict(
+            algorithm=algorithm,
+            backend=backend,
+            num_workers=num_workers,
+            chunks_per_worker=chunks_per_worker,
+            compaction_threshold=compaction_threshold,
+            recount_fraction=recount_fraction,
+        )
+        capacity = max(int(num_vertices), 2)
+        graph = _empty_graph(capacity)
+        self._counter = DynamicCounter(
+            graph,
+            initial=EdgeCounts(graph, np.empty(0, dtype=np.int64)),
+            **self._counter_kwargs,
+        )
+        #: Arrival log, monotone in time.  Entries whose timestamp no
+        #: longer matches the stamp map are stale (the edge re-arrived).
+        self._log: deque[tuple[float, tuple[int, int]]] = deque()
+        #: Latest arrival stamp per live edge key — its keys ARE the
+        #: live edge set between batches.
+        self._stamps: dict[tuple[int, int], float] = {}
+        self.now = -math.inf
+        self.arrivals = 0
+        self.refreshes = 0
+        self.expiries = 0
+        self.ignored = 0
+        self.batches = 0
+        self.grows = 0
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def observe(self, t: float, u: int, v: int) -> None:
+        """Ingest a single timestamped edge arrival."""
+        self.ingest([(t, u, v)])
+
+    def ingest(self, events) -> dict:
+        """Ingest a batch of ``(t, u, v)`` events; returns batch stats.
+
+        Timestamps must be non-decreasing across the whole stream
+        (:class:`StreamOrderError` otherwise).  Within the batch,
+        arrivals and expiries are reconciled into net-disjoint insert and
+        delete sets, so the kernel sees each batch as one dynamic update
+        regardless of how much churn the batch internally cancelled out.
+        """
+        inserted: set[tuple[int, int]] = set()
+        deleted: set[tuple[int, int]] = set()
+        stamps = self._stamps
+        vmax = -1
+        n = 0
+        try:
+            for t, u, v in events:
+                t = float(t)
+                u = int(u)
+                v = int(v)
+                if t < self.now:
+                    raise StreamOrderError(t, self.now)
+                if u < 0 or v < 0:
+                    raise ValueError(f"negative vertex id in event ({u}, {v})")
+                self.now = t
+                n += 1
+                if u == v:
+                    self.ignored += 1
+                    continue
+                key = edge_key(u, v)
+                if key in stamps:
+                    # Live (or not yet lazily expired) edge re-arrived:
+                    # refresh its stamp, no kernel work.
+                    self.refreshes += 1
+                else:
+                    self.arrivals += 1
+                    inserted.add(key)
+                    vmax = max(vmax, key[1])
+                stamps[key] = t
+                self._log.append((t, key))
+        finally:
+            # Reconcile even when an event raised mid-batch, so the
+            # kernel never trails the stamp map (the prefix is applied;
+            # the offending event was rejected before mutating state).
+            self._expire(inserted, deleted)
+            self._reconcile(inserted, deleted, vmax)
+            if n:
+                self.batches += 1
+        return {
+            "events": n,
+            "inserted": len(inserted),
+            "deleted": len(deleted),
+            "live_edges": len(stamps),
+            "now": self.now,
+        }
+
+    def advance(self, t: float) -> dict:
+        """Move the stream clock to ``t`` with no arrivals (expiry tick)."""
+        t = float(t)
+        if t < self.now:
+            raise StreamOrderError(t, self.now)
+        self.now = t
+        deleted: set[tuple[int, int]] = set()
+        self._expire(set(), deleted)
+        self._reconcile(set(), deleted, -1)
+        return {
+            "events": 0,
+            "inserted": 0,
+            "deleted": len(deleted),
+            "live_edges": len(self._stamps),
+            "now": self.now,
+        }
+
+    def _expire(self, inserted: set, deleted: set) -> None:
+        """Pop log entries at or past the horizon; flag real expiries.
+
+        A popped entry whose timestamp no longer matches the stamp map is
+        stale (the edge re-arrived later) and is simply discarded.
+        """
+        cutoff = self.now - self.window
+        log = self._log
+        stamps = self._stamps
+        while log and log[0][0] <= cutoff:
+            t, key = log.popleft()
+            if stamps.get(key) == t:
+                del stamps[key]
+                self.expiries += 1
+                if key in inserted:
+                    inserted.discard(key)  # arrived and died within the batch
+                else:
+                    deleted.add(key)
+
+    def _reconcile(self, inserted: set, deleted: set, vmax: int) -> None:
+        if vmax >= self._counter.num_vertices:
+            self._grow(vmax + 1)
+        if inserted or deleted:
+            self._counter.apply(
+                insertions=sorted(inserted) or None,
+                deletions=sorted(deleted) or None,
+            )
+
+    def _grow(self, needed: int) -> None:
+        """Double the vertex capacity until ``needed`` ids fit.
+
+        Growth pads the snapshot CSR's offsets (appended vertices are
+        isolated, so ``dst``, and therefore the per-edge counts array,
+        are unchanged) and rebuilds the counter from the snapshot with
+        ``initial=`` so no recount runs.
+        """
+        capacity = self._counter.num_vertices
+        while capacity < needed:
+            capacity *= 2
+        snap = self._counter.snapshot()
+        g = snap.graph
+        pad = np.full(capacity - g.num_vertices, g.offsets[-1], dtype=OFFSET_DTYPE)
+        padded = CSRGraph(np.concatenate([g.offsets, pad]), g.dst)
+        self._counter.close()
+        self._counter = DynamicCounter(
+            padded,
+            initial=EdgeCounts(padded, snap.counts),
+            **self._counter_kwargs,
+        )
+        self.grows += 1
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def live_edges(self) -> int:
+        """Number of edges currently inside the window."""
+        return len(self._stamps)
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex capacity (grown on demand, never shrunk)."""
+        return self._counter.num_vertices
+
+    def is_live(self, u: int, v: int) -> bool:
+        return edge_key(int(u), int(v)) in self._stamps
+
+    def count(self, u: int, v: int) -> int:
+        """``|N(u) ∩ N(v)|`` within the window for the live edge (u, v)."""
+        return self._counter.count(u, v)
+
+    def triangle_count(self) -> int:
+        """Total triangles among the live edges."""
+        return self._counter.triangle_count()
+
+    def graph(self) -> CSRGraph:
+        """Frozen CSR of the live edge set (compacts the overlay)."""
+        return self._counter.materialize()
+
+    def snapshot(self) -> EdgeCounts:
+        """Counts aligned with a fresh CSR of the live edge set."""
+        return self._counter.snapshot()
+
+    def verify(self) -> bool:
+        """Full-recount equality check on the live set (raises on drift)."""
+        return self._counter.verify()
+
+    def stats(self) -> dict:
+        return {
+            "now": self.now,
+            "window": self.window,
+            "live_edges": len(self._stamps),
+            "num_vertices": self._counter.num_vertices,
+            "arrivals": self.arrivals,
+            "refreshes": self.refreshes,
+            "expiries": self.expiries,
+            "ignored": self.ignored,
+            "batches": self.batches,
+            "grows": self.grows,
+            "updates_applied": self._counter.updates_applied,
+            "recounts": self._counter.recounts,
+            "compactions": self._counter.overlay.compactions,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._counter.close()
+
+    def __enter__(self) -> "StreamCounter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamCounter(window={self.window:g}, now={self.now:g}, "
+            f"live={len(self._stamps)}, |V|={self._counter.num_vertices})"
+        )

@@ -120,7 +120,27 @@ def test_replay_runs_recorded_path_and_passes_when_fixed(tmp_path):
     assert report.paths_run == ["merge"]
 
 
-def test_replay_falls_back_to_all_paths_when_path_is_gone(tmp_path):
+def test_replay_skips_with_warning_when_recorded_path_is_gone(tmp_path):
+    # An artifact recorded on a host with an optional dependency (say
+    # gallop-compiled under numba) must not crash — or silently re-run
+    # unrelated paths — on a host without it.  It skips, says why, and
+    # the report carries the reason.
+    from repro.fuzz.differential import Failure
+
+    case = generate_case(3, 8)
+    path = save_artifact(
+        case, Failure("retired-backend", "mismatch", "gone"), tmp_path
+    )
+    with pytest.warns(RuntimeWarning, match="retired-backend"):
+        report = replay_artifact(path)
+    assert report.skipped is not None
+    assert "not runnable on this host" in report.skipped
+    assert report.ok  # a skip is not a reproduced failure
+    assert report.paths_run == []
+    assert report.failures == []
+
+
+def test_replay_explicit_paths_override_the_recorded_path(tmp_path):
     from repro.fuzz.differential import Failure
 
     case = generate_case(3, 8)
@@ -129,5 +149,4 @@ def test_replay_falls_back_to_all_paths_when_path_is_gone(tmp_path):
     )
     report = replay_artifact(path, paths=["merge", "bitmap"])
     assert set(report.paths_run) == {"merge", "bitmap"}
-    report = replay_artifact(path)  # recorded path unknown → all paths
-    assert len(report.paths_run) >= 4
+    assert report.skipped is None

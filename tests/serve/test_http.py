@@ -289,3 +289,70 @@ def test_ephemeral_port_binding_and_address():
             service.close()
 
     asyncio.run(main())
+
+
+def test_stream_endpoint_ingest_expiry_and_errors():
+    async def main():
+        server, service = await started_server()
+        try:
+            port = server.port
+            # First request creates the stream and counts a triangle.
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream",
+                {"stream": "w", "window": 10,
+                 "events": [[0, 0, 1], [1, 1, 2], [2, 0, 2]]},
+            )
+            assert status == 200
+            assert body["stream"] == "w" and body["window"] == 10.0
+            assert body["live_edges"] == 3 and body["triangles"] == 1
+
+            # Sliding past the window expires the triangle.
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream",
+                {"stream": "w", "events": [[15, 3, 4]]},
+            )
+            assert status == 200
+            assert body["live_edges"] == 1 and body["triangles"] == 0
+
+            # An empty events list is a pure poll.
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream", {"stream": "w"}
+            )
+            assert status == 200 and body["events"] == 0
+
+            # Out-of-order timestamps map to 400, and the live set is
+            # untouched by the rejected event.
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream",
+                {"stream": "w", "events": [[1, 5, 6]]},
+            )
+            assert status == 400 and "non-decreasing" in body["error"]
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream", {"stream": "w"}
+            )
+            assert body["live_edges"] == 1
+
+            # Reopening with a different window is a client error;
+            # a second stream with its own window is fine.
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream", {"stream": "w", "window": 99}
+            )
+            assert status == 400 and "already exists" in body["error"]
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream",
+                {"stream": "other", "events": [[0, 1, 2]]},
+            )
+            assert status == 200 and body["window"] is None
+
+            # Missing the stream field → 400; telemetry lists both.
+            status, _, body, _ = await http_request(
+                port, "POST", "/stream", {"events": [[0, 1, 2]]}
+            )
+            assert status == 400
+            status, _, body, _ = await http_request(port, "GET", "/stats")
+            assert body["streams"] == {"w": 1, "other": 1}
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())

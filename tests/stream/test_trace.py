@@ -1,0 +1,115 @@
+"""Trace format: parse/write round-trips, errors, and generators."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import csr_to_undirected_pairs
+from repro.graph.datasets import load_dataset
+from repro.stream import (
+    StreamCounter,
+    generate_trace,
+    load_trace,
+    parse_trace,
+    read_trace,
+    trace_from_graph,
+    write_trace,
+)
+
+
+def test_write_read_round_trip_is_bit_exact(tmp_path):
+    events = generate_trace(200, 30, seed=4)
+    path = tmp_path / "trace.txt"
+    assert write_trace(path, events) == 200
+    back = load_trace(path)
+    assert np.array_equal(back, events)  # repr precision: exact floats
+
+
+def test_write_accepts_an_open_file_object():
+    buf = io.StringIO()
+    write_trace(buf, [(0.5, 1, 2), (1.5, 2, 3)])
+    events = list(parse_trace(buf.getvalue().splitlines()))
+    assert events == [(0.5, 1, 2), (1.5, 2, 3)]
+
+
+def test_parse_skips_comments_and_blank_lines():
+    text = "# header\n\n1.0 0 1\n  # indented comment\n2.0 1 2  # trailing\n"
+    assert list(parse_trace(text.splitlines())) == [(1.0, 0, 1), (2.0, 1, 2)]
+
+
+@pytest.mark.parametrize(
+    "line, match",
+    [
+        ("1.0 2", "expected 't u v'"),
+        ("1.0 2 3 4", "expected 't u v'"),
+        ("x 0 1", "non-numeric"),
+        ("1.0 0.5 1", "non-numeric"),
+        ("1.0 -1 2", "negative vertex"),
+    ],
+)
+def test_parse_rejects_malformed_lines_with_location(line, match):
+    with pytest.raises(GraphFormatError, match=match) as err:
+        list(parse_trace(["0 0 1", line], source="trace.txt"))
+    assert "trace.txt:2" in str(err.value)
+
+
+def test_read_trace_is_lazy_and_names_the_file(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 0 1\nbroken\n")
+    it = read_trace(path)
+    assert next(it) == (0.0, 0, 1)
+    with pytest.raises(GraphFormatError, match=str(path)):
+        next(it)
+
+
+def test_load_trace_empty_file(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("# nothing but comments\n")
+    assert load_trace(path).shape == (0, 3)
+
+
+def test_generate_trace_is_deterministic_and_well_formed():
+    a = generate_trace(500, 40, seed=7)
+    b = generate_trace(500, 40, seed=7)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, generate_trace(500, 40, seed=8))
+    times, u, v = a[:, 0], a[:, 1].astype(int), a[:, 2].astype(int)
+    assert np.all(np.diff(times) >= 0)  # non-decreasing clock
+    assert np.all(u != v)  # self-loops repaired
+    assert u.min() >= 0 and max(u.max(), v.max()) < 40
+
+
+def test_generate_trace_emits_duplicates():
+    a = generate_trace(1000, 50, seed=0, duplicate_fraction=0.3)
+    pairs = {tuple(sorted(p)) for p in a[:, 1:].astype(int)}
+    assert len(pairs) < 1000  # some events re-emitted earlier pairs
+
+
+def test_generate_trace_validation():
+    with pytest.raises(ValueError, match="at least 2"):
+        generate_trace(10, 1)
+
+
+def test_trace_from_graph_replays_to_the_same_graph():
+    graph = load_dataset("tw", scale=0.1)
+    trace = trace_from_graph(graph, seed=3)
+    assert len(trace) == graph.num_edges
+    with StreamCounter(math.inf, num_vertices=graph.num_vertices) as c:
+        c.ingest((t, int(u), int(v)) for t, u, v in trace)
+        snap = c.snapshot()
+        assert np.array_equal(snap.graph.offsets, graph.offsets)
+        assert np.array_equal(snap.graph.dst, graph.dst)
+
+
+def test_trace_from_graph_covers_each_edge_once():
+    graph = load_dataset("tw", scale=0.1)
+    trace = trace_from_graph(graph, seed=1)
+    u, v = csr_to_undirected_pairs(graph)
+    expected = {(int(a), int(b)) for a, b in zip(u, v)}
+    seen = {
+        (min(int(a), int(b)), max(int(a), int(b))) for _, a, b in trace
+    }
+    assert seen == expected

@@ -1,0 +1,213 @@
+"""StreamCounter vs a replay-from-scratch model, stateful and unit.
+
+The stateful machine drives one counter through interleaved arrivals,
+re-arrivals, clock advances (pure expiry), batched ingests, and window
+slides while a dict-based model replays the same stream from scratch.
+After every rule the live edge set must match; periodically the full
+per-edge counts are cross-checked against brute force on the model
+graph.  Any divergence prints the exact rule sequence that caused it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.verify import brute_force_counts
+from repro.errors import StreamOrderError
+from repro.graph.build import csr_from_pairs, csr_to_undirected_pairs
+from repro.stream import StreamCounter
+
+MAX_VERTEX = 19
+
+
+def _live_pairs(stamps, now, window):
+    return sorted(k for k, t in stamps.items() if now - t < window)
+
+
+class StreamMachine(RuleBasedStateMachine):
+    @initialize(window=st.sampled_from([8.0, 30.0, math.inf]))
+    def setup(self, window):
+        self.window = window
+        self.counter = StreamCounter(window, num_vertices=4)
+        self.stamps = {}
+        self.now = -math.inf
+
+    def _model_observe(self, t, u, v):
+        self.now = t
+        if u != v:
+            self.stamps[(min(u, v), max(u, v))] = t
+
+    @rule(
+        dt=st.floats(0.0, 12.0),
+        u=st.integers(0, MAX_VERTEX),
+        v=st.integers(0, MAX_VERTEX),
+    )
+    def arrive(self, dt, u, v):
+        t = dt if self.now == -math.inf else self.now + dt
+        self.counter.observe(t, u, v)
+        self._model_observe(t, u, v)
+
+    @rule(
+        steps=st.lists(
+            st.tuples(
+                st.floats(0.0, 4.0),
+                st.integers(0, MAX_VERTEX),
+                st.integers(0, MAX_VERTEX),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def ingest_batch(self, steps):
+        t = 0.0 if self.now == -math.inf else self.now
+        events = []
+        for dt, u, v in steps:
+            t += dt
+            events.append((t, u, v))
+        self.counter.ingest(events)
+        for et, u, v in events:
+            self._model_observe(et, u, v)
+
+    @rule(dt=st.floats(0.0, 40.0))
+    def advance_clock(self, dt):
+        if self.now == -math.inf:
+            return
+        self.counter.advance(self.now + dt)
+        self.now += dt
+
+    @rule()
+    def reject_time_travel(self):
+        if self.now == -math.inf or self.now <= 0:
+            return
+        before = _live_pairs(self.stamps, self.now, self.window)
+        with pytest.raises(StreamOrderError):
+            self.counter.observe(self.now - 1.0, 0, 1)
+        # The rejected event must not have leaked into the live set.
+        assert self._counter_pairs() == before
+
+    def _counter_pairs(self):
+        u, v = csr_to_undirected_pairs(self.counter.graph())
+        return sorted(zip(u.tolist(), v.tolist()))
+
+    @invariant()
+    def live_set_matches_model(self):
+        if not hasattr(self, "counter"):
+            return
+        expected = _live_pairs(self.stamps, self.now, self.window)
+        assert self.counter.live_edges == len(expected)
+        assert self._counter_pairs() == expected
+
+    @rule()
+    def counts_match_brute_force(self):
+        snap = self.counter.snapshot()
+        model = csr_from_pairs(
+            _live_pairs(self.stamps, self.now, self.window),
+            self.counter.num_vertices,
+        )
+        assert np.array_equal(snap.graph.offsets, model.offsets)
+        assert np.array_equal(snap.graph.dst, model.dst)
+        assert np.array_equal(snap.counts, brute_force_counts(model))
+        assert self.counter.verify()
+
+    def teardown(self):
+        if hasattr(self, "counter"):
+            self.counter.close()
+
+
+StreamMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestStreamMachine = StreamMachine.TestCase
+
+
+# --------------------------------------------------------------------- #
+# deterministic unit coverage
+# --------------------------------------------------------------------- #
+def test_refresh_extends_lifetime():
+    with StreamCounter(10.0) as c:
+        c.observe(0.0, 0, 1)
+        c.observe(5.0, 1, 0)  # re-arrival (either orientation) refreshes
+        c.advance(12.0)  # original stamp is past the horizon, refresh is not
+        assert c.is_live(0, 1)
+        assert c.stats()["refreshes"] == 1
+        c.advance(16.0)
+        assert not c.is_live(0, 1)
+        assert c.live_edges == 0
+
+
+def test_arrive_and_expire_within_one_batch_never_touches_kernel():
+    with StreamCounter(1.0) as c:
+        c.ingest([(0.0, 0, 1), (10.0, 2, 3)])  # (0,1) dead on arrival's batch
+        assert c.live_edges == 1
+        assert c.stats()["updates_applied"] == 1  # only (2, 3) reached it
+
+
+def test_self_loops_are_ignored_not_errors():
+    with StreamCounter(10.0) as c:
+        c.observe(0.0, 4, 4)
+        assert c.live_edges == 0
+        assert c.stats()["ignored"] == 1
+
+
+def test_negative_vertex_rejected():
+    with StreamCounter(10.0) as c:
+        with pytest.raises(ValueError, match="negative vertex"):
+            c.observe(0.0, -1, 2)
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError, match="window"):
+        StreamCounter(0.0)
+
+
+def test_auto_grow_preserves_counts():
+    with StreamCounter(math.inf, num_vertices=2) as c:
+        c.ingest([(0.0, 0, 1), (1.0, 1, 2), (2.0, 0, 2)])  # forces growth
+        c.observe(3.0, 100, 0)  # far past capacity: doubles repeatedly
+        assert c.num_vertices >= 101
+        assert c.stats()["grows"] >= 2
+        assert c.triangle_count() == 1
+        assert c.count(0, 1) == 1
+        assert c.verify()
+
+
+def test_mid_batch_order_error_applies_the_valid_prefix():
+    with StreamCounter(10.0) as c:
+        with pytest.raises(StreamOrderError):
+            c.ingest([(0.0, 0, 1), (1.0, 1, 2), (0.5, 2, 3)])
+        # The two valid events landed; the offending one did not.
+        assert c.live_edges == 2
+        assert c.is_live(0, 1) and c.is_live(1, 2)
+        assert not c.is_live(2, 3)
+        assert c.verify()
+
+
+def test_infinite_window_matches_static_count():
+    from repro.graph.datasets import load_dataset
+    from repro.kernels.batch import count_all_edges_merge
+
+    graph = load_dataset("tw", scale=0.1)
+    u, v = csr_to_undirected_pairs(graph)
+    with StreamCounter(math.inf, num_vertices=graph.num_vertices) as c:
+        c.ingest((float(i), int(a), int(b)) for i, (a, b) in enumerate(zip(u, v)))
+        snap = c.snapshot()
+        assert np.array_equal(snap.graph.offsets, graph.offsets)
+        assert np.array_equal(snap.graph.dst, graph.dst)
+        assert np.array_equal(snap.counts, count_all_edges_merge(graph))
+
+
+def test_equal_timestamps_are_allowed():
+    with StreamCounter(5.0) as c:
+        c.ingest([(1.0, 0, 1), (1.0, 1, 2), (1.0, 0, 2)])
+        assert c.triangle_count() == 1
+        c.advance(1.0)  # advancing to the same instant is a no-op
+        assert c.live_edges == 3

@@ -206,6 +206,62 @@ def test_fuzz_command_replays_artifact(capsys, tmp_path):
     assert "merge" in out
 
 
+def test_fuzz_replay_skips_unavailable_recorded_path(capsys, tmp_path):
+    # Regression: an artifact recorded on a compiled-enabled host used to
+    # crash replay with AlgorithmError on hosts without the dependency.
+    # It must skip with a warning and exit 0.
+    from repro.fuzz.differential import Failure
+    from repro.fuzz.generators import generate_case
+    from repro.fuzz.shrink import save_artifact
+
+    artifact = save_artifact(
+        generate_case(3, 2),
+        Failure("gone-backend", "mismatch", "stale"),
+        tmp_path,
+    )
+    code = main(["fuzz", "--replay", artifact])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "skipped" in captured.out
+    assert "gone-backend" in captured.err  # the warning reaches stderr
+
+
+def test_stream_command_replays_trace(capsys, tmp_path):
+    import json
+
+    from repro.stream import generate_trace, write_trace
+
+    trace = tmp_path / "trace.txt"
+    write_trace(trace, generate_trace(500, 60, seed=5))
+    summary_path = tmp_path / "summary.json"
+    code, out = run(
+        capsys, "stream", "--trace", str(trace), "--window", "100",
+        "--snapshot-every", "200", "--json", str(summary_path),
+        "--sampled-budget", "65536",
+    )
+    assert code == 0
+    lines = [json.loads(line) for line in out.strip().splitlines()]
+    kinds = [rec["type"] for rec in lines]
+    assert kinds.count("snapshot") >= 2 and kinds[-1] == "summary"
+    summary = json.loads(summary_path.read_text())
+    assert summary["events"] == 500
+    assert summary["live_edges"] > 0
+    assert summary["sampled"]["estimate"]["delta"] == 0.05
+
+
+def test_stream_command_maps_errors_to_exit_codes(capsys, tmp_path):
+    # Out-of-order timestamps → ReproError → 6; malformed trace → 3.
+    trace = tmp_path / "bad_order.txt"
+    trace.write_text("5 0 1\n3 1 2\n")
+    assert main(["stream", "--trace", str(trace)]) == 6
+    capsys.readouterr()
+    trace = tmp_path / "bad_tokens.txt"
+    trace.write_text("1 a b\n")
+    assert main(["stream", "--trace", str(trace)]) == 3
+    capsys.readouterr()
+    assert main(["stream", "--trace", "/no/such/trace.txt"]) == 7
+
+
 # --------------------------------------------------------------------- #
 # error handling: known failures exit with distinct codes + one stderr line
 # --------------------------------------------------------------------- #
