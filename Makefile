@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test verify fuzz-smoke bench bench-smoke serve-smoke stream-smoke examples experiments all clean
+.PHONY: install test verify fuzz-smoke bench bench-smoke serve-smoke stream-smoke motif-smoke examples experiments all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,11 +26,13 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Quick backend sweep with plan stats plus the cold-vs-warm session leg,
-# the sharded memory-bound/throughput gates, and the streaming gates
+# the sharded memory-bound/throughput gates, the streaming gates
 # (bit-exact sliding window vs model replay, ingest throughput floor,
-# reservoir-estimator interval honesty); writes BENCH_counting.json,
-# BENCH_session.json, BENCH_sharding.json and BENCH_streaming.json
-# (mirrors the bench-smoke + streaming-smoke CI legs).
+# reservoir-estimator interval honesty), and the motif gates (clique-3
+# reconciles with triangle_count(), every clique/biclique runner agrees
+# with brute force); writes BENCH_counting.json, BENCH_session.json,
+# BENCH_sharding.json, BENCH_streaming.json and BENCH_motifs.json
+# (mirrors the bench-smoke + streaming-smoke + motif-smoke CI legs).
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_counting_backends.py \
 		--quick --json BENCH_counting.json
@@ -40,6 +42,8 @@ bench-smoke:
 		--quick --json BENCH_sharding.json
 	PYTHONPATH=src python benchmarks/bench_streaming.py \
 		--quick --json BENCH_streaming.json
+	PYTHONPATH=src python benchmarks/bench_motifs.py \
+		--quick --json BENCH_motifs.json
 
 # Boot the real serving stack in-process and drive it with closed-loop
 # clients: batched dispatch must beat naive per-request dispatch at
@@ -56,6 +60,14 @@ serve-smoke:
 stream-smoke:
 	PYTHONPATH=src python benchmarks/bench_streaming.py \
 		--quick --json BENCH_streaming.json
+
+# Motif gates alone: k-clique totals reconciled against the production
+# common-neighbor triangle counts, every clique runner agreeing for
+# k in {3,4,5}, and both biclique runners agreeing with brute force on
+# calibrated bipartite generators (mirrors the motif-smoke CI leg).
+motif-smoke:
+	PYTHONPATH=src python benchmarks/bench_motifs.py \
+		--quick --json BENCH_motifs.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

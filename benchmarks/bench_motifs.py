@@ -1,0 +1,134 @@
+"""Motif-counting benchmark: wall-clock per runner + bit-exactness gates.
+
+Three hard gates, checked on every leg before any timing is reported:
+
+1. **Triangle reconciliation** — on every bundled graph the ``clique-3``
+   total must equal ``EdgeCounts.triangle_count()`` from the production
+   common-neighbor path: the motif suite and the paper's original
+   workload must tell the same story about the same graph.
+2. **Runner agreement** — every clique runner (merge / bitmap / hybrid)
+   agrees on k ∈ {3, 4, 5}, anchored to the brute-force reference on
+   the quick-sized graphs.
+3. **Biclique agreement** — hash and bitmap runners match the
+   brute-force reference on calibrated bipartite generators.
+
+``--json BENCH_motifs.json`` writes the record the CI motif-smoke job
+uploads, so clique/biclique throughput is tracked per commit.
+"""
+
+import argparse
+import json
+import time
+
+from repro.core.api import count_common_neighbors
+from repro.graph.bipartite import bipartite_chung_lu, purchase_bipartite
+from repro.graph.datasets import load_dataset
+from repro.motif.biclique import (
+    BICLIQUE_RUNNERS,
+    brute_force_bicliques,
+    count_bicliques,
+)
+from repro.motif.clique import (
+    CLIQUE_RUNNERS,
+    brute_force_cliques,
+    count_cliques,
+    orient_dag,
+)
+
+#: (dataset, scale) legs.  The quick set is sized for a CI smoke run —
+#: brute-force k=5 references stay under a second per graph.
+SWEEP_GRAPHS = [("lj", 0.3), ("or", 0.3), ("wi", 0.3)]
+QUICK_GRAPHS = [("lj", 0.1), ("wi", 0.1)]
+
+#: Bipartite legs: (label, factory).
+BIPARTITE_GRAPHS = [
+    ("chung-lu", lambda: bipartite_chung_lu(300, 200, 1200, seed=5)),
+    ("purchase", lambda: purchase_bipartite(150, 120, seed=5)),
+]
+BICLIQUE_SHAPES = [(2, 2), (2, 3), (3, 2)]
+
+
+def bench_cliques(name, scale, record):
+    graph = load_dataset(name, scale=scale)
+    dag = orient_dag(graph)
+    triangles = count_common_neighbors(graph).triangle_count()
+    leg = {"scale": scale, "num_vertices": graph.num_vertices,
+           "num_edges": graph.num_edges, "k": {}}
+    print(f"== {name} (scale {scale}): {graph!r}")
+    for k in (3, 4, 5):
+        expected = brute_force_cliques(graph, k)
+        if k == 3:
+            # Gate 1: the motif suite must reconcile with the paper's
+            # per-edge counts — same triangles, two execution families.
+            assert expected == triangles, (
+                f"{name}: brute-force clique-3 {expected} != "
+                f"triangle_count() {triangles}"
+            )
+        timings = {}
+        for backend in sorted(CLIQUE_RUNNERS):
+            t0 = time.perf_counter()
+            got = count_cliques(graph, k, backend=backend, dag=dag)
+            timings[backend] = time.perf_counter() - t0
+            # Gate 2: every runner agrees with the reference.
+            assert got == expected, (
+                f"{name}: clique-{k} {backend} counted {got}, "
+                f"expected {expected}"
+            )
+        leg["k"][k] = {"count": expected, "seconds": timings}
+        fastest = min(timings, key=timings.get)
+        print(
+            f"   clique-{k}: {expected} "
+            f"(fastest {fastest} {timings[fastest] * 1e3:.1f} ms)"
+        )
+    record["cliques"][name] = leg
+
+
+def bench_bicliques(label, factory, record):
+    bip = factory()
+    leg = {"num_left": bip.num_left, "num_right": bip.num_right,
+           "num_edges": bip.num_edges, "shapes": {}}
+    print(f"== bipartite {label}: |L|={bip.num_left} |R|={bip.num_right} "
+          f"|E|={bip.num_edges}")
+    for p, q in BICLIQUE_SHAPES:
+        expected = brute_force_bicliques(bip, p, q)
+        timings = {}
+        for backend in sorted(BICLIQUE_RUNNERS):
+            t0 = time.perf_counter()
+            got = count_bicliques(bip, p, q, backend=backend)
+            timings[backend] = time.perf_counter() - t0
+            # Gate 3: both runners match the reference.
+            assert got == expected, (
+                f"{label}: biclique-{p}-{q} {backend} counted {got}, "
+                f"expected {expected}"
+            )
+        leg["shapes"][f"{p}-{q}"] = {"count": expected, "seconds": timings}
+        print(f"   biclique-{p}-{q}: {expected} "
+              f"(hash {timings['hash'] * 1e3:.1f} ms, "
+              f"bitmap {timings['bitmap'] * 1e3:.1f} ms)")
+    record["bicliques"][label] = leg
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized legs")
+    parser.add_argument("--json", help="write machine-readable results here")
+    args = parser.parse_args(argv)
+
+    legs = QUICK_GRAPHS if args.quick else SWEEP_GRAPHS
+    record = {"mode": "quick" if args.quick else "full",
+              "cliques": {}, "bicliques": {}}
+    for name, scale in legs:
+        bench_cliques(name, scale, record)
+    for label, factory in BIPARTITE_GRAPHS:
+        bench_bicliques(label, factory, record)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    print("all motif gates passed")
+
+
+if __name__ == "__main__":
+    main()

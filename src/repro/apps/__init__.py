@@ -7,8 +7,8 @@ pSCAN / SCAN-XP family the paper cites), and co-purchase recommendation
 """
 
 from repro.apps.similarity import structural_similarity, jaccard_similarity
-from repro.apps.scan import scan_clustering, SCANResult
-from repro.apps.recommend import recommend_products
+from repro.apps.scan import scan_clustering, SCANResult, clique_density_scores
+from repro.apps.recommend import recommend_products, co_engagement
 from repro.apps.linkpred import (
     adamic_adar_score,
     common_neighbor_score,
@@ -28,7 +28,9 @@ __all__ = [
     "jaccard_similarity",
     "scan_clustering",
     "SCANResult",
+    "clique_density_scores",
     "recommend_products",
+    "co_engagement",
     "average_clustering",
     "local_clustering_coefficient",
     "transitivity",

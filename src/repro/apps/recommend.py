@@ -15,7 +15,7 @@ import numpy as np
 from repro.apps.similarity import structural_similarity
 from repro.core.result import EdgeCounts
 
-__all__ = ["recommend_products"]
+__all__ = ["recommend_products", "co_engagement"]
 
 
 def recommend_products(
@@ -46,3 +46,42 @@ def recommend_products(
         raise ValueError(f"unknown ranking signal {by!r}")
     order = np.argsort(scores, kind="stable")[::-1][:k]
     return [(int(neighbors[i]), float(scores[i])) for i in order]
+
+
+def co_engagement(
+    bipartite, product: int, k: int = 5, *, p: int = 2
+) -> list[tuple[int, int]]:
+    """Top-``k`` products sharing committed user cohorts with ``product``.
+
+    Works on the user→product :class:`~repro.graph.bipartite.
+    BipartiteGraph` directly (products on the right), before any
+    co-purchase projection: a candidate product ``r`` is scored by
+    :func:`repro.motif.biclique.bicliques_containing_pair` — the number
+    of (p, 2)-bicliques whose right side is ``{product, r}``, i.e.
+    ``C(shared_users, p)``.  Unlike the raw shared-user count this grows
+    combinatorially with cohort size, so products bound to ``product``
+    by a large committed cohort dominate ones touched by scattered
+    single co-occurrences.
+
+    Candidates are the two-hop products (those sharing ≥ 1 user);
+    ties break toward the lower product id.  Returns ``(product_id,
+    biclique_count)`` pairs, highest count first.
+    """
+    from repro.motif.biclique import bicliques_containing_pair
+
+    if not 0 <= product < bipartite.num_right:
+        raise IndexError(f"product {product} out of range")
+    users = bipartite.right_neighbors(product)
+    if len(users) == 0:
+        return []
+    cands = np.unique(
+        np.concatenate([bipartite.left_neighbors(int(u)) for u in users.tolist()])
+    )
+    cands = cands[cands != product]
+    scored = [
+        (int(r), bicliques_containing_pair(bipartite, product, int(r), p=p))
+        for r in cands.tolist()
+    ]
+    scored = [(r, c) for r, c in scored if c > 0]
+    scored.sort(key=lambda rc: (-rc[1], rc[0]))
+    return scored[:k]

@@ -22,7 +22,7 @@ import numpy as np
 from repro.apps.similarity import structural_similarity
 from repro.core.result import EdgeCounts
 
-__all__ = ["SCANResult", "scan_clustering"]
+__all__ = ["SCANResult", "scan_clustering", "clique_density_scores"]
 
 
 @dataclass(frozen=True)
@@ -106,3 +106,49 @@ def scan_clustering(
         hubs=np.array(hubs, dtype=np.int64),
         outliers=np.array(outliers, dtype=np.int64),
     )
+
+
+def clique_density_scores(
+    graph, result: SCANResult, k: int = 3, backend: str = "auto"
+) -> list[dict]:
+    """How *dense* each SCAN cluster is, measured by k-clique saturation.
+
+    SCAN's ε/μ thresholds admit clusters of very different internal
+    cohesion; the k-clique count of a cluster's induced subgraph,
+    normalized by the ``C(size, k)`` cliques a complete cluster would
+    hold, separates near-cliques (density → 1) from loose chains
+    (density → 0).  Counts run through :meth:`GraphSession.count_motif`
+    on the induced subgraph, so they use the same oriented-DAG kernels
+    as ``repro count --motif clique-k``.
+
+    Returns one dict per cluster — ``{"cluster", "size", "cliques",
+    "density"}`` — sorted by density, densest first.  Clusters smaller
+    than ``k`` score density 0 (they cannot hold a single k-clique).
+    """
+    from math import comb
+
+    from repro.engine.session import GraphSession
+    from repro.graph.sample import induced_subgraph
+
+    rows = []
+    for cluster in range(result.num_clusters):
+        members = np.flatnonzero(result.labels == cluster)
+        size = int(len(members))
+        if size < k:
+            rows.append(
+                {"cluster": cluster, "size": size, "cliques": 0, "density": 0.0}
+            )
+            continue
+        sub, _ = induced_subgraph(graph, members)
+        with GraphSession(sub) as session:
+            cliques = session.count_motif(f"clique-{k}", backend=backend).total
+        rows.append(
+            {
+                "cluster": cluster,
+                "size": size,
+                "cliques": cliques,
+                "density": cliques / comb(size, k),
+            }
+        )
+    rows.sort(key=lambda r: r["density"], reverse=True)
+    return rows

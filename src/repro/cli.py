@@ -3,8 +3,12 @@
 Commands
 --------
 ``stats``       Table 1/2 statistics for a dataset stand-in or edge-list file.
-``count``       Exact all-edge counting (optionally saving the counts).
-``plan``        Inspect the hybrid planner's kernel buckets for a graph.
+``count``       Exact all-edge counting (optionally saving the counts), or a
+                registered motif total via ``--motif clique-4`` /
+                ``--motif biclique-2-2``.
+``plan``        Inspect the hybrid planner's kernel buckets for a graph
+                (``--motif`` prices a motif count instead).
+``backends``    The backend registry: capabilities, availability, motifs.
 ``update``      Apply edge insertions/deletions with live count maintenance.
 ``serve``       Long-lived HTTP/JSON counting service with request batching.
 ``stream``      Sliding-window counting over a timestamped edge stream.
@@ -61,8 +65,11 @@ def _cmd_stats(args) -> int:
 def _cmd_count(args) -> int:
     from repro.core import verify_counts
     from repro.engine import GraphSession
+    from repro.motif import DEFAULT_MOTIF
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
+    if args.motif != DEFAULT_MOTIF:
+        return _count_motif(args, graph)
     backend = args.backend
     if backend == "auto" and args.shard_mb is not None:
         backend = "sharded"
@@ -95,11 +102,43 @@ def _cmd_count(args) -> int:
     return 0
 
 
+def _count_motif(args, graph) -> int:
+    """``count --motif``: one motif total through the session runners."""
+    from repro.engine import GraphSession
+    from repro.errors import VerificationError
+    from repro.motif import get_motif
+
+    spec = get_motif(args.motif)  # unknown motif -> AlgorithmError, exit 4
+    with GraphSession(graph) as session:
+        result = session.count_motif(args.motif, backend=args.backend)
+        print(f"graph            : {graph}")
+        print(f"motif            : {result.motif} (arity {spec.arity})")
+        print(f"backend          : {result.backend}")
+        print(f"occurrences      : {result.total}")
+        if args.verify:
+            structure = (
+                session.bipartite_view().graph
+                if spec.structure == "bipartite"
+                else graph
+            )
+            reference = spec.reference(structure)
+            if reference != result.total:
+                raise VerificationError(
+                    f"motif {result.motif} backend {result.backend!r} counted "
+                    f"{result.total}, brute force counted {reference}"
+                )
+            print("verification     : passed (brute force)")
+    return 0
+
+
 def _cmd_plan(args) -> int:
     from repro.engine import GraphSession
+    from repro.motif import DEFAULT_MOTIF
     from repro.plan import plan_cache_stats
 
     graph = _load_graph(args.graph, args.scale, reordered=False)
+    if args.motif != DEFAULT_MOTIF:
+        return _plan_motif(args, graph)
     with GraphSession(graph) as session:
         plan = session.plan(args.skew_threshold, cover=not args.no_cover)
         print(f"graph            : {graph}")
@@ -124,6 +163,80 @@ def _cmd_plan(args) -> int:
         f"plan cache       : {cache.hits} hits, {cache.misses} misses, "
         f"{cache.size} cached"
     )
+    return 0
+
+
+def _plan_motif(args, graph) -> int:
+    """``plan --motif``: price the motif count without running it."""
+    from repro.engine import GraphSession
+    from repro.errors import AlgorithmError
+    from repro.motif import get_motif, plan_cliques
+    from repro.motif.biclique import biclique_plan_summary
+
+    spec = get_motif(args.motif)
+    with GraphSession(graph) as session:
+        print(f"graph            : {graph}")
+        if spec.family == "clique":
+            plan = plan_cliques(
+                graph,
+                spec.params[0],
+                dag=session.oriented_dag(),
+                skew_threshold=args.skew_threshold,
+            )
+            print(plan.format())
+        elif spec.family == "biclique":
+            print(
+                biclique_plan_summary(
+                    session.bipartite_view().graph, *spec.params
+                )
+            )
+        else:  # pragma: no cover - every non-edge family is handled above
+            raise AlgorithmError(
+                f"motif {spec.name!r} has no dedicated planner; "
+                "omit --motif for the common-neighbor plan"
+            )
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.engine import default_registry
+    from repro.motif import motif_specs
+
+    reg = default_registry()
+    print(
+        f"{'backend':<16s} {'algorithms':<10s} {'capabilities':<30s} "
+        f"{'motifs':<10s} available"
+    )
+    for s in reg.specs():
+        caps = [
+            label
+            for flag, label in (
+                (s.supports_stats, "stats"),
+                (s.supports_num_workers, "workers"),
+                (s.dynamic_compatible, "dynamic"),
+                (s.supports_edge_subset, "subset"),
+                (not s.exact, "approx"),
+            )
+            if flag
+        ]
+        extra = sorted(s.motifs - {"common-neighbors"})
+        if s.is_available():
+            avail = "yes"
+        else:
+            avail = f"no (requires {s.requires or 'an optional dependency'})"
+        print(
+            f"{s.name:<16s} {','.join(sorted(s.algorithms)) or '-':<10s} "
+            f"{','.join(caps) or '-':<30s} "
+            f"{'+' + str(len(extra)) if extra else '-':<10s} {avail}"
+        )
+    print()
+    print(f"{'motif':<16s} {'arity':<6s} {'structure':<10s} {'runners':<22s} default")
+    for m in motif_specs():
+        runners = ",".join(m.runner_names()) or "(count backends)"
+        print(
+            f"{m.name:<16s} {m.arity:<6d} {m.structure:<10s} "
+            f"{runners:<22s} {m.default_backend}"
+        )
     return 0
 
 
@@ -516,6 +629,7 @@ def _cmd_datasets(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.engine import default_registry
+    from repro.motif import motif_specs
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -523,6 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     backend_choices = ["auto", *default_registry().names()]
+    # Motif runners that are not also counting backends (e.g. the
+    # biclique ``hash`` path) are still valid ``--backend`` spellings.
+    for m in motif_specs():
+        for runner in m.runner_names():
+            if runner not in backend_choices:
+                backend_choices.append(runner)
     dynamic_choices = ["auto", *default_registry().dynamic_backends()]
 
     def add_graph_args(p):
@@ -538,6 +658,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(p)
     p.add_argument("--algorithm", default="auto")
     p.add_argument("--backend", default="auto", choices=backend_choices)
+    p.add_argument("--motif", default="common-neighbors",
+                   help="count a registered motif instead (clique-3/4/5, "
+                        "biclique-2-2 ... 3-3); see 'repro backends'")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the parallel backend "
                         "(implies --backend parallel)")
@@ -570,7 +693,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker processes")
     p.add_argument("--no-cover", action="store_true",
                    help="plan without the cover-edge pre-pass bucket")
+    p.add_argument("--motif", default="common-neighbors",
+                   help="price a motif count instead (clique-k buckets DAG "
+                        "edges; biclique-p-q prices subset emission)")
     p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser(
+        "backends",
+        help="list registered backends, capabilities, and motifs",
+    )
+    p.set_defaults(fn=_cmd_backends)
 
     p = sub.add_parser(
         "update", help="apply edge insertions/deletions with live counts"

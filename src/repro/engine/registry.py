@@ -102,6 +102,14 @@ class BackendSpec:
         marks estimators (``stream-sampled``): they are excluded from
         bit-exact agreement sweeps and cross-checked statistically
         instead (fuzz path + the streaming statistical test harness).
+    ``motifs``
+        Names of the registered motifs (see :mod:`repro.motif.spec`)
+        whose structure this backend's kernels execute.  Every backend
+        counts the paper's per-edge common neighbors; backends whose
+        intersection primitive also drives the oriented-DAG clique
+        recursion or the bipartite subset emission declare those motif
+        names too, and :meth:`BackendRegistry.check_motif` rejects
+        mismatches (``sharded`` + ``clique-4``) with the capable list.
     """
 
     name: str
@@ -116,6 +124,7 @@ class BackendSpec:
     available: object = None
     requires: str = ""
     exact: bool = True
+    motifs: frozenset = frozenset({"common-neighbors"})
 
     def is_available(self) -> bool:
         """Probe the optional availability hook (no hook → available)."""
@@ -182,6 +191,26 @@ class BackendRegistry:
 
     def dynamic_backends(self) -> list[str]:
         return [s.name for s in self._specs.values() if s.dynamic_compatible]
+
+    def motif_backends(self, motif: str) -> list[str]:
+        """Backends declaring they execute ``motif``'s structure."""
+        return [s.name for s in self._specs.values() if motif in s.motifs]
+
+    def check_motif(self, backend: str, motif: str) -> BackendSpec:
+        """Raise unless ``backend`` declares it can count ``motif``.
+
+        Mirrors :meth:`check_available`: the error names the capable
+        backends so CLI users get an actionable exit-code-4 message
+        instead of a KeyError deep in a runner table.
+        """
+        spec = self.get(backend)
+        if motif not in spec.motifs:
+            raise AlgorithmError(
+                f"backend {backend!r} does not count motif {motif!r}; "
+                f"motif-capable backends: {self.motif_backends(motif) or 'none'} "
+                f"(use backend='auto' for the motif's default runner)"
+            )
+        return spec
 
     def available_names(self) -> list[str]:
         """Names of the backends whose dependencies are present."""
@@ -432,12 +461,22 @@ def _parallel_fuzz_variants() -> tuple:
     return tuple(variants)
 
 
+#: Motif families whose runners reuse the named kernels (the clique
+#: runner table in :mod:`repro.motif.clique` uses the same names).
+_CLIQUE_MOTIFS = frozenset({f"clique-{k}" for k in (3, 4, 5)})
+_BICLIQUE_MOTIFS = frozenset(
+    {f"biclique-{p}-{q}" for p, q in ((2, 2), (2, 3), (3, 2), (3, 3))}
+)
+_CN = frozenset({"common-neighbors"})
+
+
 def _builtin_specs() -> list[BackendSpec]:
     return [
         BackendSpec(
             name="merge",
             run=_run_merge,
             algorithms=frozenset({"M", "MPS"}),
+            motifs=_CN | _CLIQUE_MOTIFS,
             description="per-edge searchsorted merge (reference path)",
         ),
         BackendSpec(
@@ -445,6 +484,7 @@ def _builtin_specs() -> list[BackendSpec]:
             run=_run_bitmap,
             algorithms=frozenset({"BMP"}),
             supports_edge_subset=True,
+            motifs=_CN | _CLIQUE_MOTIFS | _BICLIQUE_MOTIFS,
             description="degree-bucketed BMP mark-and-probe structure",
         ),
         BackendSpec(
@@ -510,6 +550,7 @@ def _builtin_specs() -> list[BackendSpec]:
                 PathVariant(suffix="warm"),
                 PathVariant(suffix="nocover", opts={"cover": False}),
             ),
+            motifs=_CN | _CLIQUE_MOTIFS,
             description="cost-model planner splitting edges across kernels",
         ),
         BackendSpec(

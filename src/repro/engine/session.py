@@ -22,6 +22,8 @@ artifact            invalidated by
 ``shared_export``   structure (shared-memory blocks are unlinked)
 ``worker_pool``     structure / a different worker configuration
 ``mark_buffer``     vertex-count change only (survives edit batches)
+``oriented_dag``    structure (degree ranks shift under edits)
+``bipartite_view``  structure (an edit can create or break 2-colorability)
 =================  =====================================================
 
 Invalidation is **selective** and driven by the dynamic overlay: a batch
@@ -55,6 +57,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import warnings
 import weakref
 from dataclasses import dataclass
@@ -91,12 +94,21 @@ def _budget_from_env() -> int | None:
 
 @dataclass
 class ArtifactStats:
-    """Build/reuse telemetry for one session artifact."""
+    """Build/reuse telemetry for one session artifact.
+
+    ``build_seconds`` accumulates wall time across rebuilds (a
+    structure edit forces a rebuild that is counted again);
+    ``last_build_seconds`` keeps only the most recent build so
+    :meth:`GraphSession.profile` can separate "expensive once" from
+    "expensive every invalidation".
+    """
 
     builds: int = 0
     hits: int = 0
     invalidations: int = 0
     updates: int = 0
+    build_seconds: float = 0.0
+    last_build_seconds: float = 0.0
 
 
 class _Artifact:
@@ -203,9 +215,13 @@ class GraphSession:
             if art is not None:
                 stats.hits += 1
                 return art.value
+            t0 = time.perf_counter()
             value = build()
+            elapsed = time.perf_counter() - t0
             self._artifacts[name] = _Artifact(value, frozenset(deps), close, update)
             stats.builds += 1
+            stats.build_seconds += elapsed
+            stats.last_build_seconds = elapsed
             return value
 
     def invalidate(self, *names: str) -> None:
@@ -228,6 +244,38 @@ class GraphSession:
     def artifact_stats(self) -> dict[str, ArtifactStats]:
         """Per-artifact build/hit/invalidation counters (telemetry)."""
         return dict(self._stats)
+
+    def profile(self) -> dict:
+        """Build-time summary: where this session's wall time went.
+
+        Returns ``{"artifacts": {name: {...}}, "total_build_seconds",
+        "total_builds"}`` with artifacts sorted by cumulative build time,
+        most expensive first — the first place to look when a warm
+        session's first request is slow.
+        """
+        with self._lock:
+            rows = {
+                name: {
+                    "builds": s.builds,
+                    "hits": s.hits,
+                    "invalidations": s.invalidations,
+                    "updates": s.updates,
+                    "build_seconds": s.build_seconds,
+                    "last_build_seconds": s.last_build_seconds,
+                }
+                for name, s in sorted(
+                    self._stats.items(),
+                    key=lambda kv: kv[1].build_seconds,
+                    reverse=True,
+                )
+            }
+            return {
+                "artifacts": rows,
+                "total_build_seconds": sum(
+                    r["build_seconds"] for r in rows.values()
+                ),
+                "total_builds": sum(r["builds"] for r in rows.values()),
+            }
 
     def cached_artifacts(self) -> list[str]:
         """Names of the artifacts currently held warm."""
@@ -315,6 +363,36 @@ class GraphSession:
             "mark_buffer",
             lambda: np.zeros(self._graph.num_vertices, dtype=bool),
             deps={"size"},
+        )
+
+    def oriented_dag(self) -> CSRGraph:
+        """The degree-ascending DAG orientation of the graph
+        (:func:`repro.motif.clique.orient_dag`), memoized for every
+        clique-family motif count.  Structure-keyed: any edit batch drops
+        it, because one inserted edge can flip degree ranks globally.
+        """
+        from repro.motif.clique import orient_dag
+
+        return self._memo(
+            "oriented_dag",
+            lambda: orient_dag(self._graph),
+            deps={"structure"},
+        )
+
+    def bipartite_view(self):
+        """The 2-colored :class:`~repro.graph.bipartite.BipartiteProjection`
+        of the graph, memoized for every biclique-family motif count.
+
+        Raises :class:`~repro.errors.AlgorithmError` when the graph has
+        an odd cycle; the failure is *not* cached, so a session whose
+        graph becomes bipartite after edits succeeds on retry.
+        """
+        from repro.graph.bipartite import bipartite_from_graph
+
+        return self._memo(
+            "bipartite_view",
+            lambda: bipartite_from_graph(self._graph),
+            deps={"structure"},
         )
 
     def shared_export(self):
@@ -536,6 +614,59 @@ class GraphSession:
                 cover=cover,
             )
             return self._wrap_result(counts, stats)
+
+    def count_motif(self, motif: str = "common-neighbors", backend: str = "auto", **opts):
+        """Count one registered motif; returns a
+        :class:`~repro.motif.spec.MotifResult`.
+
+        The edge family (``common-neighbors``) routes through
+        :meth:`count` — its backends, stats, and parallel options all
+        apply, and the result carries the full per-edge
+        :class:`~repro.core.result.EdgeCounts` with the triangle total.
+        Clique motifs run on the memoized :meth:`oriented_dag`, biclique
+        motifs on the memoized :meth:`bipartite_view`; ``backend="auto"``
+        picks the motif's default runner, and a backend that cannot count
+        the motif raises :class:`~repro.errors.AlgorithmError` naming the
+        capable ones (CLI exit code 4).
+        """
+        from repro.motif.spec import MotifResult, get_motif
+
+        spec = get_motif(motif)
+        if spec.family == "edge":
+            counts = self.count(backend=backend, **opts)
+            return MotifResult(
+                motif=spec.name,
+                params=spec.params,
+                total=counts.triangle_count(),
+                backend=backend,
+                edge_counts=counts,
+            )
+        with self._lock:
+            self._check_open("count motif on")
+            name = spec.default_backend if backend == "auto" else backend
+            runner = spec.runners.get(name)
+            if runner is None:
+                if name in self.registry:
+                    # A registered counting backend whose kernels do not
+                    # execute this motif's structure.
+                    self.registry.check_motif(name, spec.name)
+                raise AlgorithmError(
+                    f"unknown backend {name!r} for motif {spec.name!r}; "
+                    f"its runners are {spec.runner_names()} and the "
+                    f"motif-capable counting backends are "
+                    f"{self.registry.motif_backends(spec.name) or 'none'}"
+                )
+            if spec.structure == "dag":
+                structure = self.oriented_dag()
+            else:
+                structure = self.bipartite_view().graph
+            total = runner(structure, **opts)
+            return MotifResult(
+                motif=spec.name,
+                params=spec.params,
+                total=int(total),
+                backend=name,
+            )
 
     def _auto_backend(self) -> str:
         """``backend="auto"`` resolution: hybrid, unless the CSR export

@@ -422,6 +422,134 @@ def _run_stream_sampled_check(graph: CSRGraph) -> np.ndarray:
     return batch.symmetric_assign(graph, cnt)
 
 
+def _case_bipartite(graph: CSRGraph):
+    """The case's ``u < v`` edges read as left→right bipartite pairs.
+
+    Both sides carry the full vertex range, so every CSR-deduped edge
+    becomes one bipartite edge regardless of 2-colorability — a
+    deterministic bipartite instance for every fuzz case.
+    """
+    from repro.graph.bipartite import bipartite_from_pairs
+
+    src = graph.edge_sources()
+    mask = src < graph.dst
+    pairs = list(zip(src[mask].tolist(), graph.dst[mask].tolist()))
+    n = graph.num_vertices
+    return bipartite_from_pairs(pairs, num_left=n, num_right=n)
+
+
+def _run_motif_clique_seq(graph: CSRGraph) -> np.ndarray:
+    """Cross-check the sequential clique runners against brute force.
+
+    ``merge`` and ``bitmap`` must match :func:`brute_force_cliques` for
+    every supported k, and the k=3 total must reconcile exactly with the
+    common-neighbor triangle identity ``Σ counts / 6`` — the bridge
+    between the motif suite and the paper's original workload.  Returns
+    merge-kernel CN counts for the outer bit-exact comparison.
+    """
+    from repro.kernels import batch
+    from repro.motif.clique import brute_force_cliques, count_cliques, orient_dag
+
+    dag = orient_dag(graph)
+    for k in (3, 4, 5):
+        expected = brute_force_cliques(graph, k)
+        for backend in ("merge", "bitmap"):
+            got = count_cliques(graph, k, backend=backend, dag=dag)
+            if got != expected:
+                raise InvariantViolation(
+                    f"clique-{k} runner {backend!r} counted {got}, "
+                    f"brute force counted {expected}"
+                )
+    counts = batch.count_all_edges_merge(graph)
+    triangles = int(counts.sum()) // 6
+    k3 = count_cliques(graph, 3, backend="bitmap", dag=dag)
+    if k3 != triangles:
+        raise InvariantViolation(
+            f"clique-3 total {k3} != CN triangle identity {triangles}"
+        )
+    return counts
+
+
+def _run_motif_clique_planner(graph: CSRGraph) -> np.ndarray:
+    """The hybrid clique runner, at the default and an aggressive skew
+    threshold (forcing the gallop bucket to fill), against brute force."""
+    from repro.kernels import batch
+    from repro.motif.clique import brute_force_cliques, count_cliques, orient_dag
+
+    dag = orient_dag(graph)
+    for k in (3, 4, 5):
+        expected = brute_force_cliques(graph, k)
+        for threshold in (None, 1.5):
+            got = count_cliques(
+                graph, k, backend="hybrid", dag=dag, skew_threshold=threshold
+            )
+            if got != expected:
+                raise InvariantViolation(
+                    f"clique-{k} hybrid (skew={threshold}) counted {got}, "
+                    f"brute force counted {expected}"
+                )
+    return batch.count_all_edges_merge(graph)
+
+
+#: Deterministic work bound for the p=3 biclique sweep: cases whose
+#: subset-emission cost Σ_r C(d_r, 3) exceeds this skip p=3 (p=2 always
+#: runs) so one dense generated case cannot stall the fuzz budget.
+_BICLIQUE_P3_EMISSION_BOUND = 50_000
+
+
+def _run_motif_biclique(graph: CSRGraph) -> np.ndarray:
+    """Cross-check both biclique runners against brute force.
+
+    Runs on the case's edges read as bipartite pairs (every case yields
+    an instance), plus the 2-coloring projection when the graph admits
+    one — where a successful projection with a nonzero triangle count is
+    itself an invariant violation (triangles are odd cycles).
+    """
+    from math import comb
+
+    from repro.core.verify import brute_force_counts
+    from repro.errors import AlgorithmError
+    from repro.graph.bipartite import bipartite_from_graph
+    from repro.motif.biclique import brute_force_bicliques, count_bicliques
+
+    bip = _case_bipartite(graph)
+    degs = bip.right_degrees
+    p3_cost = sum(comb(int(d), 3) for d in degs.tolist())
+    shapes = [(1, 2), (2, 2), (2, 3)]
+    if p3_cost <= _BICLIQUE_P3_EMISSION_BOUND:
+        shapes.append((3, 2))
+    for p, q in shapes:
+        expected = brute_force_bicliques(bip, p, q)
+        for backend in ("hash", "bitmap"):
+            got = count_bicliques(bip, p, q, backend=backend)
+            if got != expected:
+                raise InvariantViolation(
+                    f"biclique-{p}-{q} runner {backend!r} counted {got}, "
+                    f"brute force counted {expected}"
+                )
+
+    counts = brute_force_counts(graph)
+    try:
+        view = bipartite_from_graph(graph)
+    except AlgorithmError:
+        pass  # an odd cycle: no bipartite view to check
+    else:
+        if int(counts.sum()) != 0:
+            raise InvariantViolation(
+                "graph 2-colored successfully but has triangles "
+                "(odd cycles) — the bipartite projection is wrong"
+            )
+        expected = brute_force_bicliques(view.graph, 2, 2)
+        for backend in ("hash", "bitmap"):
+            got = count_bicliques(view.graph, 2, 2, backend=backend)
+            if got != expected:
+                raise InvariantViolation(
+                    f"projected biclique-2-2 runner {backend!r} counted "
+                    f"{got}, brute force counted {expected}"
+                )
+    return counts
+
+
 def _run_dynamic_replay(
     case: FuzzCase, graph: CSRGraph
 ) -> tuple[CSRGraph, np.ndarray]:
@@ -496,6 +624,9 @@ def _register_builtin_paths() -> None:
     register_path("dynamic-replay", _run_dynamic_replay, kind="dynamic")
     register_path("stream-window", _run_stream_window, kind="dynamic", stride=2)
     register_path("stream-sampled", _run_stream_sampled_check, stride=2)
+    register_path("motif-clique-seq", _run_motif_clique_seq, stride=2)
+    register_path("motif-clique-planner", _run_motif_clique_planner, stride=2)
+    register_path("motif-biclique", _run_motif_biclique, stride=2)
 
 
 def refresh_paths() -> list[str]:

@@ -189,6 +189,36 @@ def _motif_random(rng, n: int) -> list[tuple[int, int]]:
     return list(zip(src[keep].tolist(), dst[keep].tolist()))
 
 
+def _motif_clique_dense(rng, n: int) -> list[tuple[int, int]]:
+    """Several cliques sharing a common core — adversarial for k-clique
+    counting: deep DAG recursion levels plus many cliques counted through
+    more than one seed edge if the orientation were wrong."""
+    core_size = int(rng.integers(2, min(n, 5) + 1))
+    core = rng.choice(n, size=core_size, replace=False)
+    pairs: list[tuple[int, int]] = []
+    for _ in range(int(rng.integers(2, 5))):
+        extra = int(rng.integers(1, min(n, 5)))
+        others = rng.choice(n, size=extra, replace=False)
+        members = np.unique(np.concatenate([core, others]))
+        pairs.extend(
+            (int(members[i]), int(members[j]))
+            for i in range(len(members))
+            for j in range(i + 1, len(members))
+        )
+    return pairs
+
+
+def _motif_bipartite_skewed(rng, n: int) -> list[tuple[int, int]]:
+    """A complete 2×k (or 3×k) block — maximal biclique density with one
+    side tiny: the subset-emission hot case (huge C(d_r, p) per right
+    vertex) and a guaranteed-bipartite region of the case graph."""
+    small = int(rng.integers(2, 4))
+    big = int(rng.integers(2, min(max(n - small, 3), 14)))
+    chosen = rng.choice(n, size=min(small + big, n), replace=False)
+    left, right = chosen[:small], chosen[small:]
+    return [(int(u), int(v)) for u in left for v in right]
+
+
 _MOTIFS = (
     _motif_star,
     _motif_clique,
@@ -196,6 +226,8 @@ _MOTIFS = (
     _motif_path,
     _motif_powerlaw,
     _motif_random,
+    _motif_clique_dense,
+    _motif_bipartite_skewed,
 )
 
 

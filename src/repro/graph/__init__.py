@@ -17,6 +17,13 @@ from repro.graph.sample import (
     sample_edges,
     largest_degree_core,
 )
+from repro.graph.bipartite import (
+    BipartiteGraph,
+    BipartiteProjection,
+    bipartite_from_graph,
+    bipartite_from_pairs,
+    validate_bipartite,
+)
 
 __all__ = [
     "CSRGraph",
@@ -38,4 +45,9 @@ __all__ = [
     "ego_network",
     "sample_edges",
     "largest_degree_core",
+    "BipartiteGraph",
+    "BipartiteProjection",
+    "bipartite_from_graph",
+    "bipartite_from_pairs",
+    "validate_bipartite",
 ]

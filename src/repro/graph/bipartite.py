@@ -1,0 +1,396 @@
+"""Bipartite CSR storage: side-tagged adjacency for (p,q)-biclique counting.
+
+A :class:`BipartiteGraph` keeps two vertex namespaces — ``num_left`` left
+vertices and ``num_right`` right vertices — and one edge set between
+them, stored as *two* CSR adjacencies (left→right and its mirror
+right→left) so both the subset-emission kernel (iterates right rows) and
+the two-hop enumeration kernel (alternates sides) stream sorted rows.
+
+Construction mirrors :func:`repro.graph.build.edges_to_csr`: raw pair
+lists are deduplicated and validated in vectorized numpy.  Unlike the
+unipartite CSR there is no symmetrization and no self-loop concept — the
+two endpoints of an edge live in different namespaces, so ``(3, 3)`` is a
+perfectly good edge.
+
+Calibrated generators live here too (bipartite siblings of the
+R-MAT/Chung–Lu family in :mod:`repro.graph.generators`): power-law
+left/right degree profiles for review/engagement-shaped data and a
+basket-style user×product sampler for the recommendation app.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError, GraphFormatError
+from repro.graph.csr import OFFSET_DTYPE, VERTEX_DTYPE, CSRGraph
+
+__all__ = [
+    "BipartiteGraph",
+    "bipartite_from_pairs",
+    "validate_bipartite",
+    "bipartite_from_graph",
+    "BipartiteProjection",
+    "bipartite_chung_lu",
+    "bipartite_uniform",
+    "purchase_bipartite",
+]
+
+
+def _side_csr(src, dst, num_src: int, num_dst: int):
+    """Dedup ``src→dst`` pairs into one CSR side (offsets, sorted rows)."""
+    key = src.astype(np.int64) * num_dst + dst.astype(np.int64)
+    key = np.unique(key)
+    src = (key // num_dst).astype(np.int64)
+    dst = (key % num_dst).astype(VERTEX_DTYPE)
+    counts = np.bincount(src, minlength=num_src)
+    offsets = np.zeros(num_src + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, dst
+
+
+class BipartiteGraph:
+    """Immutable bipartite graph in dual-CSR form.
+
+    ``l_offsets``/``l_dst`` index right-neighbor rows by left vertex;
+    ``r_offsets``/``r_dst`` are the exact mirror.  Rows are strictly
+    ascending (no duplicate edges).  Use :func:`bipartite_from_pairs` to
+    build one from a raw (possibly duplicate-dense) pair list.
+    """
+
+    __slots__ = (
+        "num_left",
+        "num_right",
+        "l_offsets",
+        "l_dst",
+        "r_offsets",
+        "r_dst",
+    )
+
+    def __init__(
+        self,
+        num_left: int,
+        num_right: int,
+        l_offsets: np.ndarray,
+        l_dst: np.ndarray,
+        r_offsets: np.ndarray | None = None,
+        r_dst: np.ndarray | None = None,
+        validate: bool = True,
+    ):
+        self.num_left = int(num_left)
+        self.num_right = int(num_right)
+        self.l_offsets = np.asarray(l_offsets, dtype=OFFSET_DTYPE)
+        self.l_dst = np.asarray(l_dst, dtype=VERTEX_DTYPE)
+        if r_offsets is None or r_dst is None:
+            src = np.repeat(
+                np.arange(self.num_left, dtype=np.int64),
+                np.diff(self.l_offsets),
+            )
+            self.r_offsets, self.r_dst = _side_csr(
+                self.l_dst, src, self.num_right, self.num_left
+            )
+        else:
+            self.r_offsets = np.asarray(r_offsets, dtype=OFFSET_DTYPE)
+            self.r_dst = np.asarray(r_dst, dtype=VERTEX_DTYPE)
+        if validate:
+            validate_bipartite(self)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        return int(len(self.l_dst))
+
+    @property
+    def left_degrees(self) -> np.ndarray:
+        return np.diff(self.l_offsets)
+
+    @property
+    def right_degrees(self) -> np.ndarray:
+        return np.diff(self.r_offsets)
+
+    def left_neighbors(self, u: int) -> np.ndarray:
+        """Sorted right-side neighbors of left vertex ``u`` (a view)."""
+        return self.l_dst[self.l_offsets[u] : self.l_offsets[u + 1]]
+
+    def right_neighbors(self, r: int) -> np.ndarray:
+        """Sorted left-side neighbors of right vertex ``r`` (a view)."""
+        return self.r_dst[self.r_offsets[r] : self.r_offsets[r + 1]]
+
+    def has_edge(self, u: int, r: int) -> bool:
+        nbrs = self.left_neighbors(u)
+        i = np.searchsorted(nbrs, r)
+        return bool(i < len(nbrs) and nbrs[i] == r)
+
+    def memory_bytes(self) -> int:
+        return (
+            self.l_offsets.nbytes
+            + self.l_dst.nbytes
+            + self.r_offsets.nbytes
+            + self.r_dst.nbytes
+        )
+
+    def to_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(left, right)`` endpoint arrays, one row per edge."""
+        left = np.repeat(
+            np.arange(self.num_left, dtype=np.int64), np.diff(self.l_offsets)
+        )
+        return left, self.l_dst.astype(np.int64)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return (
+            self.num_left == other.num_left
+            and self.num_right == other.num_right
+            and np.array_equal(self.l_offsets, other.l_offsets)
+            and np.array_equal(self.l_dst, other.l_dst)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(|L|={self.num_left}, |R|={self.num_right}, "
+            f"|E|={self.num_edges})"
+        )
+
+
+def validate_bipartite(bip: BipartiteGraph) -> None:
+    """Structural invariants of one :class:`BipartiteGraph`.
+
+    Checks each side's CSR independently (monotone offsets, in-range ids,
+    strictly ascending rows — which rejects duplicate edges) plus the
+    cross-side consistency that makes the mirror an actual mirror: both
+    adjacencies must describe the same edge count.
+    """
+    if bip.num_left < 0 or bip.num_right < 0:
+        raise GraphFormatError("vertex counts must be non-negative")
+    for side, offsets, dst, num_rows, num_ids in (
+        ("left", bip.l_offsets, bip.l_dst, bip.num_left, bip.num_right),
+        ("right", bip.r_offsets, bip.r_dst, bip.num_right, bip.num_left),
+    ):
+        if offsets.shape != (num_rows + 1,):
+            raise GraphFormatError(
+                f"{side} offsets must have {num_rows + 1} entries, "
+                f"got {offsets.shape}"
+            )
+        if len(offsets) and (offsets[0] != 0 or offsets[-1] != len(dst)):
+            raise GraphFormatError(
+                f"{side} offsets must start at 0 and end at |E|={len(dst)}"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise GraphFormatError(f"{side} offsets must be non-decreasing")
+        if len(dst) and (dst.min() < 0 or dst.max() >= num_ids):
+            raise GraphFormatError(
+                f"{side} adjacency ids must lie in [0, {num_ids})"
+            )
+        # Strictly ascending within each row: a repeated id means the same
+        # cross-side edge was stored twice.
+        row = np.repeat(np.arange(num_rows, dtype=np.int64), np.diff(offsets))
+        if len(dst) > 1:
+            same_row = row[1:] == row[:-1]
+            if np.any(same_row & (np.diff(dst.astype(np.int64)) <= 0)):
+                raise GraphFormatError(
+                    f"{side} adjacency rows must be strictly ascending "
+                    "(duplicate cross-side edge?)"
+                )
+    if len(bip.l_dst) != len(bip.r_dst):
+        raise GraphFormatError(
+            f"side edge counts disagree: left stores {len(bip.l_dst)}, "
+            f"right stores {len(bip.r_dst)}"
+        )
+    # The mirror must be the *exact* transpose, not merely the same size:
+    # rebuild the right CSR from the left rows and compare.
+    src = np.repeat(
+        np.arange(bip.num_left, dtype=np.int64), np.diff(bip.l_offsets)
+    )
+    r_offsets, r_dst = _side_csr(bip.l_dst, src, bip.num_right, bip.num_left)
+    if not (
+        np.array_equal(r_offsets, bip.r_offsets)
+        and np.array_equal(r_dst, bip.r_dst)
+    ):
+        raise GraphFormatError(
+            "right CSR is not the transpose of the left CSR"
+        )
+
+
+def bipartite_from_pairs(
+    pairs, num_left: int | None = None, num_right: int | None = None
+) -> BipartiteGraph:
+    """Build a :class:`BipartiteGraph` from raw ``(left, right)`` pairs.
+
+    Duplicate pairs collapse (like :func:`~repro.graph.build.edges_to_csr`);
+    negative or out-of-range ids raise :class:`GraphFormatError`.  Vertex
+    counts default to one past the largest used id on each side.
+    """
+    arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs)
+    if arr.size == 0:
+        arr = np.empty((0, 2), dtype=np.int64)
+    arr = arr.reshape(-1, 2).astype(np.int64)
+    left, right = arr[:, 0], arr[:, 1]
+    if len(arr) and (left.min() < 0 or right.min() < 0):
+        raise GraphFormatError("vertex ids must be non-negative")
+    nl = int(left.max()) + 1 if num_left is None and len(arr) else (num_left or 0)
+    nr = int(right.max()) + 1 if num_right is None and len(arr) else (num_right or 0)
+    if len(arr) and (left.max() >= nl or right.max() >= nr):
+        raise GraphFormatError(
+            f"pair ids exceed declared sizes (|L|={nl}, |R|={nr})"
+        )
+    l_offsets, l_dst = _side_csr(left, right, nl, max(nr, 1))
+    bip = BipartiteGraph(nl, nr, l_offsets, l_dst, validate=False)
+    validate_bipartite(bip)
+    return bip
+
+
+class BipartiteProjection:
+    """A unipartite graph 2-colored into a bipartite view.
+
+    ``graph`` is the :class:`BipartiteGraph`; ``left_ids``/``right_ids``
+    map its compact side-local ids back to the original vertex ids.
+    """
+
+    __slots__ = ("graph", "left_ids", "right_ids")
+
+    def __init__(self, graph: BipartiteGraph, left_ids, right_ids):
+        self.graph = graph
+        self.left_ids = np.asarray(left_ids, dtype=np.int64)
+        self.right_ids = np.asarray(right_ids, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"BipartiteProjection({self.graph!r})"
+
+
+def bipartite_from_graph(graph: CSRGraph) -> BipartiteProjection:
+    """2-color a unipartite CSR into a :class:`BipartiteProjection`.
+
+    BFS-colors every connected component; an odd cycle raises
+    :class:`AlgorithmError` (the graph has no bipartite structure to
+    count bicliques on).  Deterministic side rule: each component's
+    smallest vertex id goes on the left, so the same graph always
+    produces the same projection.  Isolated vertices join the left side.
+    """
+    n = graph.num_vertices
+    color = np.full(n, -1, dtype=np.int8)
+    for root in range(n):
+        if color[root] != -1:
+            continue
+        color[root] = 0
+        frontier = np.array([root], dtype=np.int64)
+        while len(frontier):
+            nxt = []
+            for u in frontier.tolist():
+                nbrs = graph.neighbors(u)
+                want = 1 - color[u]
+                bad = nbrs[(color[nbrs] != -1) & (color[nbrs] != want)]
+                if len(bad):
+                    raise AlgorithmError(
+                        f"graph is not bipartite: edge ({u}, {int(bad[0])}) "
+                        "closes an odd cycle; biclique motifs need a "
+                        "2-colorable graph"
+                    )
+                fresh = nbrs[color[nbrs] == -1]
+                color[fresh] = want
+                nxt.append(fresh.astype(np.int64))
+            frontier = (
+                np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+            )
+    left_ids = np.flatnonzero(color == 0)
+    right_ids = np.flatnonzero(color == 1)
+    # Compact per-side relabeling, then every u<v edge becomes one pair.
+    side_rank = np.empty(n, dtype=np.int64)
+    side_rank[left_ids] = np.arange(len(left_ids))
+    side_rank[right_ids] = np.arange(len(right_ids))
+    src = graph.edge_sources()
+    mask = color[src] == 0  # each undirected edge once, from its left end
+    pairs = np.stack(
+        [side_rank[src[mask]], side_rank[graph.dst[mask]]], axis=1
+    )
+    bip = bipartite_from_pairs(
+        pairs, num_left=len(left_ids), num_right=len(right_ids)
+    )
+    return BipartiteProjection(bip, left_ids, right_ids)
+
+
+# --------------------------------------------------------------------- #
+# calibrated generators
+# --------------------------------------------------------------------- #
+def _powerlaw_probs(count: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    return weights / weights.sum()
+
+
+def bipartite_chung_lu(
+    num_left: int,
+    num_right: int,
+    num_edges: int,
+    left_exponent: float = 2.2,
+    right_exponent: float = 2.2,
+    seed: int = 0,
+) -> BipartiteGraph:
+    """Chung–Lu bipartite model: power-law degrees on *both* sides.
+
+    The bipartite sibling of :func:`repro.graph.generators.chung_lu_graph`
+    — endpoints are drawn independently with rank-power-law weights, then
+    relabeled so ids are uncorrelated with degree.  Review/engagement
+    data (users × items) fits exponents around 2–2.5 per side.
+    """
+    if num_left < 1 or num_right < 1:
+        raise ValueError("need at least one vertex per side")
+    rng = np.random.default_rng(seed)
+    m = int(num_edges * 1.15) + 16  # oversample: duplicates collapse
+    left = rng.choice(num_left, size=m, p=_powerlaw_probs(num_left, left_exponent))
+    right = rng.choice(
+        num_right, size=m, p=_powerlaw_probs(num_right, right_exponent)
+    )
+    lperm = rng.permutation(num_left)
+    rperm = rng.permutation(num_right)
+    return bipartite_from_pairs(
+        np.stack([lperm[left], rperm[right]], axis=1),
+        num_left=num_left,
+        num_right=num_right,
+    )
+
+
+def bipartite_uniform(
+    num_left: int, num_right: int, num_edges: int, seed: int = 0
+) -> BipartiteGraph:
+    """Uniform bipartite G(n_l, n_r, m) — the zero-skew extreme."""
+    if num_left < 1 or num_right < 1:
+        raise ValueError("need at least one vertex per side")
+    rng = np.random.default_rng(seed)
+    m = int(num_edges * 1.1) + 16
+    left = rng.integers(0, num_left, size=m)
+    right = rng.integers(0, num_right, size=m)
+    return bipartite_from_pairs(
+        np.stack([left, right], axis=1),
+        num_left=num_left,
+        num_right=num_right,
+    )
+
+
+def purchase_bipartite(
+    num_users: int,
+    num_products: int,
+    purchases_per_user: int = 6,
+    popularity_exponent: float = 1.6,
+    seed: int = 0,
+) -> BipartiteGraph:
+    """User×product purchase incidence (users left, products right).
+
+    The *unprojected* form of :func:`repro.graph.generators.
+    co_purchase_graph` — same popularity power law and basket size, but
+    keeping the two-mode structure so (p,q)-biclique counts (q products
+    co-engaged by p users) are computable directly.
+    """
+    if num_users < 1 or num_products < 1:
+        raise ValueError("need at least one user and one product")
+    rng = np.random.default_rng(seed)
+    probs = _powerlaw_probs(num_products, popularity_exponent)
+    baskets = rng.choice(
+        num_products, size=(num_users, purchases_per_user), p=probs
+    )
+    users = np.repeat(np.arange(num_users, dtype=np.int64), purchases_per_user)
+    return bipartite_from_pairs(
+        np.stack([users, baskets.ravel()], axis=1),
+        num_left=num_users,
+        num_right=num_products,
+    )

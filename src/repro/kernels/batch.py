@@ -154,8 +154,16 @@ def count_edges_bitmap(
         edge_rows = np.repeat(
             np.arange(rows, dtype=np.int64), tails[start:end]
         )
-        hits = mark[np.repeat(edge_rows, lens_g) * n + gcols]
-        sums = np.add.reduceat(hits, seg)
+        # ``reduceat`` returns the element *at* a zero-length segment's
+        # start instead of an empty sum, and a trailing empty segment
+        # would index past ``hits`` — both reachable on asymmetric
+        # (DAG-oriented) CSRs where ``N⁺(v)`` may be empty, so reduce
+        # only the non-empty segments.
+        sums = np.zeros(len(lens_g), dtype=np.int64)
+        nz = lens_g > 0
+        if nz.any():
+            hits = mark[np.repeat(edge_rows, lens_g) * n + gcols]
+            sums[nz] = np.add.reduceat(hits, seg[nz])
         if aligned:
             cnt[e_lo:e_hi] = sums
         else:

@@ -1,0 +1,49 @@
+"""Motif counting suite: k-cliques and (p,q)-bicliques behind MotifSpec.
+
+The per-edge intersection machinery the paper builds for common
+neighbors generalizes: a :class:`~repro.motif.spec.MotifSpec` names a
+structure to derive (oriented DAG, bipartite view), a brute-force
+reference, and a set of exact runners reusing the batch kernels.
+``GraphSession.count_motif``, ``repro count --motif``, and the serve
+layer's ``/count`` all resolve motifs through this registry.
+"""
+
+from repro.motif.spec import (
+    DEFAULT_MOTIF,
+    MotifResult,
+    MotifSpec,
+    get_motif,
+    motif_names,
+    motif_specs,
+    register_motif,
+    unregister_motif,
+)
+from repro.motif.clique import (
+    brute_force_cliques,
+    count_cliques,
+    orient_dag,
+    plan_cliques,
+)
+from repro.motif.biclique import (
+    bicliques_containing_pair,
+    brute_force_bicliques,
+    count_bicliques,
+)
+
+__all__ = [
+    "DEFAULT_MOTIF",
+    "MotifResult",
+    "MotifSpec",
+    "get_motif",
+    "motif_names",
+    "motif_specs",
+    "register_motif",
+    "unregister_motif",
+    "brute_force_cliques",
+    "count_cliques",
+    "orient_dag",
+    "plan_cliques",
+    "bicliques_containing_pair",
+    "brute_force_bicliques",
+    "count_bicliques",
+]

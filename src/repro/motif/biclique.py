@@ -1,0 +1,186 @@
+"""(p,q)-biclique counting on a :class:`~repro.graph.bipartite.BipartiteGraph`.
+
+A (p,q)-biclique is p left vertices and q right vertices with all p·q
+edges present.  Two exact counters (Qiu et al.'s GPU biclique work in
+PAPERS.md motivates both shapes):
+
+``hash``
+    Subset emission: for every right vertex ``r``, every p-combination
+    ``S`` of its left neighbors increments ``co[S]``; afterwards
+    ``co[S] = |∩_{u∈S} N(u)|`` and the total is ``Σ_S C(co[S], q)``.
+    Cost ``Σ_r C(d_r, p)`` — the right-degree-driven work the
+    :func:`repro.kernels.costmodel.biclique_work` estimator prices.
+``bitmap``
+    Two-hop enumeration: p-subsets are grown left vertex by left vertex
+    in ascending id order, carrying the running right-side intersection
+    in a mark plane per level; candidates for the next member come only
+    from the two-hop neighborhood of the current intersection, so
+    subsets with empty intersections are never touched.
+
+Both are validated against :func:`brute_force_bicliques` (direct
+p-subset intersection over Python sets) by the differential fuzzer and
+the property suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = [
+    "brute_force_bicliques",
+    "count_bicliques",
+    "bicliques_containing_pair",
+    "biclique_plan_summary",
+    "BICLIQUE_RUNNERS",
+]
+
+_MAX_P = 3
+_MAX_Q = 4
+
+
+def _check_pq(p: int, q: int) -> None:
+    if not (1 <= p <= _MAX_P) or not (1 <= q <= _MAX_Q):
+        raise AlgorithmError(
+            f"(p,q)-biclique counting supports 1 <= p <= {_MAX_P} and "
+            f"1 <= q <= {_MAX_Q}, got ({p}, {q})"
+        )
+
+
+def brute_force_bicliques(bip: BipartiteGraph, p: int, q: int) -> int:
+    """Reference count: intersect every p-subset of active left vertices."""
+    _check_pq(p, q)
+    sets = [
+        frozenset(bip.left_neighbors(u).tolist()) for u in range(bip.num_left)
+    ]
+    active = [u for u in range(bip.num_left) if len(sets[u]) >= q]
+    total = 0
+    for subset in combinations(active, p):
+        common = sets[subset[0]]
+        for u in subset[1:]:
+            common = common & sets[u]
+            if len(common) < q:
+                break
+        else:
+            total += comb(len(common), q)
+    return total
+
+
+# --------------------------------------------------------------------- #
+# runners
+# --------------------------------------------------------------------- #
+def _count_hash(bip: BipartiteGraph, p: int, q: int, **_) -> int:
+    co: Counter = Counter()
+    for r in range(bip.num_right):
+        nbrs = bip.right_neighbors(r).tolist()
+        if len(nbrs) >= p:
+            co.update(combinations(nbrs, p))
+    return sum(comb(c, q) for c in co.values() if c >= q)
+
+
+def _extend_bitmap(
+    bip: BipartiteGraph,
+    last: int,
+    inter: np.ndarray,
+    remaining: int,
+    q: int,
+    planes,
+) -> int:
+    if remaining == 0:
+        return comb(len(inter), q)
+    plane = planes[remaining]
+    plane[inter] = True
+    # Two-hop candidates: left vertices above ``last`` adjacent to at
+    # least one surviving right vertex.
+    cands = np.unique(
+        np.concatenate(
+            [bip.right_neighbors(int(r)) for r in inter.tolist()]
+        )
+    )
+    cands = cands[cands > last]
+    total = 0
+    for w in cands.tolist():
+        nw = bip.left_neighbors(w)
+        ni = nw[plane[nw]]
+        if len(ni) >= q:
+            total += _extend_bitmap(bip, w, ni, remaining - 1, q, planes)
+    plane[inter] = False
+    return total
+
+
+def _count_bitmap(bip: BipartiteGraph, p: int, q: int, **_) -> int:
+    planes = {d: np.zeros(bip.num_right, dtype=bool) for d in range(1, p)}
+    total = 0
+    for u in range(bip.num_left):
+        inter = bip.left_neighbors(u)
+        if len(inter) < q:
+            continue
+        if p == 1:
+            total += comb(len(inter), q)
+        else:
+            total += _extend_bitmap(bip, u, inter, p - 1, q, planes)
+    return total
+
+
+BICLIQUE_RUNNERS = {
+    "hash": _count_hash,
+    "bitmap": _count_bitmap,
+}
+
+
+def count_bicliques(
+    bip: BipartiteGraph, p: int, q: int, backend: str = "hash", **_
+) -> int:
+    """Count (p,q)-bicliques through the named runner."""
+    _check_pq(p, q)
+    runner = BICLIQUE_RUNNERS.get(backend)
+    if runner is None:
+        raise AlgorithmError(
+            f"unknown biclique backend {backend!r}; "
+            f"choose from {sorted(BICLIQUE_RUNNERS)}"
+        )
+    return runner(bip, p, q)
+
+
+def bicliques_containing_pair(
+    bip: BipartiteGraph, r1: int, r2: int, p: int = 2
+) -> int:
+    """(p, 2)-bicliques whose right side is exactly ``{r1, r2}``.
+
+    The co-engagement primitive: ``C(|N(r1) ∩ N(r2)|, p)`` distinct
+    p-subsets of shared left neighbors, each forming one biclique with
+    the fixed right pair.  Used by
+    :func:`repro.apps.recommend.co_engagement`.
+    """
+    if r1 == r2:
+        raise ValueError("the right pair must be two distinct vertices")
+    common = np.intersect1d(
+        bip.right_neighbors(r1), bip.right_neighbors(r2), assume_unique=True
+    )
+    return comb(len(common), p)
+
+
+def biclique_plan_summary(bip: BipartiteGraph, p: int, q: int) -> str:
+    """Human-readable work summary (``repro plan --motif biclique-p-q``)."""
+    from repro.kernels.costmodel import biclique_work
+
+    _check_pq(p, q)
+    work = biclique_work(bip.right_degrees, p, q)
+    d = bip.right_degrees
+    emissions = work.total("branch_ops")
+    lines = [
+        f"motif biclique-{p}-{q}: |L|={bip.num_left} |R|={bip.num_right} "
+        f"|E|={bip.num_edges}",
+        f"  right degrees  : max {int(d.max()) if len(d) else 0}, "
+        f"mean {float(d.mean()) if len(d) else 0.0:.2f}",
+        f"  subset emits   : {emissions:,.0f} (Σ_r C(d_r, {p}))",
+        f"  predicted work : {work.total('scalar_ops'):,.0f} scalar ops, "
+        f"{work.total('seq_words'):,.0f} words streamed",
+    ]
+    return "\n".join(lines)

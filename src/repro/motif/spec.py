@@ -1,0 +1,198 @@
+"""MotifSpec: one declarative record per countable motif.
+
+The engine's original workload — all-edge common neighbors — is one
+instance of a family: count occurrences of a small structure, using
+ordered-adjacency intersection as the primitive.  A :class:`MotifSpec`
+captures everything a generic executor needs to run one family member:
+
+* ``structure`` — which derived artifact the runners consume (``graph``
+  for per-edge counts, ``dag`` for the degree-oriented CSR cliques
+  recurse on, ``bipartite`` for the 2-colored dual-CSR view);
+* ``orientation`` — the rule that builds that artifact;
+* ``result_shape`` — ``per-edge`` (an array aligned with ``graph.dst``)
+  or ``total`` (one integer);
+* ``reference`` — the brute-force callable differential checks trust;
+* ``runners`` — named execution paths, each bit-exact vs the reference.
+
+Adding a motif is one module defining its runners + reference and one
+:func:`register_motif` call — the session, CLI, serve layer, and fuzzer
+all discover it through this registry (see ``clique-*`` and
+``biclique-*`` below for the pattern).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import AlgorithmError
+
+__all__ = [
+    "MotifSpec",
+    "MotifResult",
+    "register_motif",
+    "unregister_motif",
+    "get_motif",
+    "motif_names",
+    "motif_specs",
+    "DEFAULT_MOTIF",
+]
+
+#: The engine's original workload; ``count --motif`` defaults to it.
+DEFAULT_MOTIF = "common-neighbors"
+
+
+@dataclass(frozen=True)
+class MotifSpec:
+    """One registered motif with its counters and brute-force anchor."""
+
+    name: str
+    family: str  # "edge" | "clique" | "biclique"
+    arity: int  # vertices in one motif occurrence
+    params: tuple  # (k,) for cliques, (p, q) for bicliques, () for edge
+    structure: str  # "graph" | "dag" | "bipartite"
+    orientation: str  # how the structure is derived
+    result_shape: str  # "per-edge" | "total"
+    description: str = ""
+    #: brute-force reference: callable(structure_input) -> int
+    reference: object = None
+    #: name -> callable(structure, **opts) -> int
+    runners: dict = field(default_factory=dict)
+    default_backend: str = ""
+
+    def runner_names(self) -> list[str]:
+        return list(self.runners)
+
+
+@dataclass(frozen=True)
+class MotifResult:
+    """Outcome of one :meth:`GraphSession.count_motif` call.
+
+    ``total`` is the motif occurrence count; for the edge family it is
+    the triangle total and ``edge_counts`` carries the full per-edge
+    :class:`~repro.core.result.EdgeCounts`.
+    """
+
+    motif: str
+    params: tuple
+    total: int
+    backend: str
+    edge_counts: object = None
+
+
+_MOTIFS: OrderedDict[str, MotifSpec] = OrderedDict()
+
+
+def register_motif(spec: MotifSpec, replace: bool = False) -> None:
+    if not replace and spec.name in _MOTIFS:
+        raise ValueError(f"motif {spec.name!r} is already registered")
+    _MOTIFS[spec.name] = spec
+
+
+def unregister_motif(name: str) -> None:
+    _MOTIFS.pop(name, None)
+
+
+def motif_names() -> list[str]:
+    """Registered motif names, in registration order."""
+    return list(_MOTIFS)
+
+
+def motif_specs() -> list[MotifSpec]:
+    return list(_MOTIFS.values())
+
+
+def get_motif(name: str) -> MotifSpec:
+    """The spec for ``name``, or :class:`AlgorithmError` listing what is
+    supported (the CLI maps it to exit code 4 — never a bare KeyError)."""
+    try:
+        return _MOTIFS[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown motif {name!r}; supported motifs: {motif_names()}"
+        ) from None
+
+
+# --------------------------------------------------------------------- #
+# built-in registrations
+# --------------------------------------------------------------------- #
+def _register_builtin_motifs() -> None:
+    from repro.core.verify import brute_force_counts
+    from repro.motif import biclique as bq
+    from repro.motif import clique as cq
+
+    register_motif(
+        MotifSpec(
+            name=DEFAULT_MOTIF,
+            family="edge",
+            arity=3,
+            params=(),
+            structure="graph",
+            orientation="none (undirected CSR)",
+            result_shape="per-edge",
+            description="all-edge common neighbor counts (the paper's workload)",
+            reference=brute_force_counts,
+            # Edge-family runners are the BackendRegistry's counting
+            # backends; the session routes them through count().
+            runners={},
+            default_backend="auto",
+        ),
+        replace=True,
+    )
+    for k in (3, 4, 5):
+        register_motif(
+            MotifSpec(
+                name=f"clique-{k}",
+                family="clique",
+                arity=k,
+                params=(k,),
+                structure="dag",
+                orientation="degree-ascending edge orientation (kClist)",
+                result_shape="total",
+                description=f"{k}-cliques via ordered DAG intersection",
+                reference=(
+                    lambda graph, _k=k: cq.brute_force_cliques(graph, _k)
+                ),
+                runners={
+                    name: (
+                        lambda dag, _k=k, _fn=fn, **opts: _fn(dag, _k, **opts)
+                    )
+                    for name, fn in cq.CLIQUE_RUNNERS.items()
+                },
+                default_backend="bitmap",
+            ),
+            replace=True,
+        )
+    for p, q in ((2, 2), (2, 3), (3, 2), (3, 3)):
+        register_motif(
+            MotifSpec(
+                name=f"biclique-{p}-{q}",
+                family="biclique",
+                arity=p + q,
+                params=(p, q),
+                structure="bipartite",
+                orientation="2-coloring into the dual-CSR bipartite view",
+                result_shape="total",
+                description=(
+                    f"({p},{q})-bicliques via right-row subset emission"
+                ),
+                reference=(
+                    lambda bip, _p=p, _q=q: bq.brute_force_bicliques(
+                        bip, _p, _q
+                    )
+                ),
+                runners={
+                    name: (
+                        lambda bip, _p=p, _q=q, _fn=fn, **opts: _fn(
+                            bip, _p, _q, **opts
+                        )
+                    )
+                    for name, fn in bq.BICLIQUE_RUNNERS.items()
+                },
+                default_backend="hash",
+            ),
+            replace=True,
+        )
+
+
+_register_builtin_motifs()

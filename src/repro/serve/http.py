@@ -14,7 +14,9 @@ GET     ``/graphs``     info for every pooled graph
 POST    ``/graphs``     load ``{"dataset": "lj", "scale": 0.2}`` or a
                         ``{"path": ...}`` edge list; returns the graph key
 POST    ``/count``      ``{"graph": key, "pairs": [[u, v], ...]}`` →
-                        per-pair counts + the answering epoch
+                        per-pair counts + the answering epoch; or
+                        ``{"graph": key, "motif": "clique-4"}`` (optional
+                        ``"backend"``) → the motif total
 POST    ``/edits``      ``{"graph": key, "insert": [...], "delete": [...]}``
 POST    ``/triangles``  ``{"graph": key}`` → live triangle total
 POST    ``/stream``     ``{"stream": name, "window": W, "events":
@@ -22,9 +24,10 @@ POST    ``/stream``     ``{"stream": name, "window": W, "events":
                         live summary (first request creates the stream)
 ======  ==============  ====================================================
 
-Failure mapping: unknown graph key → 404, malformed request → 400,
-admission-queue overflow → 503 with a ``Retry-After`` header, anything
-unexpected → 500 (message included, connection kept alive).
+Failure mapping: unknown graph key → 404, malformed request or an
+unknown motif / backend-motif mismatch → 400, admission-queue overflow →
+503 with a ``Retry-After`` header, anything unexpected → 500 (message
+included, connection kept alive).
 """
 
 from __future__ import annotations
@@ -33,7 +36,11 @@ import asyncio
 import json
 import math
 
-from repro.errors import ServiceOverloadedError, UnknownGraphError
+from repro.errors import (
+    AlgorithmError,
+    ServiceOverloadedError,
+    UnknownGraphError,
+)
 from repro.serve.service import CountingService
 
 __all__ = ["CountingServer", "DEFAULT_HOST", "DEFAULT_PORT"]
@@ -223,6 +230,10 @@ class CountingServer:
             return 404, {"error": str(exc)}, {}
         except FileNotFoundError as exc:
             return 404, {"error": str(exc)}, {}
+        except AlgorithmError as exc:
+            # Unknown motif / backend-motif mismatch: a client error (the
+            # message lists what is supported), not a server fault.
+            return 400, {"error": str(exc)}, {}
         except (ValueError, TypeError, KeyError, IndexError) as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}, {}
         except Exception as exc:  # noqa: BLE001 - the server must not die
@@ -261,6 +272,12 @@ class CountingServer:
         )
 
     async def _count(self, payload) -> dict:
+        if "motif" in payload:
+            return await self.service.motif_count(
+                _require(payload, "graph"),
+                str(payload["motif"]),
+                backend=str(payload.get("backend", "auto")),
+            )
         return await self.service.count_pairs(
             _require(payload, "graph"), _require(payload, "pairs")
         )

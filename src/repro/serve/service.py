@@ -360,6 +360,26 @@ class ServedGraph:
                 self._executor, self.counter.triangle_count
             )
 
+    async def count_motif(self, motif: str, backend: str = "auto"):
+        """Motif total against the current epoch; ``(MotifResult, epoch)``.
+
+        Runs on the read snapshot's :class:`GraphSession`, so the derived
+        structure (oriented DAG, bipartite view) memoizes once per epoch
+        and repeated motif queries against an unedited graph are warm.
+        """
+        snap = self._acquire_snapshot()
+        if snap is None:
+            raise SessionClosedError("count motifs on")
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                lambda: snap.session.count_motif(motif, backend=backend),
+            )
+            return result, snap.epoch
+        finally:
+            snap.release()
+
     # ------------------------------------------------------------------ #
     def info(self) -> dict:
         return {
@@ -543,6 +563,28 @@ class CountingService:
                 "graph": key,
                 "epoch": entry.epoch,
                 "triangles": await entry.triangle_count(),
+            }
+
+    async def motif_count(self, key: str, motif: str, backend: str = "auto") -> dict:
+        """Motif total for graph ``key`` (the ``/count`` motif form).
+
+        An unknown motif or a backend that cannot count it raises
+        :class:`~repro.errors.AlgorithmError` — mapped to 400 at the
+        HTTP layer, mirroring the CLI's exit code 4.
+        """
+        with self.pool.acquire(key) as entry:
+            self._admit()
+            self._inflight += 1
+            try:
+                result, epoch = await entry.count_motif(motif, backend=backend)
+            finally:
+                self._inflight -= 1
+            return {
+                "graph": key,
+                "epoch": epoch,
+                "motif": result.motif,
+                "backend": result.backend,
+                "total": result.total,
             }
 
     async def stream_ingest(self, name, *, window=None, events=None) -> dict:

@@ -1,0 +1,70 @@
+"""Motif-powered app surfaces: clique density scoring + co-engagement."""
+
+from math import comb
+
+import pytest
+
+from repro.apps import clique_density_scores, co_engagement, scan_clustering
+from repro.core.api import count_common_neighbors
+from repro.graph.bipartite import bipartite_from_pairs
+from repro.graph.build import csr_from_pairs
+
+
+@pytest.fixture
+def two_communities():
+    """A K5 and a C6 joined by one bridge: one dense and one loose cluster."""
+    pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    ring = [5, 6, 7, 8, 9, 10]
+    pairs += [(ring[i], ring[(i + 1) % 6]) for i in range(6)]
+    pairs += [(ring[i], ring[(i + 2) % 6]) for i in range(6)]  # chords
+    pairs += [(4, 5)]
+    return csr_from_pairs(pairs, num_vertices=11)
+
+
+def test_clique_density_separates_tight_from_loose(two_communities):
+    result = scan_clustering(
+        count_common_neighbors(two_communities), eps=0.5, mu=3
+    )
+    assert result.num_clusters >= 2
+    rows = clique_density_scores(two_communities, result, k=3)
+    assert [set(r) for r in rows] == [
+        {"cluster", "size", "cliques", "density"}
+    ] * len(rows)
+    assert all(0.0 <= r["density"] <= 1.0 for r in rows)
+    # The K5 cluster is fully saturated; the chorded ring is not.
+    assert rows[0]["density"] == 1.0
+    assert rows[0]["density"] > rows[-1]["density"]
+    # Densest-first ordering.
+    densities = [r["density"] for r in rows]
+    assert densities == sorted(densities, reverse=True)
+
+
+def test_clique_density_small_clusters_score_zero(two_communities):
+    result = scan_clustering(
+        count_common_neighbors(two_communities), eps=0.5, mu=3
+    )
+    rows = clique_density_scores(two_communities, result, k=5)
+    by_cluster = {r["cluster"]: r for r in rows}
+    for r in rows:
+        if r["size"] < 5:
+            assert r["cliques"] == 0 and r["density"] == 0.0
+    assert len(by_cluster) == result.num_clusters
+
+
+def test_co_engagement_ranks_by_shared_cohorts():
+    # Users 0-3 all buy products 0 and 1; only user 0 also buys product 2.
+    pairs = [(u, 0) for u in range(4)] + [(u, 1) for u in range(4)] + [(0, 2)]
+    bip = bipartite_from_pairs(pairs, num_left=4, num_right=3)
+    ranked = co_engagement(bip, 0, k=5)
+    assert ranked[0] == (1, comb(4, 2))
+    assert ranked[1] == (2, comb(1, 2)) if len(ranked) > 1 else True
+    # C(1, 2) == 0 shared-pair cohorts: product 2 drops out entirely.
+    assert ranked == [(1, comb(4, 2))]
+
+
+def test_co_engagement_edge_cases():
+    bip = bipartite_from_pairs([(0, 0)], num_left=1, num_right=3)
+    assert co_engagement(bip, 1) == []  # no users at all
+    assert co_engagement(bip, 0) == []  # users but no co-engaged product
+    with pytest.raises(IndexError):
+        co_engagement(bip, 9)

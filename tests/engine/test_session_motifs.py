@@ -1,0 +1,101 @@
+"""GraphSession motif surface: memoized structures, count_motif routing,
+error mapping, and the build-time profile."""
+
+import numpy as np
+import pytest
+
+from repro.engine import GraphSession
+from repro.errors import AlgorithmError, SessionClosedError
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import erdos_renyi_graph, small_test_graph
+from repro.motif.clique import brute_force_cliques
+
+
+def test_count_motif_edge_family_wraps_count():
+    with GraphSession(small_test_graph()) as s:
+        result = s.count_motif("common-neighbors")
+        assert result.edge_counts is not None
+        assert result.total == result.edge_counts.triangle_count()
+        assert result.params == ()
+
+
+def test_count_motif_clique_matches_brute_force():
+    g = erdos_renyi_graph(40, 200, seed=7)
+    expected = brute_force_cliques(g, 4)
+    with GraphSession(g) as s:
+        auto = s.count_motif("clique-4")
+        assert auto.total == expected
+        assert auto.backend == "bitmap"  # the motif's default runner
+        for backend in ("merge", "hybrid"):
+            assert s.count_motif("clique-4", backend=backend).total == expected
+
+
+def test_count_motif_biclique_on_bipartite_graph():
+    # 4-cycle 0-1-2-3-0: 2-colorable, and its view is a 2x2 biclique.
+    g = csr_from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+    with GraphSession(g) as s:
+        assert s.count_motif("biclique-2-2").total == 1
+        assert s.count_motif("biclique-2-2", backend="bitmap").total == 1
+
+
+def test_motif_structures_memoize_and_invalidate():
+    g = erdos_renyi_graph(30, 100, seed=1)
+    with GraphSession(g) as s:
+        for _ in range(3):
+            s.count_motif("clique-3")
+        stats = s.artifact_stats()
+        assert stats["oriented_dag"].builds == 1
+        assert stats["oriented_dag"].hits == 2
+        # A structural edit drops the oriented DAG; the next count rebuilds.
+        edited = csr_from_pairs([(0, 1), (1, 2), (0, 2)], num_vertices=30)
+        s.apply_edits(insertions=np.array([[0, 1]]), new_graph=edited)
+        assert s.artifact_stats()["oriented_dag"].invalidations == 1
+        assert s.count_motif("clique-3").total == 1
+        assert s.artifact_stats()["oriented_dag"].builds == 2
+
+
+def test_bipartite_view_failure_is_not_cached():
+    # A triangle has no bipartite view; after an edit removes the odd
+    # cycle the memo must retry instead of replaying the failure.
+    g = csr_from_pairs([(0, 1), (1, 2), (0, 2)], num_vertices=3)
+    with GraphSession(g) as s:
+        with pytest.raises(AlgorithmError, match="not bipartite"):
+            s.count_motif("biclique-2-2")
+        path = csr_from_pairs([(0, 1), (1, 2)], num_vertices=3)
+        s.apply_edits(deletions=np.array([[0, 2]]), new_graph=path)
+        assert s.count_motif("biclique-2-2").total == 0
+
+
+def test_count_motif_error_mapping():
+    with GraphSession(small_test_graph()) as s:
+        with pytest.raises(AlgorithmError, match="unknown motif"):
+            s.count_motif("wedge")
+        # A real counting backend that cannot run this motif family.
+        with pytest.raises(AlgorithmError, match="does not count"):
+            s.count_motif("clique-3", backend="sharded")
+        # A name that is neither a runner nor a registered backend.
+        with pytest.raises(AlgorithmError, match="unknown backend"):
+            s.count_motif("clique-3", backend="nope")
+
+
+def test_count_motif_on_closed_session_raises():
+    s = GraphSession(small_test_graph())
+    s.close()
+    with pytest.raises(SessionClosedError):
+        s.count_motif("clique-3")
+
+
+def test_profile_reports_build_time_per_artifact():
+    with GraphSession(erdos_renyi_graph(30, 100, seed=2)) as s:
+        s.count_motif("clique-4")
+        s.count_motif("clique-4")
+        prof = s.profile()
+        row = prof["artifacts"]["oriented_dag"]
+        assert row["builds"] == 1 and row["hits"] == 1
+        assert row["build_seconds"] >= 0.0
+        assert row["last_build_seconds"] <= row["build_seconds"]
+        assert prof["total_builds"] >= 1
+        assert prof["total_build_seconds"] >= row["build_seconds"]
+        # Sorted most-expensive-first.
+        times = [r["build_seconds"] for r in prof["artifacts"].values()]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,141 @@
+"""Bipartite CSR builder: side invariants, projection, generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError, GraphFormatError
+from repro.graph.bipartite import (
+    BipartiteGraph,
+    bipartite_chung_lu,
+    bipartite_from_graph,
+    bipartite_from_pairs,
+    bipartite_uniform,
+    purchase_bipartite,
+    validate_bipartite,
+)
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import small_test_graph
+
+
+def bipartite_pairs(max_left: int = 12, max_right: int = 12, max_size: int = 80):
+    return st.lists(
+        st.tuples(st.integers(0, max_left - 1), st.integers(0, max_right - 1)),
+        max_size=max_size,
+    )
+
+
+def test_basic_build_and_lookup():
+    bip = bipartite_from_pairs([(0, 0), (0, 1), (1, 1), (2, 0)])
+    assert (bip.num_left, bip.num_right) == (3, 2)
+    assert bip.num_edges == 4
+    assert bip.left_neighbors(0).tolist() == [0, 1]
+    assert bip.right_neighbors(1).tolist() == [0, 1]
+    assert bip.has_edge(2, 0) and not bip.has_edge(2, 1)
+
+
+def test_duplicates_collapse():
+    a = bipartite_from_pairs([(0, 1), (0, 1), (1, 0)], num_left=2, num_right=2)
+    b = bipartite_from_pairs([(1, 0), (0, 1)], num_left=2, num_right=2)
+    assert a == b
+    assert a.num_edges == 2
+
+
+def test_out_of_range_and_negative_ids_rejected():
+    with pytest.raises(GraphFormatError):
+        bipartite_from_pairs([(0, 5)], num_left=1, num_right=2)
+    with pytest.raises(GraphFormatError):
+        bipartite_from_pairs([(-1, 0)])
+
+
+@given(bipartite_pairs())
+def test_side_csrs_store_the_same_edge_set(pairs):
+    bip = bipartite_from_pairs(pairs, num_left=12, num_right=12)
+    validate_bipartite(bip)
+    left_view = {
+        (u, int(r))
+        for u in range(bip.num_left)
+        for r in bip.left_neighbors(u).tolist()
+    }
+    right_view = {
+        (int(u), r)
+        for r in range(bip.num_right)
+        for u in bip.right_neighbors(r).tolist()
+    }
+    assert left_view == right_view == {(u, r) for u, r in pairs}
+    assert int(bip.left_degrees.sum()) == int(bip.right_degrees.sum())
+
+
+@given(bipartite_pairs())
+def test_to_pairs_round_trips(pairs):
+    bip = bipartite_from_pairs(pairs, num_left=12, num_right=12)
+    left, right = bip.to_pairs()
+    again = bipartite_from_pairs(
+        list(zip(left.tolist(), right.tolist())), num_left=12, num_right=12
+    )
+    assert again == bip
+
+
+def test_validate_rejects_side_disagreement():
+    bip = bipartite_from_pairs([(0, 0), (1, 1)], num_left=2, num_right=2)
+    # Corrupt the mirrored side: point right CSR at the wrong left vertex.
+    bad = BipartiteGraph(
+        bip.num_left, bip.num_right, bip.l_offsets, bip.l_dst, validate=False
+    )
+    bad.r_dst = bad.r_dst.copy()
+    bad.r_dst[0] = 1
+    with pytest.raises(GraphFormatError):
+        validate_bipartite(bad)
+
+
+def test_projection_of_even_cycle():
+    # 0-1-2-3-0 is an even cycle: 2-colorable with sides {0, 2} / {1, 3}.
+    g = csr_from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+    proj = bipartite_from_graph(g)
+    assert proj.graph.num_edges == 4
+    sides = set(proj.left_ids.tolist()), set(proj.right_ids.tolist())
+    assert {0, 2} in sides and {1, 3} in sides
+
+
+def test_projection_rejects_odd_cycle():
+    with pytest.raises(AlgorithmError, match="bipartite"):
+        bipartite_from_graph(small_test_graph())
+
+
+def test_projection_places_isolated_vertices_on_the_left():
+    g = csr_from_pairs([(0, 1)], num_vertices=4)
+    proj = bipartite_from_graph(g)
+    # Documented side rule: isolated vertices (their own components) join
+    # the left side with degree 0 — they never invent edges.
+    assert set(proj.left_ids.tolist()) == {0, 2, 3}
+    assert set(proj.right_ids.tolist()) == {1}
+    assert proj.graph.num_edges == 1
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: bipartite_chung_lu(80, 60, 300, seed=3),
+        lambda: bipartite_uniform(80, 60, 300, seed=3),
+        lambda: purchase_bipartite(50, 40, seed=3),
+    ],
+)
+def test_generators_produce_valid_bipartite_graphs(factory):
+    bip = factory()
+    validate_bipartite(bip)
+    assert bip.num_edges > 0
+
+
+def test_generators_deterministic():
+    assert bipartite_chung_lu(40, 30, 120, seed=9) == bipartite_chung_lu(
+        40, 30, 120, seed=9
+    )
+    assert bipartite_chung_lu(40, 30, 120, seed=9) != bipartite_chung_lu(
+        40, 30, 120, seed=10
+    )
+
+
+def test_chung_lu_calibration_hits_requested_edge_count():
+    bip = bipartite_chung_lu(120, 90, 500, seed=1)
+    assert abs(bip.num_edges - 500) / 500 < 0.35

@@ -1,0 +1,98 @@
+"""(p,q)-biclique counting: runner bit-exactness + co-engagement primitive."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError
+from repro.graph.bipartite import bipartite_chung_lu, bipartite_from_pairs
+from repro.motif.biclique import (
+    BICLIQUE_RUNNERS,
+    biclique_plan_summary,
+    bicliques_containing_pair,
+    brute_force_bicliques,
+    count_bicliques,
+)
+
+RUNNERS = sorted(BICLIQUE_RUNNERS)
+SHAPES = [(1, 2), (2, 2), (2, 3), (3, 2), (3, 3)]
+
+
+def complete_bipartite(a: int, b: int):
+    return bipartite_from_pairs([(u, r) for u in range(a) for r in range(b)])
+
+
+@pytest.mark.parametrize("p,q", SHAPES)
+def test_complete_bipartite_closed_form(p, q):
+    bip = complete_bipartite(5, 6)
+    expected = comb(5, p) * comb(6, q)
+    for backend in RUNNERS:
+        assert count_bicliques(bip, p, q, backend=backend) == expected
+
+
+@pytest.mark.parametrize("p,q", SHAPES)
+def test_runners_match_brute_force_on_generated_graph(p, q):
+    bip = bipartite_chung_lu(30, 25, 120, seed=5)
+    expected = brute_force_bicliques(bip, p, q)
+    for backend in RUNNERS:
+        assert count_bicliques(bip, p, q, backend=backend) == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40
+    ),
+    st.sampled_from([(2, 2), (2, 3), (3, 2)]),
+)
+def test_runners_match_brute_force_property(pairs, shape):
+    bip = bipartite_from_pairs(pairs, num_left=10, num_right=10)
+    p, q = shape
+    expected = brute_force_bicliques(bip, p, q)
+    for backend in RUNNERS:
+        assert count_bicliques(bip, p, q, backend=backend) == expected
+
+
+def test_empty_and_sparse_graphs_count_zero():
+    empty = bipartite_from_pairs([], num_left=4, num_right=4)
+    # A perfect matching has no shared neighbors at all.
+    matching = bipartite_from_pairs([(i, i) for i in range(4)])
+    for bip in (empty, matching):
+        for backend in RUNNERS:
+            assert count_bicliques(bip, 2, 2, backend=backend) == 0
+
+
+def test_invalid_shape_and_backend_raise():
+    bip = complete_bipartite(3, 3)
+    with pytest.raises(AlgorithmError, match="biclique"):
+        count_bicliques(bip, 4, 2)
+    with pytest.raises(AlgorithmError, match="biclique"):
+        count_bicliques(bip, 2, 5)
+    with pytest.raises(AlgorithmError, match="unknown"):
+        count_bicliques(bip, 2, 2, backend="nope")
+
+
+def test_bicliques_containing_pair_matches_closed_form():
+    bip = complete_bipartite(5, 3)
+    # Right vertices 0 and 1 share all 5 left vertices.
+    assert bicliques_containing_pair(bip, 0, 1, p=2) == comb(5, 2)
+    assert bicliques_containing_pair(bip, 0, 2, p=3) == comb(5, 3)
+    with pytest.raises(ValueError):
+        bicliques_containing_pair(bip, 1, 1)
+
+
+def test_pair_counts_sum_to_the_22_total():
+    bip = bipartite_chung_lu(20, 15, 80, seed=2)
+    total = sum(
+        bicliques_containing_pair(bip, r1, r2, p=2)
+        for r1 in range(bip.num_right)
+        for r2 in range(r1 + 1, bip.num_right)
+    )
+    assert total == count_bicliques(bip, 2, 2, backend="hash")
+
+
+def test_plan_summary_mentions_shape_and_emissions():
+    bip = bipartite_chung_lu(30, 25, 120, seed=5)
+    text = biclique_plan_summary(bip, 2, 2)
+    assert "biclique-2-2" in text and "subset emits" in text

@@ -1,0 +1,121 @@
+"""Motif registry: builtin specs, lookup errors, backend capability bits,
+and the cross-cutting property that every motif-capable execution path is
+bit-exact against the spec's own brute-force reference."""
+
+import pytest
+from hypothesis import given
+
+from repro.engine import default_registry
+from repro.errors import AlgorithmError
+from repro.graph.bipartite import bipartite_from_pairs
+from repro.motif import (
+    DEFAULT_MOTIF,
+    MotifSpec,
+    get_motif,
+    motif_names,
+    motif_specs,
+    orient_dag,
+    register_motif,
+    unregister_motif,
+)
+from tests.strategies import fuzz_graphs
+
+EXPECTED_MOTIFS = {
+    "common-neighbors",
+    "clique-3",
+    "clique-4",
+    "clique-5",
+    "biclique-2-2",
+    "biclique-2-3",
+    "biclique-3-2",
+    "biclique-3-3",
+}
+
+
+def test_builtin_motifs_registered():
+    assert EXPECTED_MOTIFS <= set(motif_names())
+    assert DEFAULT_MOTIF == "common-neighbors"
+
+
+def test_spec_shapes_are_consistent():
+    for spec in motif_specs():
+        assert spec.arity >= 3
+        if spec.family == "clique":
+            assert spec.structure == "dag"
+            assert spec.params == (spec.arity,)
+            assert spec.default_backend in spec.runners
+        elif spec.family == "biclique":
+            assert spec.structure == "bipartite"
+            assert sum(spec.params) == spec.arity
+            assert spec.default_backend in spec.runners
+        else:
+            assert spec.result_shape == "per-edge"
+
+
+def test_unknown_motif_lists_supported_names():
+    with pytest.raises(AlgorithmError, match="clique-3"):
+        get_motif("wedge")
+
+
+def test_register_replace_and_unregister():
+    spec = MotifSpec(
+        name="test-motif",
+        family="clique",
+        arity=3,
+        params=(3,),
+        structure="dag",
+        orientation="test",
+        result_shape="total",
+    )
+    register_motif(spec)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_motif(spec)
+        register_motif(spec, replace=True)
+        assert get_motif("test-motif") is spec
+    finally:
+        unregister_motif("test-motif")
+    assert "test-motif" not in motif_names()
+
+
+def test_backend_motif_capability_bits():
+    reg = default_registry()
+    assert set(reg.motif_backends("clique-4")) >= {"merge", "bitmap", "hybrid"}
+    assert "bitmap" in reg.motif_backends("biclique-2-2")
+    # Every backend counts the original workload.
+    assert set(reg.motif_backends("common-neighbors")) == set(reg.names())
+    with pytest.raises(AlgorithmError, match="does not count"):
+        reg.check_motif("sharded", "clique-3")
+    assert reg.check_motif("bitmap", "clique-3").name == "bitmap"
+
+
+@given(fuzz_graphs(max_vertices=16))
+def test_every_clique_runner_matches_its_reference(g):
+    dag = orient_dag(g)
+    for spec in motif_specs():
+        if spec.family != "clique":
+            continue
+        expected = spec.reference(g)
+        for name, runner in spec.runners.items():
+            assert runner(dag) == expected, (spec.name, name)
+
+
+@given(fuzz_graphs(max_vertices=12))
+def test_every_biclique_runner_matches_its_reference(g):
+    # Read the case's u < v edges as left->right bipartite pairs — the
+    # same deterministic instance the differential fuzzer uses.
+    src = g.edge_sources()
+    mask = src < g.dst
+    bip = bipartite_from_pairs(
+        list(zip(src[mask].tolist(), g.dst[mask].tolist())),
+        num_left=g.num_vertices,
+        num_right=g.num_vertices,
+    )
+    for spec in motif_specs():
+        if spec.family != "biclique":
+            continue
+        if spec.params[0] >= 3 and bip.num_edges > 60:
+            continue  # keep the subset emission bounded per example
+        expected = spec.reference(bip)
+        for name, runner in spec.runners.items():
+            assert runner(bip) == expected, (spec.name, name)

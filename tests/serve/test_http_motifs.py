@@ -1,0 +1,96 @@
+"""Motif counting over the HTTP front end: /count with a motif field."""
+
+import asyncio
+
+from repro.graph.build import csr_from_pairs
+from repro.graph.generators import erdos_renyi_graph
+from repro.motif.clique import brute_force_cliques
+from tests.serve.test_http import http_request, started_server
+
+
+def test_count_motif_roundtrip_and_error_mapping():
+    graph = erdos_renyi_graph(40, 200, seed=7)
+    expected = brute_force_cliques(graph, 4)
+    square = csr_from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+
+    async def main():
+        server, service = await started_server()
+        try:
+            port = server.port
+            key = (await service.load_graph(graph=graph))["graph"]
+            sq_key = (await service.load_graph(graph=square))["graph"]
+
+            # Clique count through the default runner.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count", {"graph": key, "motif": "clique-4"},
+            )
+            assert status == 200
+            assert body["total"] == expected
+            assert body["motif"] == "clique-4" and body["epoch"] == 0
+
+            # Explicit runner choice rides the same field as pair counts.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count",
+                {"graph": key, "motif": "clique-4", "backend": "merge"},
+            )
+            assert status == 200 and body["total"] == expected
+
+            # Biclique on a 2-colorable graph.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count",
+                {"graph": sq_key, "motif": "biclique-2-2"},
+            )
+            assert status == 200 and body["total"] == 1
+
+            # Unknown motif: AlgorithmError maps to 400, not 500.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count", {"graph": key, "motif": "wedge"},
+            )
+            assert status == 400 and "unknown motif" in body["error"]
+
+            # Backend that cannot count the motif: also 400.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count",
+                {"graph": key, "motif": "clique-3", "backend": "sharded"},
+            )
+            assert status == 400 and "does not count" in body["error"]
+
+            # A non-bipartite graph asked for bicliques: 400 with the
+            # odd-cycle explanation.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count",
+                {"graph": key, "motif": "biclique-2-2"},
+            )
+            assert status == 400 and "not bipartite" in body["error"]
+
+            # The original pair-count form is untouched by the new field.
+            status, _, body, _ = await http_request(
+                port, "POST", "/count", {"graph": sq_key, "pairs": [[0, 2]]},
+            )
+            assert status == 200 and body["counts"] == [2]
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())
+
+
+def test_count_motif_sees_the_snapshot_epoch():
+    square = csr_from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+
+    async def main():
+        server, service = await started_server()
+        try:
+            key = (await service.load_graph(graph=square))["graph"]
+            body = await service.motif_count(key, "biclique-2-2")
+            assert body["total"] == 1 and body["epoch"] == 0
+            # Closing the diagonal creates triangles: the next epoch's
+            # bipartite view must fail while pair counts keep working.
+            await service.apply_edits(key, insertions=[[0, 2]])
+            body = await service.count_pairs(key, [[0, 2]])
+            assert body["epoch"] == 1
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(main())

@@ -1,0 +1,99 @@
+"""CLI motif surfaces: count/plan --motif, the backends table, exit codes."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def square(tmp_path):
+    """A 4-cycle: 2-colorable, exactly one (2,2)-biclique, no triangles."""
+    path = tmp_path / "square.txt"
+    path.write_text("0 1\n1 2\n2 3\n3 0\n")
+    return str(path)
+
+
+def test_backends_table_lists_backends_and_motifs(capsys):
+    code, out, _ = run(capsys, "backends")
+    assert code == 0
+    # Backend table: capability flags plus the extra-motif column.
+    assert "backend" in out and "capabilities" in out
+    for name in ("merge", "bitmap", "hybrid", "sharded"):
+        assert name in out
+    # Motif table: every registered motif with runners and default.
+    for motif in ("common-neighbors", "clique-5", "biclique-3-3"):
+        assert motif in out
+    assert "merge,bitmap,hybrid" in out
+    assert "hash,bitmap" in out
+
+
+def test_count_clique_with_verify(capsys):
+    code, out, _ = run(
+        capsys, "count", "lj", "--scale", "0.02",
+        "--motif", "clique-4", "--verify",
+    )
+    assert code == 0
+    assert "motif            : clique-4 (arity 4)" in out
+    assert "backend          : bitmap" in out
+    assert "occurrences      : 506" in out
+    assert "verification     : passed (brute force)" in out
+
+
+def test_count_biclique_with_verify(capsys, square):
+    code, out, _ = run(
+        capsys, "count", square, "--motif", "biclique-2-2", "--verify"
+    )
+    assert code == 0
+    assert "occurrences      : 1" in out
+    assert "verification     : passed" in out
+
+
+def test_count_default_motif_keeps_original_output(capsys):
+    code, out, _ = run(capsys, "count", "lj", "--scale", "0.02")
+    assert code == 0
+    assert "triangles" in out and "occurrences" not in out
+
+
+def test_plan_clique_prints_buckets(capsys):
+    code, out, _ = run(
+        capsys, "plan", "lj", "--scale", "0.02", "--motif", "clique-4"
+    )
+    assert code == 0
+    assert "oriented DAG edges" in out
+    assert "gallop bucket" in out and "bitmap bucket" in out
+
+
+def test_plan_biclique_prints_emission_estimate(capsys, square):
+    code, out, _ = run(capsys, "plan", square, "--motif", "biclique-2-2")
+    assert code == 0
+    assert "subset emits" in out
+
+
+def test_unknown_motif_exits_4_listing_supported(capsys, square):
+    code, _, err = run(capsys, "count", square, "--motif", "wedge")
+    assert code == 4
+    assert "unknown motif 'wedge'" in err
+    assert "clique-3" in err and "biclique-2-2" in err
+
+
+def test_backend_motif_mismatch_exits_4(capsys, square):
+    code, _, err = run(
+        capsys, "count", square, "--motif", "clique-3", "--backend", "sharded"
+    )
+    assert code == 4
+    assert "does not count motif" in err
+    assert "'merge'" in err  # names the capable backends
+
+
+def test_biclique_on_odd_cycle_exits_4(capsys):
+    code, _, err = run(
+        capsys, "count", "lj", "--scale", "0.02", "--motif", "biclique-2-2"
+    )
+    assert code == 4
+    assert "not bipartite" in err
